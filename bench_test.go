@@ -1,0 +1,712 @@
+// Benchmarks regenerating every experiment in EXPERIMENTS.md. The paper
+// (an ICDE 2008 demonstration) publishes no quantitative tables; the
+// experiment set is DESIGN.md §5: the three figures' scenarios (F1–F3),
+// the two fully-specified queries (Q1, Q2), the operator inventories
+// (O1–O3), and ablations of the design choices stated in prose (A1–A6).
+// cmd/graphitti-bench runs the same harness and prints the rows recorded
+// in EXPERIMENTS.md.
+package graphitti
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"graphitti/internal/agraph"
+	"graphitti/internal/core"
+	"graphitti/internal/interval"
+	"graphitti/internal/ontology"
+	"graphitti/internal/query"
+	"graphitti/internal/relstore"
+	"graphitti/internal/rtree"
+	"graphitti/internal/workload"
+)
+
+// --- shared fixtures (built once per size) ---
+
+var (
+	fluMu    sync.Mutex
+	fluCache = map[int]*workload.InfluenzaStudy{}
+
+	neuroMu    sync.Mutex
+	neuroCache = map[int]*workload.NeuroStudy{}
+)
+
+func fluStudy(b *testing.B, annotations int) *workload.InfluenzaStudy {
+	b.Helper()
+	fluMu.Lock()
+	defer fluMu.Unlock()
+	if s, ok := fluCache[annotations]; ok {
+		return s
+	}
+	cfg := workload.DefaultInfluenza
+	cfg.Annotations = annotations
+	s, err := workload.Influenza(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fluCache[annotations] = s
+	return s
+}
+
+func neuroStudy(b *testing.B, images int) *workload.NeuroStudy {
+	b.Helper()
+	neuroMu.Lock()
+	defer neuroMu.Unlock()
+	if s, ok := neuroCache[images]; ok {
+		return s
+	}
+	cfg := workload.DefaultNeuro
+	cfg.Images = images
+	cfg.NoiseAnnotations = images * 5
+	s, err := workload.Neuroscience(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	neuroCache[images] = s
+	return s
+}
+
+// --- F1: Fig. 1 scenario — a-graph construction and primitives ---
+
+func BenchmarkF1AGraphScenario(b *testing.B) {
+	for _, n := range []int{200, 1000, 5000} {
+		study := fluStudy(b, n)
+		s := study.Store
+		ids := study.AnnotationIDs
+		b.Run(fmt.Sprintf("path/anns=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				a := ids[i%len(ids)]
+				c := ids[(i*7+13)%len(ids)]
+				_, _ = s.PathBetweenAnnotations(a, c)
+			}
+		})
+		b.Run(fmt.Sprintf("connect3/anns=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				t1 := ids[i%len(ids)]
+				t2 := ids[(i*5+1)%len(ids)]
+				t3 := ids[(i*11+2)%len(ids)]
+				_, _ = s.ConnectAnnotations(t1, t2, t3)
+			}
+		})
+	}
+}
+
+// --- F2: Fig. 2 — annotation workflow across the six demo data types ---
+
+func BenchmarkF2AnnotateWorkflow(b *testing.B) {
+	mkStore := func(b *testing.B) *core.Store {
+		cfg := workload.DefaultInfluenza
+		cfg.Annotations = 0
+		cfg.ProteaseChains = 0
+		study, err := workload.Influenza(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return study.Store
+	}
+	b.Run("sequence-interval", func(b *testing.B) {
+		s := mkStore(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m, err := s.MarkDomainInterval("segment1", interval.Interval{Lo: int64(i % 2000), Hi: int64(i%2000 + 25)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Commit(s.NewAnnotation().Creator("u").Date("2008-01-01").
+				Body(fmt.Sprintf("bench note %d", i)).Refer(m)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("clade", func(b *testing.B) {
+		s := mkStore(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m, err := s.MarkClade("H5N1-phylogeny", "duck", "chicken")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Commit(s.NewAnnotation().Creator("u").Date("2008-01-01").
+				Body(fmt.Sprintf("clade note %d", i)).Refer(m)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("subgraph", func(b *testing.B) {
+		s := mkStore(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m, err := s.MarkSubgraph("NS1-interactome", "NS1", "PKR")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Commit(s.NewAnnotation().Creator("u").Date("2008-01-01").
+				Body(fmt.Sprintf("subgraph note %d", i)).Refer(m)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("alignment-block", func(b *testing.B) {
+		s := mkStore(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m, err := s.MarkAlignmentBlock("HA-alignment",
+				[]string{"NC_00000", "NC_00001"}, interval.Interval{Lo: int64(i % 40), Hi: int64(i%40 + 10)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Commit(s.NewAnnotation().Creator("u").Date("2008-01-01").
+				Body(fmt.Sprintf("block note %d", i)).Refer(m)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("record-set", func(b *testing.B) {
+		s := mkStore(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m, err := s.MarkRecords("isolates", relstore.S("A/goose/0/1996"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Commit(s.NewAnnotation().Creator("u").Date("2008-01-01").
+				Body(fmt.Sprintf("record note %d", i)).Refer(m)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("image-region", func(b *testing.B) {
+		study, err := workload.Neuroscience(workload.NeuroConfig{
+			Seed: 1, Images: 4, RegionsPerImage: 0, TP53Annotations: 0, NoiseAnnotations: 0,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := study.Store
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			x := float64(i % 900)
+			m, err := s.MarkImageRegion(study.ImageIDs[i%len(study.ImageIDs)],
+				rtree.Rect2D(x, x, x+20, x+20))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Commit(s.NewAnnotation().Creator("u").Date("2008-01-01").
+				Body(fmt.Sprintf("region note %d", i)).Refer(m)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- F3: Fig. 3 — query-tab graph query + correlated data ---
+
+func BenchmarkF3QueryTab(b *testing.B) {
+	const src = `
+select graph
+where {
+  ?a isa annotation ; contains "protease" .
+  ?r isa referent ; kind interval .
+  ?o isa object ; type dna_sequences .
+  ?a annotates ?r .
+  ?r marks ?o .
+}`
+	for _, n := range []int{200, 1000, 5000} {
+		study := fluStudy(b, n)
+		p := query.NewProcessor(study.Store)
+		q := query.MustParse(src)
+		b.Run(fmt.Sprintf("query/anns=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.ExecuteParsed(q, query.DefaultOptions); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("correlated/anns=%d", n), func(b *testing.B) {
+			ids := study.AnnotationIDs
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := study.Store.CorrelatedData(ids[i%len(ids)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Q1: the intro query ---
+
+func BenchmarkQ1TP53(b *testing.B) {
+	for _, images := range []int{12, 48, 96} {
+		study := neuroStudy(b, images)
+		b.Run(fmt.Sprintf("images=%d", images), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := QueryTP53Images(study.Store, TP53Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Annotations) != len(study.TP53Annotations) {
+					b.Fatalf("wrong answer: %d", len(res.Annotations))
+				}
+			}
+		})
+	}
+}
+
+// --- Q2: the query-tab query ---
+
+func BenchmarkQ2Protease(b *testing.B) {
+	for _, n := range []int{200, 1000, 5000} {
+		study := fluStudy(b, n)
+		b.Run(fmt.Sprintf("anns=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				chains, err := QueryConsecutiveKeyword(study.Store, ConsecutiveOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(chains) < workload.DefaultInfluenza.ProteaseChains {
+					b.Fatalf("missed planted chains: %d", len(chains))
+				}
+			}
+		})
+	}
+}
+
+// --- O1: SUB_X operators ---
+
+func BenchmarkO1SubXOps(b *testing.B) {
+	b.Run("interval-ifOverlap", func(b *testing.B) {
+		a := interval.Interval{Lo: 0, Hi: 100}
+		for i := 0; i < b.N; i++ {
+			q := interval.Interval{Lo: int64(i % 200), Hi: int64(i%200 + 50)}
+			_ = a.Overlaps(q)
+		}
+	})
+	b.Run("interval-intersect", func(b *testing.B) {
+		a := interval.Interval{Lo: 0, Hi: 100}
+		for i := 0; i < b.N; i++ {
+			q := interval.Interval{Lo: int64(i % 200), Hi: int64(i%200 + 50)}
+			_, _ = a.Intersect(q)
+		}
+	})
+	b.Run("rect-ifOverlap", func(b *testing.B) {
+		a := rtree.Rect2D(0, 0, 100, 100)
+		for i := 0; i < b.N; i++ {
+			x := float64(i % 200)
+			_ = a.Overlaps(rtree.Rect2D(x, x, x+50, x+50))
+		}
+	})
+	b.Run("rect-intersect", func(b *testing.B) {
+		a := rtree.Rect2D(0, 0, 100, 100)
+		for i := 0; i < b.N; i++ {
+			x := float64(i % 200)
+			_, _ = a.Intersect(rtree.Rect2D(x, x, x+50, x+50))
+		}
+	})
+	// next on a populated domain tree.
+	var tr interval.Tree[string]
+	for i := 0; i < 10_000; i++ {
+		lo := int64(i * 10)
+		if err := tr.Insert(interval.Interval{Lo: lo, Hi: lo + 8}, uint64(i), "x"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("interval-next", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			lo := int64((i * 97) % 99_000)
+			_, _ = tr.Next(interval.Interval{Lo: lo, Hi: lo + 5})
+		}
+	})
+}
+
+// --- O2: ontology operators ---
+
+func BenchmarkO2OntologyOps(b *testing.B) {
+	for _, shape := range []struct{ depth, fanout int }{{4, 4}, {6, 4}} {
+		o := workload.LayeredOntology("bench", shape.depth, shape.fanout, 1)
+		name := fmt.Sprintf("d%d-f%d-terms=%d", shape.depth, shape.fanout, o.Len())
+		b.Run("CI/"+name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := o.CI("root"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("CmRI/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := o.CmRI("root", []string{ontology.IsA, ontology.PartOf}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("SubTree/"+name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := o.SubTree("root", []string{ontology.IsA}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("SubTreeDiff/"+name, func(b *testing.B) {
+			ci, err := o.CI("root")
+			if err != nil || len(ci) == 0 {
+				b.Fatal("no descendants")
+			}
+			y := ci[0]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := o.SubTreeDiff("root", y, []string{ontology.IsA}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("mCmRI/"+name, func(b *testing.B) {
+			ci, _ := o.CI("root")
+			cs := []string{"root", ci[len(ci)/2]}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := o.MCmRI(cs, ontology.InstanceRelations); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- O3: a-graph primitives vs graph size ---
+
+func benchGraph(stars, size int) (*agraph.Graph, []agraph.NodeRef) {
+	g := agraph.New()
+	hub := agraph.Object("hub", "0")
+	var terms []agraph.NodeRef
+	for s := 0; s < stars; s++ {
+		c := agraph.ContentRoot(uint64(s))
+		terms = append(terms, c)
+		for i := 0; i < size; i++ {
+			r := agraph.Referent(uint64(s*size + i))
+			g.AddEdge(c, r, agraph.LabelAnnotates)
+			if i == 0 {
+				g.AddEdge(r, hub, agraph.LabelMarks)
+			}
+		}
+	}
+	return g, terms
+}
+
+func BenchmarkO3AGraphPrimitives(b *testing.B) {
+	for _, size := range []int{100, 1000, 10_000} {
+		g, terms := benchGraph(6, size)
+		b.Run(fmt.Sprintf("path/nodes=%d", g.NodeCount()), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := g.FindPath(terms[0], terms[1]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("connect4/nodes=%d", g.NodeCount()), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := g.Connect(terms[0], terms[1], terms[2], terms[3]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- A1: per-chromosome consolidation vs per-sequence trees ---
+
+func BenchmarkA1IndexConsolidation(b *testing.B) {
+	const (
+		domains      = 8
+		seqsPerDom   = 16
+		marksPerSeq  = 64
+		domainLength = 100_000
+	)
+	rng := rand.New(rand.NewSource(9))
+	type mark struct {
+		domain, seqID string
+		iv            interval.Interval
+	}
+	var marks []mark
+	for d := 0; d < domains; d++ {
+		for q := 0; q < seqsPerDom; q++ {
+			for m := 0; m < marksPerSeq; m++ {
+				lo := rng.Int63n(domainLength - 200)
+				marks = append(marks, mark{
+					domain: fmt.Sprintf("chr%d", d),
+					seqID:  fmt.Sprintf("chr%d-seq%d", d, q),
+					iv:     interval.Interval{Lo: lo, Hi: lo + 20 + rng.Int63n(180)},
+				})
+			}
+		}
+	}
+	// Consolidated: one tree per domain (the paper's design).
+	consolidated := map[string]*interval.Tree[string]{}
+	for i, m := range marks {
+		tr := consolidated[m.domain]
+		if tr == nil {
+			tr = &interval.Tree[string]{}
+			consolidated[m.domain] = tr
+		}
+		if err := tr.Insert(m.iv, uint64(i), m.seqID); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Fragmented: one tree per annotated sequence (the rejected design).
+	fragmented := map[string]*interval.Tree[string]{}
+	perDomainSeqs := map[string][]string{}
+	for i, m := range marks {
+		tr := fragmented[m.seqID]
+		if tr == nil {
+			tr = &interval.Tree[string]{}
+			fragmented[m.seqID] = tr
+			perDomainSeqs[m.domain] = append(perDomainSeqs[m.domain], m.seqID)
+		}
+		if err := tr.Insert(m.iv, uint64(i), m.seqID); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("consolidated", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ReportMetric(float64(len(consolidated)), "trees")
+		total := 0
+		for i := 0; i < b.N; i++ {
+			d := fmt.Sprintf("chr%d", i%domains)
+			lo := int64((i * 911) % (domainLength - 500))
+			total += consolidated[d].CountOverlapping(interval.Interval{Lo: lo, Hi: lo + 500})
+		}
+		_ = total
+	})
+	b.Run("per-sequence", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ReportMetric(float64(len(fragmented)), "trees")
+		total := 0
+		for i := 0; i < b.N; i++ {
+			d := fmt.Sprintf("chr%d", i%domains)
+			lo := int64((i * 911) % (domainLength - 500))
+			q := interval.Interval{Lo: lo, Hi: lo + 500}
+			for _, seqID := range perDomainSeqs[d] {
+				total += fragmented[seqID].CountOverlapping(q)
+			}
+		}
+		_ = total
+	})
+}
+
+// --- A2: interval tree vs naive scan ---
+
+func BenchmarkA2IntervalVsScan(b *testing.B) {
+	for _, n := range []int{100, 1000, 10_000, 100_000} {
+		rng := rand.New(rand.NewSource(3))
+		var tr interval.Tree[int]
+		var sc interval.Scan[int]
+		for i := 0; i < n; i++ {
+			lo := rng.Int63n(1_000_000)
+			iv := interval.Interval{Lo: lo, Hi: lo + 1 + rng.Int63n(500)}
+			if err := tr.Insert(iv, uint64(i), i); err != nil {
+				b.Fatal(err)
+			}
+			if err := sc.Insert(iv, uint64(i), i); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.Run(fmt.Sprintf("tree/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lo := int64((i * 7919) % 999_000)
+				tr.CountOverlapping(interval.Interval{Lo: lo, Hi: lo + 300})
+			}
+		})
+		b.Run(fmt.Sprintf("scan/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lo := int64((i * 7919) % 999_000)
+				sc.CountOverlapping(interval.Interval{Lo: lo, Hi: lo + 300})
+			}
+		})
+	}
+}
+
+// --- A3: R-tree vs naive scan ---
+
+func BenchmarkA3RTreeVsScan(b *testing.B) {
+	for _, n := range []int{100, 1000, 10_000, 50_000} {
+		rng := rand.New(rand.NewSource(5))
+		tr, err := rtree.NewTree[int](2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc, err := rtree.NewScan[int](2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			x, y := rng.Float64()*10_000, rng.Float64()*10_000
+			r := rtree.Rect2D(x, y, x+1+rng.Float64()*40, y+1+rng.Float64()*40)
+			if err := tr.Insert(r, uint64(i), i); err != nil {
+				b.Fatal(err)
+			}
+			if err := sc.Insert(r, uint64(i), i); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.Run(fmt.Sprintf("rtree/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				x := float64((i * 7919) % 9900)
+				tr.Count(rtree.Rect2D(x, x, x+100, x+100))
+			}
+		})
+		b.Run(fmt.Sprintf("scan/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				x := float64((i * 7919) % 9900)
+				sc.Count(rtree.Rect2D(x, x, x+100, x+100))
+			}
+		})
+	}
+}
+
+// --- A4: connect() strategies ---
+
+func BenchmarkA4ConnectStrategies(b *testing.B) {
+	for _, size := range []int{200, 2000} {
+		g, terms := benchGraph(8, size)
+		for _, strat := range []agraph.ConnectStrategy{agraph.PairwiseBFS, agraph.ExpandingRing} {
+			b.Run(fmt.Sprintf("%v/nodes=%d", strat, g.NodeCount()), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := g.ConnectWithStrategy(strat, terms...); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- A5: planner sub-query ordering ---
+
+func BenchmarkA5PlannerOrdering(b *testing.B) {
+	const src = `
+select contents
+where {
+  ?a isa annotation .
+  ?r isa referent ; kind interval ; domain "segment1" ; overlaps [0, 120) .
+  ?a annotates ?r .
+}`
+	for _, n := range []int{1000, 5000} {
+		study := fluStudy(b, n)
+		p := query.NewProcessor(study.Store)
+		q := query.MustParse(src)
+		for _, ordered := range []bool{true, false} {
+			name := "selectivity"
+			if !ordered {
+				name = "naive"
+			}
+			b.Run(fmt.Sprintf("%s/anns=%d", name, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := p.ExecuteParsed(q, query.Options{OrderBySelectivity: ordered}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- A7: STR bulk load vs incremental R-tree construction ---
+
+func BenchmarkA7BulkLoadVsIncremental(b *testing.B) {
+	for _, n := range []int{10_000, 50_000} {
+		rng := rand.New(rand.NewSource(11))
+		entries := make([]rtree.Entry[int], n)
+		for i := 0; i < n; i++ {
+			x, y := rng.Float64()*10_000, rng.Float64()*10_000
+			entries[i] = rtree.Entry[int]{
+				Rect: rtree.Rect2D(x, y, x+1+rng.Float64()*30, y+1+rng.Float64()*30),
+				ID:   uint64(i), Value: i,
+			}
+		}
+		b.Run(fmt.Sprintf("incremental/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tr, err := rtree.NewTree[int](2)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, e := range entries {
+					if err := tr.Insert(e.Rect, e.ID, e.Value); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("str-bulk/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := rtree.BulkLoad(2, entries); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		// Query cost on the two trees (packing quality).
+		inc, _ := rtree.NewTree[int](2)
+		for _, e := range entries {
+			_ = inc.Insert(e.Rect, e.ID, e.Value)
+		}
+		bulk, err := rtree.BulkLoad(2, entries)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("query-incremental/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				x := float64((i * 7919) % 9900)
+				inc.Count(rtree.Rect2D(x, x, x+80, x+80))
+			}
+		})
+		b.Run(fmt.Sprintf("query-str/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				x := float64((i * 7919) % 9900)
+				bulk.Count(rtree.Rect2D(x, x, x+80, x+80))
+			}
+		})
+	}
+}
+
+// --- A6: content keyword index vs document scan ---
+
+func BenchmarkA6ContentIndex(b *testing.B) {
+	for _, n := range []int{200, 1000, 5000} {
+		study := fluStudy(b, n)
+		b.Run(fmt.Sprintf("indexed/anns=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if got := study.Store.SearchKeyword("protease", true); len(got) == 0 {
+					b.Fatal("no hits")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("scan/anns=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if got := study.Store.SearchKeyword("protease", false); len(got) == 0 {
+					b.Fatal("no hits")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,72 @@
+// Command graphitti-server serves a Graphitti store over HTTP/JSON — the
+// service-shaped equivalent of the paper's demo GUI. By default it loads a
+// generated demonstration study; pass -snapshot to serve a store exported
+// with the persist format (e.g. from GET /api/snapshot).
+//
+//	go run ./cmd/graphitti-server -addr :8080 -study influenza
+//	curl localhost:8080/api/stats
+//	curl -X POST localhost:8080/api/search -d '{"expr":"contains(/annotation/body, \"protease\")"}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"graphitti"
+	"graphitti/internal/httpapi"
+	"graphitti/internal/persist"
+	"graphitti/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	studyName := flag.String("study", "influenza", "demo study: influenza or neuro")
+	anns := flag.Int("anns", 400, "annotation count for the influenza study")
+	images := flag.Int("images", 12, "image count for the neuro study")
+	snapshot := flag.String("snapshot", "", "load the store from a persist snapshot file instead")
+	flag.Parse()
+
+	store, err := buildStore(*studyName, *anns, *images, *snapshot)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := store.Stats()
+	fmt.Printf("graphitti-server: %d annotations, %d referents, %d a-graph edges\n",
+		st.Annotations, st.Referents, st.GraphEdges)
+	fmt.Printf("listening on %s\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, httpapi.NewHandler(store)))
+}
+
+func buildStore(study string, anns, images int, snapshot string) (*graphitti.Store, error) {
+	if snapshot != "" {
+		f, err := os.Open(snapshot)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return persist.Read(f)
+	}
+	switch study {
+	case "influenza":
+		cfg := workload.DefaultInfluenza
+		cfg.Annotations = anns
+		s, err := workload.Influenza(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return s.Store, nil
+	case "neuro":
+		cfg := workload.DefaultNeuro
+		cfg.Images = images
+		s, err := workload.Neuroscience(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return s.Store, nil
+	default:
+		return nil, fmt.Errorf("unknown study %q", study)
+	}
+}

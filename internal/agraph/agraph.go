@@ -1,0 +1,432 @@
+// Package agraph implements Graphitti's a-graph: the directed labeled
+// multigraph that connects annotation contents to annotation referents.
+//
+// The paper: "A collection of annotation contents and referents would
+// induce a graph, where there are two types of nodes, the contents and the
+// referents, and a directed edge connects a content to a referent. … We
+// call this the a-graph; it is the connection structure that associates the
+// substructures of all other types of data." The a-graph also "connects
+// nodes of the XML annotation trees to (i) nodes of the interval trees and
+// R-trees and (ii) ontology nodes. It is implemented in a directed labeled
+// multigraph data structure … and serves as a general-purpose 'labeled join
+// index'. The two primitive operations on the a-graph are path(node1,
+// node2) … and connect(node1, node2, …)".
+//
+// Nodes are typed references (NodeRef) into the other Graphitti stores;
+// the graph itself stores no payloads, only connectivity — exactly the
+// "labeled join index" role the paper assigns it.
+package agraph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// NodeKind discriminates the entity a node reference points at.
+type NodeKind uint8
+
+// Node kinds in the a-graph.
+const (
+	// ContentNode references a node of an annotation's XML content tree.
+	ContentNode NodeKind = iota
+	// ReferentNode references a marked sub-structure (an interval-tree or
+	// R-tree entry, or a structural mark).
+	ReferentNode
+	// TermNode references an ontology term.
+	TermNode
+	// ObjectNode references a registered data object (a relational row).
+	ObjectNode
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case ContentNode:
+		return "content"
+	case ReferentNode:
+		return "referent"
+	case TermNode:
+		return "term"
+	case ObjectNode:
+		return "object"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// NodeRef identifies a node. Key encodes the target entity; constructors
+// below produce canonical keys.
+type NodeRef struct {
+	Kind NodeKind
+	Key  string
+}
+
+func (r NodeRef) String() string { return r.Kind.String() + ":" + r.Key }
+
+// Content references node xmlNode of annotation ann's content document.
+func Content(ann uint64, xmlNode uint64) NodeRef {
+	return NodeRef{ContentNode, fmt.Sprintf("%d/%d", ann, xmlNode)}
+}
+
+// ContentRoot references the root of annotation ann's content document.
+func ContentRoot(ann uint64) NodeRef { return Content(ann, 1) }
+
+// Referent references a marked sub-structure by referent ID.
+func Referent(id uint64) NodeRef {
+	return NodeRef{ReferentNode, fmt.Sprintf("%d", id)}
+}
+
+// Term references a term of a named ontology.
+func Term(ontology, termID string) NodeRef {
+	return NodeRef{TermNode, ontology + "/" + termID}
+}
+
+// Object references a data object stored as row key of a table.
+func Object(table, key string) NodeRef {
+	return NodeRef{ObjectNode, table + "/" + key}
+}
+
+// EdgeLabel labels a-graph edges.
+type EdgeLabel string
+
+// Standard labels used by the annotation store.
+const (
+	// LabelAnnotates connects an annotation content to a referent.
+	LabelAnnotates EdgeLabel = "annotates"
+	// LabelRefersTo connects an annotation content to an ontology term.
+	LabelRefersTo EdgeLabel = "refersTo"
+	// LabelMarks connects a referent to the data object it marks.
+	LabelMarks EdgeLabel = "marks"
+	// LabelAbout connects an annotation content to a data object directly.
+	LabelAbout EdgeLabel = "about"
+)
+
+// Edge is a directed labeled edge. ID is unique within a Graph.
+type Edge struct {
+	ID    uint64
+	From  NodeRef
+	To    NodeRef
+	Label EdgeLabel
+}
+
+// Errors reported by graph operations.
+var (
+	ErrNoSuchNode = errors.New("agraph: no such node")
+	ErrNoSuchEdge = errors.New("agraph: no such edge")
+	ErrNoPath     = errors.New("agraph: no path")
+	ErrTerminals  = errors.New("agraph: connect needs at least two distinct terminals")
+)
+
+type halfEdge struct {
+	peer    NodeRef
+	edge    *Edge
+	forward bool // true when edge.From is the owner of this adjacency list
+}
+
+// Graph is a directed labeled multigraph. All methods are safe for
+// concurrent use.
+type Graph struct {
+	mu     sync.RWMutex
+	adj    map[NodeRef][]halfEdge
+	edges  map[uint64]*Edge
+	nextID uint64
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		adj:   make(map[NodeRef][]halfEdge),
+		edges: make(map[uint64]*Edge),
+	}
+}
+
+// AddNode ensures the node exists (isolated nodes are allowed).
+func (g *Graph) AddNode(ref NodeRef) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.adj[ref]; !ok {
+		g.adj[ref] = nil
+	}
+}
+
+// HasNode reports whether the node exists.
+func (g *Graph) HasNode(ref NodeRef) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	_, ok := g.adj[ref]
+	return ok
+}
+
+// AddEdge inserts a directed labeled edge, creating endpoints as needed,
+// and returns the edge ID. Parallel edges (same endpoints, same or
+// different labels) are permitted — the a-graph is a multigraph.
+func (g *Graph) AddEdge(from, to NodeRef, label EdgeLabel) uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.nextID++
+	e := &Edge{ID: g.nextID, From: from, To: to, Label: label}
+	g.edges[e.ID] = e
+	g.adj[from] = append(g.adj[from], halfEdge{peer: to, edge: e, forward: true})
+	g.adj[to] = append(g.adj[to], halfEdge{peer: from, edge: e, forward: false})
+	return e.ID
+}
+
+// RemoveEdge deletes the edge with the given ID.
+func (g *Graph) RemoveEdge(id uint64) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	e, ok := g.edges[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchEdge, id)
+	}
+	delete(g.edges, id)
+	g.adj[e.From] = dropEdge(g.adj[e.From], id)
+	g.adj[e.To] = dropEdge(g.adj[e.To], id)
+	return nil
+}
+
+func dropEdge(hs []halfEdge, id uint64) []halfEdge {
+	for i, h := range hs {
+		if h.edge.ID == id {
+			hs[i] = hs[len(hs)-1]
+			return hs[:len(hs)-1]
+		}
+	}
+	return hs
+}
+
+// RemoveNode deletes a node and all incident edges.
+func (g *Graph) RemoveNode(ref NodeRef) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	hs, ok := g.adj[ref]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrNoSuchNode, ref)
+	}
+	for _, h := range hs {
+		delete(g.edges, h.edge.ID)
+		if h.peer != ref {
+			g.adj[h.peer] = dropEdge(g.adj[h.peer], h.edge.ID)
+		}
+	}
+	delete(g.adj, ref)
+	return nil
+}
+
+// NodeCount reports the number of nodes.
+func (g *Graph) NodeCount() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.adj)
+}
+
+// EdgeCount reports the number of edges.
+func (g *Graph) EdgeCount() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.edges)
+}
+
+// Degree reports the number of incident edges (in plus out).
+func (g *Graph) Degree(ref NodeRef) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.adj[ref])
+}
+
+// Out returns the edges leaving ref, optionally filtered by label.
+func (g *Graph) Out(ref NodeRef, labels ...EdgeLabel) []Edge {
+	return g.incident(ref, true, labels)
+}
+
+// In returns the edges entering ref, optionally filtered by label.
+func (g *Graph) In(ref NodeRef, labels ...EdgeLabel) []Edge {
+	return g.incident(ref, false, labels)
+}
+
+func (g *Graph) incident(ref NodeRef, forward bool, labels []EdgeLabel) []Edge {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []Edge
+	for _, h := range g.adj[ref] {
+		if h.forward != forward {
+			continue
+		}
+		if len(labels) > 0 && !labelIn(h.edge.Label, labels) {
+			continue
+		}
+		out = append(out, *h.edge)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func labelIn(l EdgeLabel, ls []EdgeLabel) bool {
+	for _, x := range ls {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// Neighbors returns the distinct peers reachable by one edge in either
+// direction, optionally filtered by label, sorted by node key.
+func (g *Graph) Neighbors(ref NodeRef, labels ...EdgeLabel) []NodeRef {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	seen := make(map[NodeRef]bool)
+	var out []NodeRef
+	for _, h := range g.adj[ref] {
+		if len(labels) > 0 && !labelIn(h.edge.Label, labels) {
+			continue
+		}
+		if !seen[h.peer] {
+			seen[h.peer] = true
+			out = append(out, h.peer)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// Nodes returns all node refs, sorted (kind, key). Intended for tests and
+// diagnostics; O(n log n).
+func (g *Graph) Nodes() []NodeRef {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]NodeRef, 0, len(g.adj))
+	for ref := range g.adj {
+		out = append(out, ref)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// Path is a walk through the graph: Nodes has one more element than Edges
+// and Edges[i] connects Nodes[i] to Nodes[i+1] (in either direction — the
+// paper's path primitive concerns connectivity; each Edge retains its
+// stored orientation).
+type Path struct {
+	Nodes []NodeRef
+	Edges []Edge
+}
+
+// Len returns the number of edges in the path.
+func (p *Path) Len() int { return len(p.Edges) }
+
+// FindPath returns a shortest path between two nodes, traversing edges in
+// either direction (the paper's path(node1, node2) primitive).
+func (g *Graph) FindPath(a, b NodeRef) (*Path, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if _, ok := g.adj[a]; !ok {
+		return nil, fmt.Errorf("%w: %v", ErrNoSuchNode, a)
+	}
+	if _, ok := g.adj[b]; !ok {
+		return nil, fmt.Errorf("%w: %v", ErrNoSuchNode, b)
+	}
+	if a == b {
+		return &Path{Nodes: []NodeRef{a}}, nil
+	}
+	parent, found := g.bfsLocked(a, b)
+	if !found {
+		return nil, fmt.Errorf("%w: %v to %v", ErrNoPath, a, b)
+	}
+	return buildPath(parent, a, b), nil
+}
+
+type parentLink struct {
+	prev NodeRef
+	via  *Edge
+}
+
+// bfsLocked runs a breadth-first search from src, stopping early when dst
+// is reached. It returns the parent map and whether dst was found.
+func (g *Graph) bfsLocked(src, dst NodeRef) (map[NodeRef]parentLink, bool) {
+	parent := map[NodeRef]parentLink{src: {}}
+	queue := []NodeRef{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, h := range g.adj[cur] {
+			if _, seen := parent[h.peer]; seen {
+				continue
+			}
+			parent[h.peer] = parentLink{prev: cur, via: h.edge}
+			if h.peer == dst {
+				return parent, true
+			}
+			queue = append(queue, h.peer)
+		}
+	}
+	return parent, false
+}
+
+func buildPath(parent map[NodeRef]parentLink, src, dst NodeRef) *Path {
+	var revNodes []NodeRef
+	var revEdges []Edge
+	cur := dst
+	for cur != src {
+		link := parent[cur]
+		revNodes = append(revNodes, cur)
+		revEdges = append(revEdges, *link.via)
+		cur = link.prev
+	}
+	p := &Path{Nodes: make([]NodeRef, 0, len(revNodes)+1), Edges: make([]Edge, 0, len(revEdges))}
+	p.Nodes = append(p.Nodes, src)
+	for i := len(revNodes) - 1; i >= 0; i-- {
+		p.Nodes = append(p.Nodes, revNodes[i])
+	}
+	for i := len(revEdges) - 1; i >= 0; i-- {
+		p.Edges = append(p.Edges, revEdges[i])
+	}
+	return p
+}
+
+// FindPathDirected returns a shortest path from a to b following edge
+// direction only.
+func (g *Graph) FindPathDirected(a, b NodeRef) (*Path, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if _, ok := g.adj[a]; !ok {
+		return nil, fmt.Errorf("%w: %v", ErrNoSuchNode, a)
+	}
+	if _, ok := g.adj[b]; !ok {
+		return nil, fmt.Errorf("%w: %v", ErrNoSuchNode, b)
+	}
+	if a == b {
+		return &Path{Nodes: []NodeRef{a}}, nil
+	}
+	parent := map[NodeRef]parentLink{a: {}}
+	queue := []NodeRef{a}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, h := range g.adj[cur] {
+			if !h.forward {
+				continue
+			}
+			if _, seen := parent[h.peer]; seen {
+				continue
+			}
+			parent[h.peer] = parentLink{prev: cur, via: h.edge}
+			if h.peer == b {
+				return buildPath(parent, a, b), nil
+			}
+			queue = append(queue, h.peer)
+		}
+	}
+	return nil, fmt.Errorf("%w: %v to %v (directed)", ErrNoPath, a, b)
+}

@@ -1,0 +1,245 @@
+package agraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Subgraph is the result of the connect primitive: a connected piece of the
+// a-graph that contains every terminal. The paper calls this "a connection
+// subgraph intervening the given nodes"; query results "collate partial
+// results … into a set of type-extended connection subgraphs".
+type Subgraph struct {
+	Terminals []NodeRef
+	Nodes     []NodeRef
+	Edges     []Edge
+}
+
+// NodeCount returns the number of nodes in the subgraph.
+func (s *Subgraph) NodeCount() int { return len(s.Nodes) }
+
+// EdgeCount returns the number of edges in the subgraph.
+func (s *Subgraph) EdgeCount() int { return len(s.Edges) }
+
+// Contains reports whether the subgraph includes the node.
+func (s *Subgraph) Contains(ref NodeRef) bool {
+	for _, n := range s.Nodes {
+		if n == ref {
+			return true
+		}
+	}
+	return false
+}
+
+// Connected reports whether the subgraph's nodes form one connected
+// component under its own edges (ignoring direction).
+func (s *Subgraph) Connected() bool {
+	if len(s.Nodes) <= 1 {
+		return true
+	}
+	adj := make(map[NodeRef][]NodeRef, len(s.Nodes))
+	for _, e := range s.Edges {
+		adj[e.From] = append(adj[e.From], e.To)
+		adj[e.To] = append(adj[e.To], e.From)
+	}
+	seen := map[NodeRef]bool{s.Nodes[0]: true}
+	queue := []NodeRef{s.Nodes[0]}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range adj[cur] {
+			if !seen[nb] {
+				seen[nb] = true
+				queue = append(queue, nb)
+			}
+		}
+	}
+	for _, n := range s.Nodes {
+		if !seen[n] {
+			return false
+		}
+	}
+	return true
+}
+
+// ConnectStrategy selects the connection-subgraph search algorithm.
+type ConnectStrategy uint8
+
+// Strategies compared by ablation A4.
+const (
+	// PairwiseBFS unions shortest paths from the first terminal to each
+	// other terminal (k−1 full BFS runs).
+	PairwiseBFS ConnectStrategy = iota
+	// ExpandingRing grows frontiers from all terminals simultaneously and
+	// joins components where the frontiers meet; it touches far fewer
+	// nodes on large graphs.
+	ExpandingRing
+)
+
+func (s ConnectStrategy) String() string {
+	if s == ExpandingRing {
+		return "expanding-ring"
+	}
+	return "pairwise-bfs"
+}
+
+// Connect returns a connection subgraph containing all terminals, using
+// the ExpandingRing strategy (the paper's connect(node1, node2, …)).
+func (g *Graph) Connect(terminals ...NodeRef) (*Subgraph, error) {
+	return g.ConnectWithStrategy(ExpandingRing, terminals...)
+}
+
+// ConnectWithStrategy is Connect with an explicit algorithm choice.
+func (g *Graph) ConnectWithStrategy(strategy ConnectStrategy, terminals ...NodeRef) (*Subgraph, error) {
+	distinct := dedupRefs(terminals)
+	if len(distinct) < 2 {
+		return nil, ErrTerminals
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for _, t := range distinct {
+		if _, ok := g.adj[t]; !ok {
+			return nil, fmt.Errorf("%w: %v", ErrNoSuchNode, t)
+		}
+	}
+	switch strategy {
+	case PairwiseBFS:
+		return g.connectPairwiseLocked(distinct)
+	default:
+		return g.connectExpandingLocked(distinct)
+	}
+}
+
+func dedupRefs(refs []NodeRef) []NodeRef {
+	seen := make(map[NodeRef]bool, len(refs))
+	var out []NodeRef
+	for _, r := range refs {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func (g *Graph) connectPairwiseLocked(terminals []NodeRef) (*Subgraph, error) {
+	nodes := make(map[NodeRef]bool)
+	edges := make(map[uint64]Edge)
+	src := terminals[0]
+	nodes[src] = true
+	for _, dst := range terminals[1:] {
+		parent, found := g.bfsLocked(src, dst)
+		if !found {
+			return nil, fmt.Errorf("%w: %v to %v", ErrNoPath, src, dst)
+		}
+		p := buildPath(parent, src, dst)
+		for _, n := range p.Nodes {
+			nodes[n] = true
+		}
+		for _, e := range p.Edges {
+			edges[e.ID] = e
+		}
+	}
+	return assembleSubgraph(terminals, nodes, edges), nil
+}
+
+// connectExpandingLocked grows BFS frontiers from every terminal at once.
+// Each node is claimed by the first frontier to reach it; when an edge
+// joins two different components, the joining paths are added to the result
+// and the components merge. The search stops when all terminals share one
+// component.
+func (g *Graph) connectExpandingLocked(terminals []NodeRef) (*Subgraph, error) {
+	// Union-find over terminal indices.
+	comp := make([]int, len(terminals))
+	for i := range comp {
+		comp[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if comp[x] != x {
+			comp[x] = find(comp[x])
+		}
+		return comp[x]
+	}
+	union := func(a, b int) { comp[find(a)] = find(b) }
+	components := len(terminals)
+
+	owner := make(map[NodeRef]int, len(terminals)*4)
+	parent := make(map[NodeRef]parentLink, len(terminals)*4)
+	queue := make([]NodeRef, 0, len(terminals)*4)
+	for i, t := range terminals {
+		owner[t] = i
+		parent[t] = parentLink{}
+		queue = append(queue, t)
+	}
+
+	nodes := make(map[NodeRef]bool)
+	edges := make(map[uint64]Edge)
+	for _, t := range terminals {
+		nodes[t] = true
+	}
+
+	// addChain walks the parent links from n back to its terminal, adding
+	// the traversed nodes and edges to the result.
+	addChain := func(n NodeRef) {
+		cur := n
+		for {
+			nodes[cur] = true
+			link := parent[cur]
+			if link.via == nil {
+				return
+			}
+			edges[link.via.ID] = *link.via
+			cur = link.prev
+		}
+	}
+
+	for len(queue) > 0 && components > 1 {
+		cur := queue[0]
+		queue = queue[1:]
+		curComp := owner[cur]
+		for _, h := range g.adj[cur] {
+			peer := h.peer
+			if prevOwner, seen := owner[peer]; seen {
+				if find(prevOwner) != find(curComp) {
+					// Frontiers meet: join the two components through
+					// cur -(h.edge)- peer.
+					addChain(cur)
+					addChain(peer)
+					edges[h.edge.ID] = *h.edge
+					union(prevOwner, curComp)
+					components--
+					if components == 1 {
+						break
+					}
+				}
+				continue
+			}
+			owner[peer] = curComp
+			parent[peer] = parentLink{prev: cur, via: h.edge}
+			queue = append(queue, peer)
+		}
+	}
+	if components > 1 {
+		return nil, fmt.Errorf("%w: terminals are not all connected", ErrNoPath)
+	}
+	return assembleSubgraph(terminals, nodes, edges), nil
+}
+
+func assembleSubgraph(terminals []NodeRef, nodes map[NodeRef]bool, edges map[uint64]Edge) *Subgraph {
+	s := &Subgraph{Terminals: append([]NodeRef(nil), terminals...)}
+	for n := range nodes {
+		s.Nodes = append(s.Nodes, n)
+	}
+	sort.Slice(s.Nodes, func(i, j int) bool {
+		if s.Nodes[i].Kind != s.Nodes[j].Kind {
+			return s.Nodes[i].Kind < s.Nodes[j].Kind
+		}
+		return s.Nodes[i].Key < s.Nodes[j].Key
+	})
+	for _, e := range edges {
+		s.Edges = append(s.Edges, e)
+	}
+	sort.Slice(s.Edges, func(i, j int) bool { return s.Edges[i].ID < s.Edges[j].ID })
+	return s
+}

@@ -1,0 +1,263 @@
+// Package seq models the 1-D sequence data types annotated in Graphitti's
+// demo studies: DNA, RNA and protein sequences.
+//
+// The paper's Avian-Influenza study registers "DNA sequences, RNA
+// sequences" (among others) and stores their metadata in type-specific
+// relations; annotated sub-intervals live in per-chromosome interval trees
+// ("a single interval tree is created per chromosome instead of per
+// annotated DNA sequence"). Sequences here therefore carry the coordinate
+// domain (chromosome/segment) they are addressed in, plus their offset
+// within it, so marks can be normalised into the shared domain.
+package seq
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"graphitti/internal/interval"
+)
+
+// Kind is the molecular alphabet of a sequence.
+type Kind uint8
+
+// Sequence kinds.
+const (
+	DNA Kind = iota
+	RNA
+	Protein
+)
+
+func (k Kind) String() string {
+	switch k {
+	case DNA:
+		return "dna"
+	case RNA:
+		return "rna"
+	case Protein:
+		return "protein"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Errors reported by sequence operations.
+var (
+	ErrAlphabet = errors.New("seq: residue outside alphabet")
+	ErrRange    = errors.New("seq: interval outside sequence")
+	ErrKind     = errors.New("seq: operation not defined for this kind")
+	ErrFormat   = errors.New("seq: bad FASTA")
+)
+
+var alphabets = map[Kind]string{
+	DNA:     "ACGTN",
+	RNA:     "ACGUN",
+	Protein: "ACDEFGHIKLMNPQRSTVWYX*",
+}
+
+// Sequence is a biological sequence registered with Graphitti.
+type Sequence struct {
+	// ID is the accession (e.g. "NC_007362").
+	ID string
+	// Description is the free-text FASTA description.
+	Description string
+	Kind        Kind
+	// Residues holds the upper-case residue letters.
+	Residues string
+	// Domain names the shared coordinate domain (chromosome, genome
+	// segment, or protein family axis) this sequence is addressed in.
+	Domain string
+	// Offset is the 0-based position of residue 0 within Domain.
+	Offset int64
+}
+
+// New validates residues against the alphabet for kind and returns a
+// sequence. Lower-case input is accepted and upper-cased.
+func New(id string, kind Kind, residues string) (*Sequence, error) {
+	up := strings.ToUpper(residues)
+	alpha := alphabets[kind]
+	for i := 0; i < len(up); i++ {
+		if !strings.ContainsRune(alpha, rune(up[i])) {
+			return nil, fmt.Errorf("%w: %q at %d in %s", ErrAlphabet, up[i], i, id)
+		}
+	}
+	return &Sequence{ID: id, Kind: kind, Residues: up}, nil
+}
+
+// Len returns the number of residues.
+func (s *Sequence) Len() int64 { return int64(len(s.Residues)) }
+
+// Span returns the sequence's extent in its coordinate domain.
+func (s *Sequence) Span() interval.Interval {
+	return interval.Interval{Lo: s.Offset, Hi: s.Offset + s.Len()}
+}
+
+// Subsequence returns the residues of the local interval [iv.Lo, iv.Hi)
+// (0-based, relative to the sequence start).
+func (s *Sequence) Subsequence(iv interval.Interval) (string, error) {
+	if !iv.Valid() || iv.Lo < 0 || iv.Hi > s.Len() {
+		return "", fmt.Errorf("%w: %v in %s (len %d)", ErrRange, iv, s.ID, s.Len())
+	}
+	return s.Residues[iv.Lo:iv.Hi], nil
+}
+
+// ToDomain maps a local interval into the shared coordinate domain.
+func (s *Sequence) ToDomain(iv interval.Interval) (interval.Interval, error) {
+	if !iv.Valid() || iv.Lo < 0 || iv.Hi > s.Len() {
+		return interval.Interval{}, fmt.Errorf("%w: %v in %s", ErrRange, iv, s.ID)
+	}
+	return interval.Interval{Lo: s.Offset + iv.Lo, Hi: s.Offset + iv.Hi}, nil
+}
+
+// FromDomain maps a domain interval back into local coordinates, clipping
+// to the sequence extent; ok is false when the interval misses the
+// sequence entirely.
+func (s *Sequence) FromDomain(iv interval.Interval) (interval.Interval, bool) {
+	clipped, ok := iv.Intersect(s.Span())
+	if !ok {
+		return interval.Interval{}, false
+	}
+	return interval.Interval{Lo: clipped.Lo - s.Offset, Hi: clipped.Hi - s.Offset}, true
+}
+
+// GC returns the G+C fraction of a DNA/RNA sequence.
+func (s *Sequence) GC() (float64, error) {
+	if s.Kind == Protein {
+		return 0, fmt.Errorf("%w: GC of protein %s", ErrKind, s.ID)
+	}
+	if s.Len() == 0 {
+		return 0, nil
+	}
+	n := 0
+	for i := 0; i < len(s.Residues); i++ {
+		if s.Residues[i] == 'G' || s.Residues[i] == 'C' {
+			n++
+		}
+	}
+	return float64(n) / float64(s.Len()), nil
+}
+
+var dnaComplement = map[byte]byte{'A': 'T', 'T': 'A', 'C': 'G', 'G': 'C', 'N': 'N'}
+var rnaComplement = map[byte]byte{'A': 'U', 'U': 'A', 'C': 'G', 'G': 'C', 'N': 'N'}
+
+// ReverseComplement returns the reverse complement of a DNA or RNA
+// sequence.
+func (s *Sequence) ReverseComplement() (*Sequence, error) {
+	var table map[byte]byte
+	switch s.Kind {
+	case DNA:
+		table = dnaComplement
+	case RNA:
+		table = rnaComplement
+	default:
+		return nil, fmt.Errorf("%w: reverse complement of protein %s", ErrKind, s.ID)
+	}
+	out := make([]byte, len(s.Residues))
+	for i := 0; i < len(s.Residues); i++ {
+		out[len(out)-1-i] = table[s.Residues[i]]
+	}
+	rc := *s
+	rc.ID = s.ID + ".rc"
+	rc.Residues = string(out)
+	return &rc, nil
+}
+
+// Transcribe converts a DNA sequence to RNA (T -> U).
+func (s *Sequence) Transcribe() (*Sequence, error) {
+	if s.Kind != DNA {
+		return nil, fmt.Errorf("%w: transcribe %s", ErrKind, s.Kind)
+	}
+	out := *s
+	out.ID = s.ID + ".rna"
+	out.Kind = RNA
+	out.Residues = strings.ReplaceAll(s.Residues, "T", "U")
+	return &out, nil
+}
+
+// ParseFASTA reads sequences of the given kind from FASTA text.
+func ParseFASTA(r io.Reader, kind Kind) ([]*Sequence, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
+	var out []*Sequence
+	var id, desc string
+	var body strings.Builder
+	flush := func() error {
+		if id == "" {
+			return nil
+		}
+		s, err := New(id, kind, body.String())
+		if err != nil {
+			return err
+		}
+		s.Description = desc
+		out = append(out, s)
+		body.Reset()
+		return nil
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line[0] == '>' {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			header := strings.TrimSpace(line[1:])
+			if header == "" {
+				return nil, fmt.Errorf("%w: empty header at line %d", ErrFormat, lineNo)
+			}
+			parts := strings.SplitN(header, " ", 2)
+			id = parts[0]
+			desc = ""
+			if len(parts) == 2 {
+				desc = parts[1]
+			}
+			continue
+		}
+		if id == "" {
+			return nil, fmt.Errorf("%w: sequence data before header at line %d", ErrFormat, lineNo)
+		}
+		body.WriteString(line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("seq: fasta read: %w", err)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: no sequences", ErrFormat)
+	}
+	return out, nil
+}
+
+// ParseFASTAString parses FASTA text from a string.
+func ParseFASTAString(s string, kind Kind) ([]*Sequence, error) {
+	return ParseFASTA(strings.NewReader(s), kind)
+}
+
+// WriteFASTA writes sequences in FASTA format with 70-column wrapping.
+func WriteFASTA(w io.Writer, seqs ...*Sequence) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range seqs {
+		if s.Description != "" {
+			fmt.Fprintf(bw, ">%s %s\n", s.ID, s.Description)
+		} else {
+			fmt.Fprintf(bw, ">%s\n", s.ID)
+		}
+		for i := 0; i < len(s.Residues); i += 70 {
+			end := i + 70
+			if end > len(s.Residues) {
+				end = len(s.Residues)
+			}
+			bw.WriteString(s.Residues[i:end])
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}

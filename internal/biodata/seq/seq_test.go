@@ -1,0 +1,261 @@
+package seq
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"graphitti/internal/interval"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("a", DNA, "acgtn"); err != nil {
+		t.Fatalf("lower-case DNA rejected: %v", err)
+	}
+	if _, err := New("a", DNA, "ACGU"); !errors.Is(err, ErrAlphabet) {
+		t.Fatalf("U in DNA: err = %v", err)
+	}
+	if _, err := New("a", RNA, "ACGU"); err != nil {
+		t.Fatalf("RNA rejected: %v", err)
+	}
+	if _, err := New("a", RNA, "ACGT"); !errors.Is(err, ErrAlphabet) {
+		t.Fatalf("T in RNA: err = %v", err)
+	}
+	if _, err := New("p", Protein, "MKVLAW*"); err != nil {
+		t.Fatalf("protein rejected: %v", err)
+	}
+	if _, err := New("p", Protein, "MKB"); !errors.Is(err, ErrAlphabet) {
+		t.Fatalf("B in protein: err = %v", err)
+	}
+	if _, err := New("e", DNA, ""); err != nil {
+		t.Fatalf("empty sequence should be allowed: %v", err)
+	}
+}
+
+func TestSubsequenceAndSpan(t *testing.T) {
+	s, _ := New("x", DNA, "ACGTACGT")
+	s.Domain = "chr1"
+	s.Offset = 100
+
+	sub, err := s.Subsequence(interval.Interval{Lo: 2, Hi: 6})
+	if err != nil || sub != "GTAC" {
+		t.Fatalf("Subsequence = %q, %v", sub, err)
+	}
+	if _, err := s.Subsequence(interval.Interval{Lo: 4, Hi: 9}); !errors.Is(err, ErrRange) {
+		t.Fatalf("out of range: err = %v", err)
+	}
+	if _, err := s.Subsequence(interval.Interval{Lo: 5, Hi: 5}); !errors.Is(err, ErrRange) {
+		t.Fatalf("empty interval: err = %v", err)
+	}
+	if got := s.Span(); got != (interval.Interval{Lo: 100, Hi: 108}) {
+		t.Fatalf("Span = %v", got)
+	}
+}
+
+func TestDomainMapping(t *testing.T) {
+	s, _ := New("x", DNA, "ACGTACGT")
+	s.Domain = "chr1"
+	s.Offset = 1000
+
+	dom, err := s.ToDomain(interval.Interval{Lo: 2, Hi: 5})
+	if err != nil || dom != (interval.Interval{Lo: 1002, Hi: 1005}) {
+		t.Fatalf("ToDomain = %v, %v", dom, err)
+	}
+	back, ok := s.FromDomain(dom)
+	if !ok || back != (interval.Interval{Lo: 2, Hi: 5}) {
+		t.Fatalf("FromDomain = %v, %v", back, ok)
+	}
+	// Clipping.
+	clip, ok := s.FromDomain(interval.Interval{Lo: 990, Hi: 1003})
+	if !ok || clip != (interval.Interval{Lo: 0, Hi: 3}) {
+		t.Fatalf("clipped FromDomain = %v, %v", clip, ok)
+	}
+	if _, ok := s.FromDomain(interval.Interval{Lo: 0, Hi: 10}); ok {
+		t.Fatal("disjoint interval mapped")
+	}
+	if _, err := s.ToDomain(interval.Interval{Lo: -1, Hi: 2}); !errors.Is(err, ErrRange) {
+		t.Fatalf("negative: err = %v", err)
+	}
+}
+
+func TestGC(t *testing.T) {
+	s, _ := New("x", DNA, "GGCC")
+	gc, err := s.GC()
+	if err != nil || gc != 1.0 {
+		t.Fatalf("GC = %v, %v", gc, err)
+	}
+	s2, _ := New("y", DNA, "ATGC")
+	gc, _ = s2.GC()
+	if gc != 0.5 {
+		t.Fatalf("GC = %v", gc)
+	}
+	p, _ := New("p", Protein, "MKV")
+	if _, err := p.GC(); !errors.Is(err, ErrKind) {
+		t.Fatalf("GC of protein: err = %v", err)
+	}
+	empty, _ := New("e", DNA, "")
+	if gc, err := empty.GC(); err != nil || gc != 0 {
+		t.Fatalf("GC of empty = %v, %v", gc, err)
+	}
+}
+
+func TestReverseComplement(t *testing.T) {
+	s, _ := New("x", DNA, "AACGT")
+	rc, err := s.ReverseComplement()
+	if err != nil || rc.Residues != "ACGTT" {
+		t.Fatalf("RC = %v, %v", rc, err)
+	}
+	// Involution.
+	rc2, _ := rc.ReverseComplement()
+	if rc2.Residues != s.Residues {
+		t.Fatal("double reverse complement must be identity")
+	}
+	r, _ := New("r", RNA, "AACGU")
+	rrc, err := r.ReverseComplement()
+	if err != nil || rrc.Residues != "ACGUU" {
+		t.Fatalf("RNA RC = %v, %v", rrc, err)
+	}
+	p, _ := New("p", Protein, "MKV")
+	if _, err := p.ReverseComplement(); !errors.Is(err, ErrKind) {
+		t.Fatalf("protein RC: err = %v", err)
+	}
+}
+
+func TestTranscribe(t *testing.T) {
+	s, _ := New("x", DNA, "ATGCTT")
+	r, err := s.Transcribe()
+	if err != nil || r.Residues != "AUGCUU" || r.Kind != RNA {
+		t.Fatalf("Transcribe = %v, %v", r, err)
+	}
+	if _, err := r.Transcribe(); !errors.Is(err, ErrKind) {
+		t.Fatalf("transcribe RNA: err = %v", err)
+	}
+}
+
+const fastaSample = `>NC_007362 Influenza A segment 1
+ACGTACGTAC
+GTACGT
+>NC_007363 Influenza A segment 2
+TTTTGGGG
+`
+
+func TestParseFASTA(t *testing.T) {
+	seqs, err := ParseFASTAString(fastaSample, DNA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 2 {
+		t.Fatalf("parsed %d sequences", len(seqs))
+	}
+	if seqs[0].ID != "NC_007362" || seqs[0].Description != "Influenza A segment 1" {
+		t.Fatalf("header = %q / %q", seqs[0].ID, seqs[0].Description)
+	}
+	if seqs[0].Residues != "ACGTACGTACGTACGT" {
+		t.Fatalf("residues = %q (continuation lines must concatenate)", seqs[0].Residues)
+	}
+	if seqs[1].Len() != 8 {
+		t.Fatalf("second len = %d", seqs[1].Len())
+	}
+}
+
+func TestParseFASTAErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"ACGT\n",
+		">\nACGT\n",
+		">ok\nACGU\n", // U in DNA
+	}
+	for i, src := range cases {
+		if _, err := ParseFASTAString(src, DNA); err == nil {
+			t.Errorf("case %d: no error", i)
+		}
+	}
+}
+
+func TestFASTARoundTrip(t *testing.T) {
+	seqs, err := ParseFASTAString(fastaSample, DNA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Add one long sequence to exercise wrapping.
+	long, _ := New("LONG", DNA, strings.Repeat("ACGT", 100))
+	long.Description = "400 residues"
+	seqs = append(seqs, long)
+
+	var sb strings.Builder
+	if err := WriteFASTA(&sb, seqs...); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseFASTAString(sb.String(), DNA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(seqs) {
+		t.Fatalf("round trip count = %d", len(back))
+	}
+	for i := range seqs {
+		if back[i].ID != seqs[i].ID || back[i].Residues != seqs[i].Residues ||
+			back[i].Description != seqs[i].Description {
+			t.Fatalf("sequence %d changed in round trip", i)
+		}
+	}
+	// Wrapped lines must not exceed 70 chars.
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if len(line) > 71 {
+			t.Fatalf("line too long: %d chars", len(line))
+		}
+	}
+}
+
+// TestQuickDomainRoundTrip: ToDomain then FromDomain is the identity for
+// in-range intervals.
+func TestQuickDomainRoundTrip(t *testing.T) {
+	check := func(offRaw uint16, lo, width uint8, seqLen uint8) bool {
+		n := int(seqLen%100) + 10
+		s, err := New("q", DNA, strings.Repeat("A", n))
+		if err != nil {
+			return false
+		}
+		s.Offset = int64(offRaw)
+		l := int64(lo) % int64(n)
+		w := int64(width)%int64(n-int(l)) + 1
+		iv := interval.Interval{Lo: l, Hi: l + w}
+		dom, err := s.ToDomain(iv)
+		if err != nil {
+			return false
+		}
+		back, ok := s.FromDomain(dom)
+		return ok && back == iv
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickReverseComplementInvolution over random DNA.
+func TestQuickReverseComplementInvolution(t *testing.T) {
+	letters := "ACGTN"
+	check := func(raw []byte) bool {
+		var sb strings.Builder
+		for _, b := range raw {
+			sb.WriteByte(letters[int(b)%len(letters)])
+		}
+		s, err := New("q", DNA, sb.String())
+		if err != nil {
+			return false
+		}
+		rc, err := s.ReverseComplement()
+		if err != nil {
+			return false
+		}
+		rc2, err := rc.ReverseComplement()
+		if err != nil {
+			return false
+		}
+		return rc2.Residues == s.Residues && len(rc.Residues) == len(s.Residues)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

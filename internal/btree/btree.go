@@ -1,0 +1,551 @@
+// Package btree implements an in-memory B-tree ordered map.
+//
+// The tree is generic over its key and value types; ordering is supplied by
+// a comparison function at construction time. It is the ordered container
+// underlying the relational store's ordered secondary indexes and several
+// bookkeeping structures elsewhere in Graphitti.
+//
+// The zero value is not usable; construct trees with New. Trees are not
+// safe for concurrent mutation; callers that share a tree across goroutines
+// must synchronise externally (relstore does so with its table locks).
+package btree
+
+import "fmt"
+
+// Cmp compares two keys. It returns a negative number when a < b, zero when
+// a == b and a positive number when a > b.
+type Cmp[K any] func(a, b K) int
+
+// defaultDegree is the minimum number of children of an internal node
+// (except the root). 32 keeps nodes around two cache lines for small keys
+// and gives trees of height <= 4 up to ~1e6 entries.
+const defaultDegree = 32
+
+// Tree is an ordered map from K to V.
+type Tree[K, V any] struct {
+	cmp    Cmp[K]
+	root   *node[K, V]
+	length int
+	degree int
+}
+
+type item[K, V any] struct {
+	key K
+	val V
+}
+
+type node[K, V any] struct {
+	items    []item[K, V]
+	children []*node[K, V] // nil for leaves
+}
+
+func (n *node[K, V]) leaf() bool { return len(n.children) == 0 }
+
+// New returns an empty tree ordered by cmp.
+func New[K, V any](cmp Cmp[K]) *Tree[K, V] {
+	return NewWithDegree[K, V](cmp, defaultDegree)
+}
+
+// NewWithDegree returns an empty tree with the given minimum degree.
+// The degree must be at least 2.
+func NewWithDegree[K, V any](cmp Cmp[K], degree int) *Tree[K, V] {
+	if cmp == nil {
+		panic("btree: nil comparison function")
+	}
+	if degree < 2 {
+		panic(fmt.Sprintf("btree: degree %d < 2", degree))
+	}
+	return &Tree[K, V]{cmp: cmp, degree: degree}
+}
+
+// Len reports the number of entries in the tree.
+func (t *Tree[K, V]) Len() int { return t.length }
+
+// maxItems is the largest number of items a node may hold.
+func (t *Tree[K, V]) maxItems() int { return 2*t.degree - 1 }
+
+// minItems is the smallest number of items a non-root node may hold.
+func (t *Tree[K, V]) minItems() int { return t.degree - 1 }
+
+// search returns the index of the first item in n whose key is >= key, and
+// whether that item's key equals key.
+func (t *Tree[K, V]) search(n *node[K, V], key K) (int, bool) {
+	lo, hi := 0, len(n.items)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.cmp(n.items[mid].key, key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(n.items) && t.cmp(n.items[lo].key, key) == 0 {
+		return lo, true
+	}
+	return lo, false
+}
+
+// Get returns the value stored under key, and whether it was present.
+func (t *Tree[K, V]) Get(key K) (V, bool) {
+	n := t.root
+	for n != nil {
+		i, ok := t.search(n, key)
+		if ok {
+			return n.items[i].val, true
+		}
+		if n.leaf() {
+			break
+		}
+		n = n.children[i]
+	}
+	var zero V
+	return zero, false
+}
+
+// Has reports whether key is present.
+func (t *Tree[K, V]) Has(key K) bool {
+	_, ok := t.Get(key)
+	return ok
+}
+
+// Set stores val under key, replacing any existing value. It returns the
+// previous value and whether one was replaced.
+func (t *Tree[K, V]) Set(key K, val V) (V, bool) {
+	var zero V
+	if t.root == nil {
+		t.root = &node[K, V]{items: []item[K, V]{{key, val}}}
+		t.length = 1
+		return zero, false
+	}
+	if len(t.root.items) >= t.maxItems() {
+		mid, right := t.split(t.root)
+		old := t.root
+		t.root = &node[K, V]{
+			items:    []item[K, V]{mid},
+			children: []*node[K, V]{old, right},
+		}
+	}
+	prev, replaced := t.insertNonFull(t.root, key, val)
+	if !replaced {
+		t.length++
+	}
+	return prev, replaced
+}
+
+// split divides the full node n around its median item, returning the
+// median and the new right sibling. n keeps the items before the median.
+func (t *Tree[K, V]) split(n *node[K, V]) (item[K, V], *node[K, V]) {
+	mid := len(n.items) / 2
+	median := n.items[mid]
+	right := &node[K, V]{}
+	right.items = append(right.items, n.items[mid+1:]...)
+	n.items = n.items[:mid]
+	if !n.leaf() {
+		right.children = append(right.children, n.children[mid+1:]...)
+		n.children = n.children[:mid+1]
+	}
+	return median, right
+}
+
+func (t *Tree[K, V]) insertNonFull(n *node[K, V], key K, val V) (V, bool) {
+	for {
+		i, ok := t.search(n, key)
+		if ok {
+			prev := n.items[i].val
+			n.items[i].val = val
+			return prev, true
+		}
+		if n.leaf() {
+			n.items = append(n.items, item[K, V]{})
+			copy(n.items[i+1:], n.items[i:])
+			n.items[i] = item[K, V]{key, val}
+			var zero V
+			return zero, false
+		}
+		child := n.children[i]
+		if len(child.items) >= t.maxItems() {
+			median, right := t.split(child)
+			n.items = append(n.items, item[K, V]{})
+			copy(n.items[i+1:], n.items[i:])
+			n.items[i] = median
+			n.children = append(n.children, nil)
+			copy(n.children[i+2:], n.children[i+1:])
+			n.children[i+1] = right
+			switch c := t.cmp(key, median.key); {
+			case c == 0:
+				prev := n.items[i].val
+				n.items[i].val = val
+				return prev, true
+			case c > 0:
+				child = n.children[i+1]
+			}
+		}
+		n = child
+	}
+}
+
+// Delete removes key from the tree. It returns the removed value and
+// whether the key was present.
+func (t *Tree[K, V]) Delete(key K) (V, bool) {
+	var zero V
+	if t.root == nil {
+		return zero, false
+	}
+	val, ok := t.remove(t.root, key)
+	if len(t.root.items) == 0 && !t.root.leaf() {
+		t.root = t.root.children[0]
+	}
+	if len(t.root.items) == 0 && t.root.leaf() {
+		t.root = nil
+	}
+	if ok {
+		t.length--
+	}
+	return val, ok
+}
+
+func (t *Tree[K, V]) remove(n *node[K, V], key K) (V, bool) {
+	var zero V
+	i, found := t.search(n, key)
+	if n.leaf() {
+		if !found {
+			return zero, false
+		}
+		val := n.items[i].val
+		n.items = append(n.items[:i], n.items[i+1:]...)
+		return val, true
+	}
+	if found {
+		// Replace with predecessor (max of left subtree), then delete
+		// the predecessor from that subtree.
+		val := n.items[i].val
+		child := t.prepareChild(n, i, key)
+		// prepareChild may have rebalanced; re-search.
+		j, stillHere := t.search(n, key)
+		if !stillHere {
+			// The key moved into the merged child; recurse.
+			_, _ = t.remove(child, key)
+			return val, true
+		}
+		pred := t.deleteMax(n.children[j])
+		n.items[j] = pred
+		return val, true
+	}
+	child := t.prepareChild(n, i, key)
+	return t.remove(child, key)
+}
+
+// deleteMax removes and returns the maximum item of the subtree rooted at n,
+// rebalancing along the way.
+func (t *Tree[K, V]) deleteMax(n *node[K, V]) item[K, V] {
+	for {
+		if n.leaf() {
+			it := n.items[len(n.items)-1]
+			n.items = n.items[:len(n.items)-1]
+			return it
+		}
+		i := len(n.children) - 1
+		if len(n.children[i].items) <= t.minItems() {
+			t.fixChild(n, i)
+			i = len(n.children) - 1
+		}
+		n = n.children[i]
+	}
+}
+
+// prepareChild ensures n.children[i] has more than minItems items before we
+// descend into it, borrowing from siblings or merging as needed. It returns
+// the child to descend into (which may differ after a merge).
+func (t *Tree[K, V]) prepareChild(n *node[K, V], i int, key K) *node[K, V] {
+	if len(n.children[i].items) > t.minItems() {
+		return n.children[i]
+	}
+	i = t.fixChild(n, i)
+	// After a merge the separating item may have moved; re-locate.
+	j, _ := t.search(n, key)
+	if j >= len(n.children) {
+		j = len(n.children) - 1
+	}
+	_ = i
+	return n.children[j]
+}
+
+// fixChild grows n.children[i] by borrowing from a sibling or merging with
+// one; it returns the index of the (possibly merged) child.
+func (t *Tree[K, V]) fixChild(n *node[K, V], i int) int {
+	child := n.children[i]
+	if i > 0 && len(n.children[i-1].items) > t.minItems() {
+		// Borrow from left sibling through the separator.
+		left := n.children[i-1]
+		child.items = append(child.items, item[K, V]{})
+		copy(child.items[1:], child.items)
+		child.items[0] = n.items[i-1]
+		n.items[i-1] = left.items[len(left.items)-1]
+		left.items = left.items[:len(left.items)-1]
+		if !left.leaf() {
+			child.children = append(child.children, nil)
+			copy(child.children[1:], child.children)
+			child.children[0] = left.children[len(left.children)-1]
+			left.children = left.children[:len(left.children)-1]
+		}
+		return i
+	}
+	if i < len(n.children)-1 && len(n.children[i+1].items) > t.minItems() {
+		// Borrow from right sibling through the separator.
+		right := n.children[i+1]
+		child.items = append(child.items, n.items[i])
+		n.items[i] = right.items[0]
+		right.items = append(right.items[:0], right.items[1:]...)
+		if !right.leaf() {
+			child.children = append(child.children, right.children[0])
+			right.children = append(right.children[:0], right.children[1:]...)
+		}
+		return i
+	}
+	// Merge with a sibling.
+	if i == len(n.children)-1 {
+		i--
+	}
+	left, right := n.children[i], n.children[i+1]
+	left.items = append(left.items, n.items[i])
+	left.items = append(left.items, right.items...)
+	left.children = append(left.children, right.children...)
+	n.items = append(n.items[:i], n.items[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+	return i
+}
+
+// Min returns the smallest key and its value. ok is false for an empty tree.
+func (t *Tree[K, V]) Min() (key K, val V, ok bool) {
+	n := t.root
+	if n == nil {
+		return key, val, false
+	}
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	it := n.items[0]
+	return it.key, it.val, true
+}
+
+// Max returns the largest key and its value. ok is false for an empty tree.
+func (t *Tree[K, V]) Max() (key K, val V, ok bool) {
+	n := t.root
+	if n == nil {
+		return key, val, false
+	}
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	it := n.items[len(n.items)-1]
+	return it.key, it.val, true
+}
+
+// Ascend visits every entry in ascending key order until fn returns false.
+func (t *Tree[K, V]) Ascend(fn func(key K, val V) bool) {
+	t.ascend(t.root, fn)
+}
+
+func (t *Tree[K, V]) ascend(n *node[K, V], fn func(K, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	for i, it := range n.items {
+		if !n.leaf() && !t.ascend(n.children[i], fn) {
+			return false
+		}
+		if !fn(it.key, it.val) {
+			return false
+		}
+	}
+	if !n.leaf() {
+		return t.ascend(n.children[len(n.children)-1], fn)
+	}
+	return true
+}
+
+// Descend visits every entry in descending key order until fn returns false.
+func (t *Tree[K, V]) Descend(fn func(key K, val V) bool) {
+	t.descend(t.root, fn)
+}
+
+func (t *Tree[K, V]) descend(n *node[K, V], fn func(K, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	for i := len(n.items) - 1; i >= 0; i-- {
+		if !n.leaf() && !t.descend(n.children[i+1], fn) {
+			return false
+		}
+		if !fn(n.items[i].key, n.items[i].val) {
+			return false
+		}
+	}
+	if !n.leaf() {
+		return t.descend(n.children[0], fn)
+	}
+	return true
+}
+
+// AscendRange visits entries with lo <= key < hi in ascending order until fn
+// returns false.
+func (t *Tree[K, V]) AscendRange(lo, hi K, fn func(key K, val V) bool) {
+	t.ascendRange(t.root, lo, hi, fn)
+}
+
+func (t *Tree[K, V]) ascendRange(n *node[K, V], lo, hi K, fn func(K, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	start, _ := t.search(n, lo)
+	for i := start; i < len(n.items); i++ {
+		if !n.leaf() && !t.ascendRange(n.children[i], lo, hi, fn) {
+			return false
+		}
+		if t.cmp(n.items[i].key, hi) >= 0 {
+			return false
+		}
+		if !fn(n.items[i].key, n.items[i].val) {
+			return false
+		}
+	}
+	if !n.leaf() {
+		return t.ascendRange(n.children[len(n.children)-1], lo, hi, fn)
+	}
+	return true
+}
+
+// AscendGreaterOrEqual visits entries with key >= pivot in ascending order
+// until fn returns false.
+func (t *Tree[K, V]) AscendGreaterOrEqual(pivot K, fn func(key K, val V) bool) {
+	t.ascendGE(t.root, pivot, fn)
+}
+
+func (t *Tree[K, V]) ascendGE(n *node[K, V], pivot K, fn func(K, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	start, _ := t.search(n, pivot)
+	for i := start; i < len(n.items); i++ {
+		if !n.leaf() && !t.ascendGE(n.children[i], pivot, fn) {
+			return false
+		}
+		if !fn(n.items[i].key, n.items[i].val) {
+			return false
+		}
+	}
+	if !n.leaf() {
+		return t.ascendGE(n.children[len(n.children)-1], pivot, fn)
+	}
+	return true
+}
+
+// DescendLessOrEqual visits entries with key <= pivot in descending order
+// until fn returns false.
+func (t *Tree[K, V]) DescendLessOrEqual(pivot K, fn func(key K, val V) bool) {
+	t.descendLE(t.root, pivot, fn)
+}
+
+func (t *Tree[K, V]) descendLE(n *node[K, V], pivot K, fn func(K, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	i, found := t.search(n, pivot)
+	if found {
+		if !n.leaf() && !t.descendLE(n.children[i+1], pivot, fn) {
+			return false
+		}
+		if !fn(n.items[i].key, n.items[i].val) {
+			return false
+		}
+		i--
+	} else {
+		i--
+	}
+	for ; i >= 0; i-- {
+		if !n.leaf() && !t.descendLE(n.children[i+1], pivot, fn) {
+			return false
+		}
+		if !fn(n.items[i].key, n.items[i].val) {
+			return false
+		}
+	}
+	if !n.leaf() {
+		return t.descendLE(n.children[0], pivot, fn)
+	}
+	return true
+}
+
+// Keys returns all keys in ascending order.
+func (t *Tree[K, V]) Keys() []K {
+	out := make([]K, 0, t.length)
+	t.Ascend(func(k K, _ V) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// Height returns the height of the tree (0 for empty, 1 for a lone root).
+func (t *Tree[K, V]) Height() int {
+	h, n := 0, t.root
+	for n != nil {
+		h++
+		if n.leaf() {
+			break
+		}
+		n = n.children[0]
+	}
+	return h
+}
+
+// checkInvariants verifies B-tree structural invariants; used by tests.
+func (t *Tree[K, V]) checkInvariants() error {
+	if t.root == nil {
+		if t.length != 0 {
+			return fmt.Errorf("btree: empty root but length %d", t.length)
+		}
+		return nil
+	}
+	count := 0
+	var walk func(n *node[K, V], depth int, leafDepth *int) error
+	walk = func(n *node[K, V], depth int, leafDepth *int) error {
+		if n != t.root && len(n.items) < t.minItems() {
+			return fmt.Errorf("btree: underfull node (%d items)", len(n.items))
+		}
+		if len(n.items) > t.maxItems() {
+			return fmt.Errorf("btree: overfull node (%d items)", len(n.items))
+		}
+		for i := 1; i < len(n.items); i++ {
+			if t.cmp(n.items[i-1].key, n.items[i].key) >= 0 {
+				return fmt.Errorf("btree: unordered items in node")
+			}
+		}
+		count += len(n.items)
+		if n.leaf() {
+			if *leafDepth == -1 {
+				*leafDepth = depth
+			} else if *leafDepth != depth {
+				return fmt.Errorf("btree: leaves at depths %d and %d", *leafDepth, depth)
+			}
+			return nil
+		}
+		if len(n.children) != len(n.items)+1 {
+			return fmt.Errorf("btree: %d children for %d items", len(n.children), len(n.items))
+		}
+		for _, c := range n.children {
+			if err := walk(c, depth+1, leafDepth); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	leafDepth := -1
+	if err := walk(t.root, 0, &leafDepth); err != nil {
+		return err
+	}
+	if count != t.length {
+		return fmt.Errorf("btree: counted %d items, length %d", count, t.length)
+	}
+	return nil
+}

@@ -1,0 +1,427 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intCmp(a, b int) int { return a - b }
+
+func newIntTree() *Tree[int, string] { return New[int, string](intCmp) }
+
+func TestEmptyTree(t *testing.T) {
+	tr := newIntTree()
+	if tr.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", tr.Len())
+	}
+	if _, ok := tr.Get(42); ok {
+		t.Fatal("Get on empty tree reported a hit")
+	}
+	if _, ok := tr.Delete(42); ok {
+		t.Fatal("Delete on empty tree reported a hit")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree reported a hit")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty tree reported a hit")
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetGet(t *testing.T) {
+	tr := newIntTree()
+	if _, replaced := tr.Set(1, "one"); replaced {
+		t.Fatal("first Set reported replacement")
+	}
+	if prev, replaced := tr.Set(1, "uno"); !replaced || prev != "one" {
+		t.Fatalf("second Set = (%q, %v), want (one, true)", prev, replaced)
+	}
+	got, ok := tr.Get(1)
+	if !ok || got != "uno" {
+		t.Fatalf("Get(1) = (%q, %v), want (uno, true)", got, ok)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1", tr.Len())
+	}
+}
+
+func TestSequentialInsertAscending(t *testing.T) {
+	tr := newIntTree()
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		tr.Set(i, "")
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len() = %d, want %d", tr.Len(), n)
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if !tr.Has(i) {
+			t.Fatalf("missing key %d", i)
+		}
+	}
+}
+
+func TestSequentialInsertDescending(t *testing.T) {
+	tr := newIntTree()
+	const n = 10_000
+	for i := n - 1; i >= 0; i-- {
+		tr.Set(i, "")
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	keys := tr.Keys()
+	if len(keys) != n {
+		t.Fatalf("Keys() returned %d keys, want %d", len(keys), n)
+	}
+	if !sort.IntsAreSorted(keys) {
+		t.Fatal("Keys() not sorted")
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	tr := newIntTree()
+	const n = 5_000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, k := range perm {
+		tr.Set(k, "v")
+	}
+	for i, k := range perm {
+		if _, ok := tr.Delete(k); !ok {
+			t.Fatalf("Delete(%d) missed (iteration %d)", k, i)
+		}
+		if i%611 == 0 {
+			if err := tr.checkInvariants(); err != nil {
+				t.Fatalf("after deleting %d keys: %v", i+1, err)
+			}
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len() = %d after deleting everything", tr.Len())
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteMissing(t *testing.T) {
+	tr := newIntTree()
+	for i := 0; i < 100; i += 2 {
+		tr.Set(i, "")
+	}
+	for i := 1; i < 100; i += 2 {
+		if _, ok := tr.Delete(i); ok {
+			t.Fatalf("Delete(%d) hit a key that was never inserted", i)
+		}
+	}
+	if tr.Len() != 50 {
+		t.Fatalf("Len() = %d, want 50", tr.Len())
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := newIntTree()
+	for _, k := range []int{5, 3, 9, 1, 7} {
+		tr.Set(k, "")
+	}
+	if k, _, _ := tr.Min(); k != 1 {
+		t.Fatalf("Min() = %d, want 1", k)
+	}
+	if k, _, _ := tr.Max(); k != 9 {
+		t.Fatalf("Max() = %d, want 9", k)
+	}
+}
+
+func TestAscendDescend(t *testing.T) {
+	tr := newIntTree()
+	const n = 1000
+	for _, k := range rand.New(rand.NewSource(2)).Perm(n) {
+		tr.Set(k, "")
+	}
+	var asc []int
+	tr.Ascend(func(k int, _ string) bool {
+		asc = append(asc, k)
+		return true
+	})
+	if len(asc) != n || !sort.IntsAreSorted(asc) {
+		t.Fatalf("Ascend produced %d keys, sorted=%v", len(asc), sort.IntsAreSorted(asc))
+	}
+	var desc []int
+	tr.Descend(func(k int, _ string) bool {
+		desc = append(desc, k)
+		return true
+	})
+	if len(desc) != n {
+		t.Fatalf("Descend produced %d keys, want %d", len(desc), n)
+	}
+	for i := range desc {
+		if desc[i] != asc[n-1-i] {
+			t.Fatalf("Descend[%d] = %d, want %d", i, desc[i], asc[n-1-i])
+		}
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := newIntTree()
+	for i := 0; i < 100; i++ {
+		tr.Set(i, "")
+	}
+	count := 0
+	tr.Ascend(func(int, string) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("visited %d entries, want 10", count)
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := newIntTree()
+	for i := 0; i < 100; i++ {
+		tr.Set(i, "")
+	}
+	tests := []struct {
+		lo, hi int
+		want   int
+	}{
+		{0, 100, 100},
+		{10, 20, 10},
+		{50, 50, 0},
+		{95, 200, 5},
+		{-10, 5, 5},
+		{200, 300, 0},
+	}
+	for _, tc := range tests {
+		var got []int
+		tr.AscendRange(tc.lo, tc.hi, func(k int, _ string) bool {
+			got = append(got, k)
+			return true
+		})
+		if len(got) != tc.want {
+			t.Errorf("AscendRange(%d,%d) returned %d keys, want %d", tc.lo, tc.hi, len(got), tc.want)
+		}
+		for _, k := range got {
+			if k < tc.lo || k >= tc.hi {
+				t.Errorf("AscendRange(%d,%d) yielded out-of-range key %d", tc.lo, tc.hi, k)
+			}
+		}
+	}
+}
+
+func TestAscendGreaterOrEqual(t *testing.T) {
+	tr := newIntTree()
+	for i := 0; i < 50; i += 2 {
+		tr.Set(i, "")
+	}
+	var got []int
+	tr.AscendGreaterOrEqual(11, func(k int, _ string) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) == 0 || got[0] != 12 {
+		t.Fatalf("AscendGreaterOrEqual(11) first key = %v, want 12", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatal("AscendGreaterOrEqual out of order")
+		}
+	}
+}
+
+func TestDescendLessOrEqual(t *testing.T) {
+	tr := newIntTree()
+	for i := 0; i < 50; i += 2 {
+		tr.Set(i, "")
+	}
+	var got []int
+	tr.DescendLessOrEqual(11, func(k int, _ string) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) == 0 || got[0] != 10 {
+		t.Fatalf("DescendLessOrEqual(11) first key = %v, want 10", got)
+	}
+	// Pivot present in tree must be included.
+	got = got[:0]
+	tr.DescendLessOrEqual(10, func(k int, _ string) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) == 0 || got[0] != 10 {
+		t.Fatalf("DescendLessOrEqual(10) first key = %v, want 10", got)
+	}
+}
+
+func TestSmallDegrees(t *testing.T) {
+	for _, degree := range []int{2, 3, 4, 7} {
+		tr := NewWithDegree[int, int](intCmp, degree)
+		const n = 2000
+		for _, k := range rand.New(rand.NewSource(3)).Perm(n) {
+			tr.Set(k, k*2)
+		}
+		if err := tr.checkInvariants(); err != nil {
+			t.Fatalf("degree %d: %v", degree, err)
+		}
+		for _, k := range rand.New(rand.NewSource(4)).Perm(n) {
+			if v, ok := tr.Get(k); !ok || v != k*2 {
+				t.Fatalf("degree %d: Get(%d) = (%d,%v)", degree, k, v, ok)
+			}
+		}
+		for _, k := range rand.New(rand.NewSource(5)).Perm(n) {
+			if _, ok := tr.Delete(k); !ok {
+				t.Fatalf("degree %d: Delete(%d) missed", degree, k)
+			}
+		}
+		if tr.Len() != 0 {
+			t.Fatalf("degree %d: Len() = %d after full deletion", degree, tr.Len())
+		}
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	assertPanics(t, "nil cmp", func() { New[int, int](nil) })
+	assertPanics(t, "degree 1", func() { NewWithDegree[int, int](intCmp, 1) })
+}
+
+func assertPanics(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestHeightGrowth(t *testing.T) {
+	tr := newIntTree()
+	if tr.Height() != 0 {
+		t.Fatalf("empty Height() = %d", tr.Height())
+	}
+	for i := 0; i < 100_000; i++ {
+		tr.Set(i, "")
+	}
+	if h := tr.Height(); h < 2 || h > 5 {
+		t.Fatalf("Height() = %d for 1e5 keys with degree %d", h, defaultDegree)
+	}
+}
+
+// TestQuickAgainstMap drives a random operation sequence against both the
+// tree and a reference map, checking full agreement.
+func TestQuickAgainstMap(t *testing.T) {
+	type op struct {
+		Key    int16 // small domain to force collisions
+		Del    bool
+		Lookup bool
+	}
+	check := func(ops []op) bool {
+		tr := New[int, int](intCmp)
+		ref := map[int]int{}
+		for i, o := range ops {
+			k := int(o.Key % 512)
+			switch {
+			case o.Lookup:
+				gv, gok := tr.Get(k)
+				rv, rok := ref[k]
+				if gok != rok || (gok && gv != rv) {
+					return false
+				}
+			case o.Del:
+				_, gok := tr.Delete(k)
+				_, rok := ref[k]
+				delete(ref, k)
+				if gok != rok {
+					return false
+				}
+			default:
+				tr.Set(k, i)
+				ref[k] = i
+			}
+			if tr.Len() != len(ref) {
+				return false
+			}
+		}
+		if err := tr.checkInvariants(); err != nil {
+			return false
+		}
+		keys := tr.Keys()
+		if len(keys) != len(ref) {
+			return false
+		}
+		for _, k := range keys {
+			if _, ok := ref[k]; !ok {
+				return false
+			}
+		}
+		return sort.IntsAreSorted(keys)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRangeOracle checks AscendRange against a sorted-slice oracle.
+func TestQuickRangeOracle(t *testing.T) {
+	check := func(keys []int16, lo, hi int16) bool {
+		tr := New[int, struct{}](intCmp)
+		ref := map[int]bool{}
+		for _, k := range keys {
+			tr.Set(int(k), struct{}{})
+			ref[int(k)] = true
+		}
+		var want []int
+		for k := range ref {
+			if k >= int(lo) && k < int(hi) {
+				want = append(want, k)
+			}
+		}
+		sort.Ints(want)
+		var got []int
+		tr.AscendRange(int(lo), int(hi), func(k int, _ struct{}) bool {
+			got = append(got, k)
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTreeSet(b *testing.B) {
+	tr := New[int, int](intCmp)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Set(i, i)
+	}
+}
+
+func BenchmarkTreeGet(b *testing.B) {
+	tr := New[int, int](intCmp)
+	const n = 1 << 16
+	for i := 0; i < n; i++ {
+		tr.Set(i, i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(i & (n - 1))
+	}
+}

@@ -1,0 +1,375 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"graphitti/internal/agraph"
+	"graphitti/internal/dublincore"
+	"graphitti/internal/xmldoc"
+)
+
+// Annotation is the linker object of the Graphitti model: it connects an
+// XML content document to referents and ontology terms. Instances are
+// immutable once committed.
+type Annotation struct {
+	ID uint64
+	// Content is the annotation's XML document (Dublin Core elements,
+	// body, user-defined tags, referent and ontology-reference stanzas).
+	Content *xmldoc.Document
+	// DC is the parsed Dublin Core record.
+	DC *dublincore.Record
+	// ReferentIDs are the committed referents, in builder order.
+	ReferentIDs []uint64
+	// Terms are the ontology references.
+	Terms []TermRef
+}
+
+// Builder assembles an annotation prior to Commit. Builders are not safe
+// for concurrent use; each goroutine should use its own.
+type Builder struct {
+	store *Store
+	dc    dublincore.Record
+	title string
+	body  string
+	tags  []tagPair
+	refs  []*Referent
+	terms []TermRef
+	errs  []error
+}
+
+type tagPair struct {
+	name, value string
+}
+
+// NewAnnotation starts an annotation builder.
+func (s *Store) NewAnnotation() *Builder {
+	return &Builder{store: s}
+}
+
+// Creator sets the Dublin Core creator element.
+func (b *Builder) Creator(name string) *Builder {
+	b.recordErr(b.dc.Add(dublincore.Creator, name))
+	return b
+}
+
+// Date sets the Dublin Core date element.
+func (b *Builder) Date(date string) *Builder {
+	b.recordErr(b.dc.Set(dublincore.Date, date))
+	return b
+}
+
+// Title sets the Dublin Core title element.
+func (b *Builder) Title(title string) *Builder {
+	b.title = title
+	b.recordErr(b.dc.Set(dublincore.Title, title))
+	return b
+}
+
+// Subject adds a Dublin Core subject element.
+func (b *Builder) Subject(subject string) *Builder {
+	b.recordErr(b.dc.Add(dublincore.Subject, subject))
+	return b
+}
+
+// DCElement sets an arbitrary Dublin Core element.
+func (b *Builder) DCElement(e dublincore.Element, values ...string) *Builder {
+	b.recordErr(b.dc.Set(e, values...))
+	return b
+}
+
+// Body sets the free-text comment of the annotation.
+func (b *Builder) Body(text string) *Builder {
+	b.body = text
+	return b
+}
+
+// Tag adds a user-defined element (the paper's "other user-defined tags").
+func (b *Builder) Tag(name, value string) *Builder {
+	b.tags = append(b.tags, tagPair{name, value})
+	return b
+}
+
+// Refer attaches a referent produced by one of the Mark* constructors (or
+// an already-committed referent, enabling shared referents).
+func (b *Builder) Refer(r *Referent) *Builder {
+	if r == nil {
+		b.errs = append(b.errs, fmt.Errorf("%w: nil referent", ErrBadMark))
+		return b
+	}
+	b.refs = append(b.refs, r)
+	return b
+}
+
+// OntologyRef attaches a reference to an ontology term.
+func (b *Builder) OntologyRef(ontologyName, termID string) *Builder {
+	b.terms = append(b.terms, TermRef{Ontology: ontologyName, TermID: termID})
+	return b
+}
+
+func (b *Builder) recordErr(err error) {
+	if err != nil {
+		b.errs = append(b.errs, err)
+	}
+}
+
+// Commit validates the annotation, stores its content document, registers
+// its referents in the sub-structure indexes, and wires the a-graph. It
+// implements the paper's commit flow: the user assembles referents and
+// ontology references, previews the XML, and the annotation "is committed
+// to the annotation storage".
+func (s *Store) Commit(b *Builder) (*Annotation, error) {
+	if b.store != s {
+		return nil, fmt.Errorf("core: builder belongs to a different store")
+	}
+	if len(b.errs) > 0 {
+		return nil, fmt.Errorf("core: invalid annotation: %v", b.errs[0])
+	}
+	if err := b.dc.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if len(b.refs) == 0 && len(b.terms) == 0 {
+		return nil, ErrEmptyAnnotation
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Validate ontology references before mutating anything.
+	for _, tr := range b.terms {
+		o, ok := s.ontologies[tr.Ontology]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNoSuchOntology, tr.Ontology)
+		}
+		if _, ok := o.Term(tr.TermID); !ok {
+			return nil, fmt.Errorf("%w: %s in %s", ErrNoSuchTerm, tr.TermID, tr.Ontology)
+		}
+	}
+	// Validate pre-committed referents.
+	for _, r := range b.refs {
+		if r.ID != 0 {
+			if _, ok := s.referents[r.ID]; !ok {
+				return nil, fmt.Errorf("%w: %d", ErrNoSuchReferent, r.ID)
+			}
+		}
+	}
+
+	s.nextAnn++
+	annID := s.nextAnn
+
+	// Resolve referents: reuse identical marks, index new ones.
+	refIDs := make([]uint64, 0, len(b.refs))
+	resolved := make([]*Referent, 0, len(b.refs))
+	for _, r := range b.refs {
+		ref, err := s.resolveReferentLocked(r)
+		if err != nil {
+			s.nextAnn-- // roll back the ID; nothing else mutated yet
+			return nil, err
+		}
+		refIDs = append(refIDs, ref.ID)
+		resolved = append(resolved, ref)
+	}
+
+	doc := buildContentDoc(annID, &b.dc, b.body, b.tags, resolved, b.terms)
+	ann := &Annotation{
+		ID:          annID,
+		Content:     doc,
+		DC:          &b.dc,
+		ReferentIDs: refIDs,
+		Terms:       append([]TermRef(nil), b.terms...),
+	}
+	s.annotations[annID] = ann
+
+	// a-graph wiring: content -> referent -> object; content -> term.
+	contentNode := agraph.ContentRoot(annID)
+	s.graph.AddNode(contentNode)
+	for _, ref := range resolved {
+		refNode := agraph.Referent(ref.ID)
+		s.graph.AddEdge(contentNode, refNode, agraph.LabelAnnotates)
+	}
+	for _, tr := range b.terms {
+		s.graph.AddEdge(contentNode, agraph.Term(tr.Ontology, tr.TermID), agraph.LabelRefersTo)
+	}
+
+	// Keyword index over the content document (ablation A6).
+	for _, word := range doc.Keywords() {
+		s.keywordIdx[word] = append(s.keywordIdx[word], annID)
+	}
+	return ann, nil
+}
+
+// resolveReferentLocked returns the stored referent for r, registering it
+// in the appropriate index when it is new. Identical marks resolve to the
+// same referent.
+func (s *Store) resolveReferentLocked(r *Referent) (*Referent, error) {
+	if r.ID != 0 {
+		return s.referents[r.ID], nil
+	}
+	key := markKey(r)
+	if id, ok := s.refByMark[key]; ok {
+		return s.referents[id], nil
+	}
+	s.nextRef++
+	stored := *r
+	stored.ID = s.nextRef
+	if err := s.indexReferentLocked(&stored); err != nil {
+		s.nextRef--
+		return nil, err
+	}
+	s.referents[stored.ID] = &stored
+	s.refByMark[key] = stored.ID
+	// a-graph: referent -> object.
+	s.graph.AddEdge(agraph.Referent(stored.ID),
+		agraph.Object(string(stored.ObjectType), stored.ObjectID), agraph.LabelMarks)
+	return &stored, nil
+}
+
+func buildContentDoc(annID uint64, dc *dublincore.Record, body string,
+	tags []tagPair, refs []*Referent, terms []TermRef) *xmldoc.Document {
+	doc := xmldoc.NewDocument("annotation")
+	doc.Root.SetAttr("id", fmt.Sprintf("%d", annID))
+	meta := doc.AddElement(doc.Root, "meta")
+	dc.AppendXML(doc, meta)
+	if body != "" {
+		doc.AddElementText(doc.Root, "body", body)
+	}
+	if len(tags) > 0 {
+		tagEl := doc.AddElement(doc.Root, "tags")
+		for _, t := range tags {
+			doc.AddElementText(tagEl, t.name, t.value)
+		}
+	}
+	if len(refs) > 0 {
+		refsEl := doc.AddElement(doc.Root, "referents")
+		for _, r := range refs {
+			el := doc.AddElement(refsEl, "referent")
+			el.SetAttr("id", fmt.Sprintf("%d", r.ID))
+			el.SetAttr("kind", r.Kind.String())
+			el.SetAttr("type", string(r.ObjectType))
+			el.SetAttr("object", r.ObjectID)
+			el.SetAttr("domain", r.Domain)
+			switch r.Kind {
+			case IntervalReferent:
+				el.SetAttr("lo", fmt.Sprintf("%d", r.Interval.Lo))
+				el.SetAttr("hi", fmt.Sprintf("%d", r.Interval.Hi))
+			case RegionReferent:
+				el.SetAttr("region", r.Region.String())
+			case BlockReferent:
+				el.SetAttr("lo", fmt.Sprintf("%d", r.Interval.Lo))
+				el.SetAttr("hi", fmt.Sprintf("%d", r.Interval.Hi))
+				el.SetAttr("rows", joinKeys(r.Keys))
+			default:
+				el.SetAttr("keys", joinKeys(r.Keys))
+			}
+		}
+	}
+	if len(terms) > 0 {
+		refsEl := doc.AddElement(doc.Root, "ontologyRefs")
+		for _, tr := range terms {
+			el := doc.AddElement(refsEl, "ref")
+			el.SetAttr("ontology", tr.Ontology)
+			el.SetAttr("term", tr.TermID)
+		}
+	}
+	return doc
+}
+
+func joinKeys(keys []string) string {
+	sorted := append([]string(nil), keys...)
+	sort.Strings(sorted)
+	out := ""
+	for i, k := range sorted {
+		if i > 0 {
+			out += ","
+		}
+		out += k
+	}
+	return out
+}
+
+// Annotation returns a committed annotation by ID.
+func (s *Store) Annotation(id uint64) (*Annotation, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a, ok := s.annotations[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoSuchAnnotation, id)
+	}
+	return a, nil
+}
+
+// Referent returns a committed referent by ID.
+func (s *Store) Referent(id uint64) (*Referent, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.referents[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoSuchReferent, id)
+	}
+	return r, nil
+}
+
+// Referents returns all committed referents, sorted by ID.
+func (s *Store) Referents() []*Referent {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Referent, 0, len(s.referents))
+	for _, r := range s.referents {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ObjectHandle identifies a registered data object.
+type ObjectHandle struct {
+	Type ObjectType
+	ID   string
+}
+
+// ObjectList returns every registered data object (sequences, alignments,
+// trees, interaction graphs, images, record rows), sorted by (type, id).
+func (s *Store) ObjectList() []ObjectHandle {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []ObjectHandle
+	for id, typ := range s.seqType {
+		out = append(out, ObjectHandle{typ, id})
+	}
+	for id := range s.alignments {
+		out = append(out, ObjectHandle{TypeAlignment, id})
+	}
+	for id := range s.trees {
+		out = append(out, ObjectHandle{TypeTree, id})
+	}
+	for id := range s.igraphs {
+		out = append(out, ObjectHandle{TypeInteraction, id})
+	}
+	for id := range s.images {
+		out = append(out, ObjectHandle{TypeImage, id})
+	}
+	// Record tables are objects themselves: record-set referents mark the
+	// table, with the selected row keys carried in the referent.
+	for table := range s.recordTables {
+		out = append(out, ObjectHandle{TypeRecord, table})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Type != out[j].Type {
+			return out[i].Type < out[j].Type
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// AnnotationIDs returns the IDs of all committed annotations, sorted.
+func (s *Store) AnnotationIDs() []uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]uint64, 0, len(s.annotations))
+	for id := range s.annotations {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+
+	"graphitti/internal/agraph"
+)
+
+// DeleteAnnotation removes a committed annotation: its content document,
+// its keyword index entries, and its a-graph edges. Referents that no
+// other annotation references are garbage-collected from the sub-structure
+// indexes (the paper's admin tab owns this lifecycle; deletion must not
+// orphan index entries).
+func (s *Store) DeleteAnnotation(id uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ann, ok := s.annotations[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchAnnotation, id)
+	}
+
+	// Keyword index entries.
+	for _, word := range ann.Content.Keywords() {
+		s.keywordIdx[word] = removeID(s.keywordIdx[word], id)
+		if len(s.keywordIdx[word]) == 0 {
+			delete(s.keywordIdx, word)
+		}
+	}
+
+	// a-graph: drop the content node (and its annotates/refersTo edges).
+	contentNode := agraph.ContentRoot(id)
+	_ = s.graph.RemoveNode(contentNode) // node exists for every commit
+
+	delete(s.annotations, id)
+
+	// Garbage-collect now-unreferenced referents.
+	for _, refID := range ann.ReferentIDs {
+		s.collectReferentLocked(refID)
+	}
+	return nil
+}
+
+// collectReferentLocked removes a referent when no annotation references
+// it any more: its spatial index entry, its mark-dedup entry, and its
+// a-graph node.
+func (s *Store) collectReferentLocked(refID uint64) {
+	ref, ok := s.referents[refID]
+	if !ok {
+		return
+	}
+	refNode := agraph.Referent(refID)
+	if len(s.graph.In(refNode, agraph.LabelAnnotates)) > 0 {
+		return // still referenced
+	}
+	switch ref.Kind {
+	case IntervalReferent:
+		if tree, ok := s.itrees[ref.Domain]; ok {
+			tree.Delete(refID)
+			if tree.Len() == 0 {
+				delete(s.itrees, ref.Domain)
+			}
+		}
+	case RegionReferent:
+		if tree, ok := s.rtrees[ref.Domain]; ok {
+			tree.Delete(refID)
+			// Per-system R-trees persist even when empty: the coordinate
+			// system stays registered.
+		}
+	}
+	delete(s.refByMark, markKey(ref))
+	delete(s.referents, refID)
+	_ = s.graph.RemoveNode(refNode)
+}
+
+func removeID(ids []uint64, id uint64) []uint64 {
+	for i, x := range ids {
+		if x == id {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}

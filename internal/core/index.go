@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"graphitti/internal/interval"
+	"graphitti/internal/rtree"
+	"graphitti/internal/subx"
+)
+
+// indexReferentLocked inserts a freshly-assigned referent into the
+// sub-structure index for its domain, creating per-domain trees on demand.
+// Structural marks (clades, subgraphs, blocks, record sets, whole objects)
+// need no spatial index; they are found through refByMark and the a-graph.
+func (s *Store) indexReferentLocked(r *Referent) error {
+	switch r.Kind {
+	case IntervalReferent:
+		tree, ok := s.itrees[r.Domain]
+		if !ok {
+			tree = &interval.Tree[string]{}
+			s.itrees[r.Domain] = tree
+		}
+		return tree.Insert(r.Interval, r.ID, r.ObjectID)
+	case RegionReferent:
+		tree, ok := s.rtrees[r.Domain]
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrNoSuchSystem, r.Domain)
+		}
+		return tree.Insert(r.Region, r.ID, r.ObjectID)
+	default:
+		return nil
+	}
+}
+
+// ReferentsOverlapping returns the committed referents whose mark overlaps
+// the given mark, using the per-domain indexes for interval and region
+// marks and a filtered scan for structural marks. Results are sorted by
+// referent ID.
+func (s *Store) ReferentsOverlapping(m subx.Mark) []*Referent {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []*Referent
+	switch mark := m.(type) {
+	case subx.IntervalMark:
+		if tree, ok := s.itrees[mark.Domain]; ok {
+			for _, e := range tree.Overlapping(mark.IV) {
+				out = append(out, s.referents[e.ID])
+			}
+		}
+	case subx.RegionMark:
+		if tree, ok := s.rtrees[mark.System]; ok {
+			for _, e := range tree.Search(mark.R) {
+				out = append(out, s.referents[e.ID])
+			}
+		}
+	default:
+		for _, r := range s.referents {
+			if subx.IfOverlap(r.Mark(), m) {
+				out = append(out, r)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ReferentsAt returns the interval referents containing the given point of
+// a coordinate domain (a stab query).
+func (s *Store) ReferentsAt(domain string, pos int64) []*Referent {
+	return s.ReferentsOverlapping(subx.IntervalMark{
+		Domain: domain,
+		IV:     interval.Interval{Lo: pos, Hi: pos + 1},
+	})
+}
+
+// RegionsOverlapping returns the region referents overlapping a rectangle
+// of a coordinate system.
+func (s *Store) RegionsOverlapping(system string, r rtree.Rect) []*Referent {
+	return s.ReferentsOverlapping(subx.RegionMark{System: system, R: r})
+}
+
+// NextReferent implements the SUB_X next operator on an interval referent:
+// the first interval referent that starts at or after the end of r in the
+// same domain. ok is false when none follows or r is not an interval mark.
+func (s *Store) NextReferent(r *Referent) (*Referent, bool) {
+	if r == nil || r.Kind != IntervalReferent {
+		return nil, false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	tree, ok := s.itrees[r.Domain]
+	if !ok {
+		return nil, false
+	}
+	e, ok := tree.Next(r.Interval)
+	if !ok {
+		return nil, false
+	}
+	return s.referents[e.ID], true
+}
+
+// IntervalDomains returns the names of coordinate domains that currently
+// have an interval tree, sorted (diagnostics for ablation A1).
+func (s *Store) IntervalDomains() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.itrees))
+	for d := range s.itrees {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IntervalTreeSize returns the number of entries in one domain's tree.
+func (s *Store) IntervalTreeSize(domain string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if tree, ok := s.itrees[domain]; ok {
+		return tree.Len()
+	}
+	return 0
+}

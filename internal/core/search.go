@@ -1,0 +1,332 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"graphitti/internal/agraph"
+	"graphitti/internal/xmldoc"
+	"graphitti/internal/xquery"
+)
+
+// SearchContents evaluates a path-expression query against every
+// annotation content document and returns the annotations for which the
+// result is truthy (a non-empty node set, true boolean, non-empty string
+// or non-zero number). This is the paper's "collection-searching
+// operations … performed using standard XQuery".
+func (s *Store) SearchContents(expr string) ([]*Annotation, error) {
+	q, err := xquery.Compile(expr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []*Annotation
+	for _, id := range s.annotationIDsLocked() {
+		ann := s.annotations[id]
+		v, err := q.EvalValue(ann.Content)
+		if err != nil {
+			return nil, fmt.Errorf("core: evaluating %q on annotation %d: %w", expr, id, err)
+		}
+		if v.AsBool() {
+			out = append(out, ann)
+		}
+	}
+	return out, nil
+}
+
+// SearchKeyword returns the annotations whose content contains the word
+// (case-insensitive, token match). When useIndex is true the inverted
+// keyword index answers directly; otherwise every document is scanned
+// (ablation A6 compares the two).
+func (s *Store) SearchKeyword(word string, useIndex bool) []*Annotation {
+	token := strings.ToLower(strings.TrimSpace(word))
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []*Annotation
+	if useIndex {
+		for _, id := range s.keywordIdx[token] {
+			out = append(out, s.annotations[id])
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+		return out
+	}
+	for _, id := range s.annotationIDsLocked() {
+		ann := s.annotations[id]
+		for _, w := range ann.Content.Keywords() {
+			if w == token {
+				out = append(out, ann)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func (s *Store) annotationIDsLocked() []uint64 {
+	ids := make([]uint64, 0, len(s.annotations))
+	for id := range s.annotations {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// AnnotationsOnObject returns the annotations having at least one referent
+// marking the given data object, via the a-graph join index: object <-
+// referent <- content.
+func (s *Store) AnnotationsOnObject(typ ObjectType, objectID string) []*Annotation {
+	objNode := agraph.Object(string(typ), objectID)
+	refEdges := s.graph.In(objNode, agraph.LabelMarks)
+	seen := make(map[uint64]bool)
+	var out []*Annotation
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, re := range refEdges {
+		for _, ce := range s.graph.In(re.From, agraph.LabelAnnotates) {
+			annID, ok := parseContentRef(ce.From)
+			if !ok || seen[annID] {
+				continue
+			}
+			seen[annID] = true
+			if ann, exists := s.annotations[annID]; exists {
+				out = append(out, ann)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// AnnotationsOfReferent returns the annotations attached to a referent.
+func (s *Store) AnnotationsOfReferent(refID uint64) []*Annotation {
+	edges := s.graph.In(agraph.Referent(refID), agraph.LabelAnnotates)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []*Annotation
+	for _, e := range edges {
+		if annID, ok := parseContentRef(e.From); ok {
+			if ann, exists := s.annotations[annID]; exists {
+				out = append(out, ann)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// AnnotationsWithTerm returns the annotations pointing at the exact
+// ontology term.
+func (s *Store) AnnotationsWithTerm(ontologyName, termID string) []*Annotation {
+	edges := s.graph.In(agraph.Term(ontologyName, termID), agraph.LabelRefersTo)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []*Annotation
+	seen := make(map[uint64]bool)
+	for _, e := range edges {
+		if annID, ok := parseContentRef(e.From); ok && !seen[annID] {
+			seen[annID] = true
+			if ann, exists := s.annotations[annID]; exists {
+				out = append(out, ann)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// AnnotationsWithTermUnder returns the annotations pointing at the given
+// term or any of its instances (CI closure) — ontology-expanded retrieval,
+// the building block of both paper queries.
+func (s *Store) AnnotationsWithTermUnder(ontologyName, rootTerm string) ([]*Annotation, error) {
+	o, err := s.Ontology(ontologyName)
+	if err != nil {
+		return nil, err
+	}
+	instances, err := o.CI(rootTerm)
+	if err != nil {
+		return nil, err
+	}
+	terms := append([]string{rootTerm}, instances...)
+	seen := make(map[uint64]bool)
+	var out []*Annotation
+	for _, term := range terms {
+		for _, ann := range s.AnnotationsWithTerm(ontologyName, term) {
+			if !seen[ann.ID] {
+				seen[ann.ID] = true
+				out = append(out, ann)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// RelatedAnnotations returns annotations indirectly related to the given
+// one: those sharing a referent, or sharing a marked data object. This is
+// the paper's "if the same referent is connected to two different
+// annotations … the two annotations become indirectly related".
+func (s *Store) RelatedAnnotations(annID uint64) ([]*Annotation, error) {
+	if _, err := s.Annotation(annID); err != nil {
+		return nil, err
+	}
+	content := agraph.ContentRoot(annID)
+	seen := map[uint64]bool{annID: true}
+	var out []*Annotation
+	add := func(id uint64) {
+		if !seen[id] {
+			seen[id] = true
+			s.mu.RLock()
+			if ann, ok := s.annotations[id]; ok {
+				out = append(out, ann)
+			}
+			s.mu.RUnlock()
+		}
+	}
+	for _, refEdge := range s.graph.Out(content, agraph.LabelAnnotates) {
+		refNode := refEdge.To
+		// Annotations sharing this referent.
+		for _, e := range s.graph.In(refNode, agraph.LabelAnnotates) {
+			if id, ok := parseContentRef(e.From); ok {
+				add(id)
+			}
+		}
+		// Annotations marking the same object through other referents.
+		for _, objEdge := range s.graph.Out(refNode, agraph.LabelMarks) {
+			for _, otherRef := range s.graph.In(objEdge.To, agraph.LabelMarks) {
+				for _, e := range s.graph.In(otherRef.From, agraph.LabelAnnotates) {
+					if id, ok := parseContentRef(e.From); ok {
+						add(id)
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// CorrelatedItem is one entry of the correlated-data view: something
+// adjacent to an annotation in the a-graph.
+type CorrelatedItem struct {
+	Node  agraph.NodeRef
+	Label agraph.EdgeLabel
+	// Description is a human-readable rendering of the target.
+	Description string
+}
+
+// CorrelatedData implements the query tab's correlated data viewer: the
+// data objects the annotation marks, the ontology terms it references,
+// and the other annotations reachable through shared referents/objects.
+func (s *Store) CorrelatedData(annID uint64) ([]CorrelatedItem, error) {
+	if _, err := s.Annotation(annID); err != nil {
+		return nil, err
+	}
+	content := agraph.ContentRoot(annID)
+	var items []CorrelatedItem
+	for _, refEdge := range s.graph.Out(content, agraph.LabelAnnotates) {
+		for _, objEdge := range s.graph.Out(refEdge.To, agraph.LabelMarks) {
+			items = append(items, CorrelatedItem{
+				Node:        objEdge.To,
+				Label:       agraph.LabelMarks,
+				Description: "object " + objEdge.To.Key,
+			})
+		}
+	}
+	for _, termEdge := range s.graph.Out(content, agraph.LabelRefersTo) {
+		desc := "term " + termEdge.To.Key
+		if parts := strings.SplitN(termEdge.To.Key, "/", 2); len(parts) == 2 {
+			s.mu.RLock()
+			if o, ok := s.ontologies[parts[0]]; ok {
+				if t, ok := o.Term(parts[1]); ok && t.Name != "" {
+					desc = fmt.Sprintf("term %s (%s)", t.Name, termEdge.To.Key)
+				}
+			}
+			s.mu.RUnlock()
+		}
+		items = append(items, CorrelatedItem{
+			Node:        termEdge.To,
+			Label:       agraph.LabelRefersTo,
+			Description: desc,
+		})
+	}
+	related, err := s.RelatedAnnotations(annID)
+	if err != nil {
+		return nil, err
+	}
+	for _, rel := range related {
+		items = append(items, CorrelatedItem{
+			Node:        agraph.ContentRoot(rel.ID),
+			Label:       agraph.LabelAnnotates,
+			Description: fmt.Sprintf("annotation %d (%s)", rel.ID, rel.DC.First("title")),
+		})
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].Node.Kind != items[j].Node.Kind {
+			return items[i].Node.Kind < items[j].Node.Kind
+		}
+		return items[i].Node.Key < items[j].Node.Key
+	})
+	return items, nil
+}
+
+// PathBetweenAnnotations returns a shortest a-graph path between two
+// annotations' content nodes.
+func (s *Store) PathBetweenAnnotations(a, b uint64) (*agraph.Path, error) {
+	if _, err := s.Annotation(a); err != nil {
+		return nil, err
+	}
+	if _, err := s.Annotation(b); err != nil {
+		return nil, err
+	}
+	return s.graph.FindPath(agraph.ContentRoot(a), agraph.ContentRoot(b))
+}
+
+// ConnectAnnotations returns a connection subgraph joining the given
+// annotations' content nodes (the paper's connect primitive applied to
+// query-result collation).
+func (s *Store) ConnectAnnotations(ids ...uint64) (*agraph.Subgraph, error) {
+	refs := make([]agraph.NodeRef, 0, len(ids))
+	for _, id := range ids {
+		if _, err := s.Annotation(id); err != nil {
+			return nil, err
+		}
+		refs = append(refs, agraph.ContentRoot(id))
+	}
+	return s.graph.Connect(refs...)
+}
+
+// parseContentRef extracts the annotation ID from a content node ref.
+func parseContentRef(ref agraph.NodeRef) (uint64, bool) {
+	if ref.Kind != agraph.ContentNode {
+		return 0, false
+	}
+	slash := strings.IndexByte(ref.Key, '/')
+	if slash < 0 {
+		return 0, false
+	}
+	var id uint64
+	for _, c := range ref.Key[:slash] {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id, true
+}
+
+// ContentFragments evaluates a path expression against one annotation and
+// returns the matching XML nodes (the paper's "XQuery fragments to
+// retrieve fragments of annotation").
+func (s *Store) ContentFragments(annID uint64, expr string) ([]*xmldoc.Node, error) {
+	ann, err := s.Annotation(annID)
+	if err != nil {
+		return nil, err
+	}
+	q, err := xquery.Compile(expr)
+	if err != nil {
+		return nil, err
+	}
+	return q.Eval(ann.Content)
+}

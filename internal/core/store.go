@@ -1,0 +1,576 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"graphitti/internal/agraph"
+	"graphitti/internal/biodata/imaging"
+	"graphitti/internal/biodata/interact"
+	"graphitti/internal/biodata/msa"
+	"graphitti/internal/biodata/phylo"
+	"graphitti/internal/biodata/seq"
+	"graphitti/internal/interval"
+	"graphitti/internal/ontology"
+	"graphitti/internal/relstore"
+	"graphitti/internal/rtree"
+)
+
+// Store is the Graphitti annotation management system: the relational
+// store of data objects, the per-domain interval trees and per-system
+// R-trees of marked sub-structures, the registered ontologies, the
+// annotation content collection, and the a-graph joining them.
+//
+// All methods are safe for concurrent use.
+type Store struct {
+	mu    sync.RWMutex
+	rel   *relstore.Store
+	graph *agraph.Graph
+
+	ontologies map[string]*ontology.Ontology
+	systems    map[string]*imaging.CoordinateSystem
+
+	// Sub-structure indexes: one interval tree per 1-D domain, one R-tree
+	// per coordinate system ("simple techniques are used to keep the
+	// number of the index structures small").
+	itrees map[string]*interval.Tree[string]
+	rtrees map[string]*rtree.Tree[string]
+
+	// In-memory structured views of registered objects (raw/native forms
+	// also live in the relational tables).
+	seqs       map[string]*seq.Sequence
+	seqType    map[string]ObjectType
+	alignments map[string]*msa.Alignment
+	trees      map[string]*phylo.Tree
+	igraphs    map[string]*interact.Graph
+	images     map[string]*imaging.Image
+
+	recordTables map[string]bool
+
+	annotations map[uint64]*Annotation
+	referents   map[uint64]*Referent
+	refByMark   map[string]uint64   // canonical mark -> shared referent ID
+	keywordIdx  map[string][]uint64 // keyword -> sorted annotation IDs
+
+	nextAnn uint64
+	nextRef uint64
+}
+
+var (
+	seqColumns = []relstore.Column{
+		{Name: "id", Type: relstore.String},
+		{Name: "description", Type: relstore.String},
+		{Name: "domain", Type: relstore.String, NotNull: true},
+		{Name: "offset", Type: relstore.Int64, NotNull: true},
+		{Name: "length", Type: relstore.Int64, NotNull: true},
+		{Name: "gc", Type: relstore.Float64},
+		{Name: "residues", Type: relstore.Bytes},
+	}
+	alignmentSchema = relstore.MustSchema(string(TypeAlignment), "id",
+		relstore.Column{Name: "id", Type: relstore.String},
+		relstore.Column{Name: "num_rows", Type: relstore.Int64, NotNull: true},
+		relstore.Column{Name: "num_cols", Type: relstore.Int64, NotNull: true},
+		relstore.Column{Name: "row_ids", Type: relstore.String},
+		relstore.Column{Name: "fasta", Type: relstore.Bytes},
+	)
+	treeSchema = relstore.MustSchema(string(TypeTree), "id",
+		relstore.Column{Name: "id", Type: relstore.String},
+		relstore.Column{Name: "num_leaves", Type: relstore.Int64, NotNull: true},
+		relstore.Column{Name: "newick", Type: relstore.Bytes},
+	)
+	interactionSchema = relstore.MustSchema(string(TypeInteraction), "id",
+		relstore.Column{Name: "id", Type: relstore.String},
+		relstore.Column{Name: "num_molecules", Type: relstore.Int64, NotNull: true},
+		relstore.Column{Name: "num_interactions", Type: relstore.Int64, NotNull: true},
+	)
+	imageSchema = relstore.MustSchema(string(TypeImage), "id",
+		relstore.Column{Name: "id", Type: relstore.String},
+		relstore.Column{Name: "system", Type: relstore.String, NotNull: true},
+		relstore.Column{Name: "modality", Type: relstore.String},
+		relstore.Column{Name: "subject", Type: relstore.String},
+		relstore.Column{Name: "dims", Type: relstore.Int64, NotNull: true},
+		relstore.Column{Name: "x0", Type: relstore.Float64},
+		relstore.Column{Name: "y0", Type: relstore.Float64},
+		relstore.Column{Name: "z0", Type: relstore.Float64},
+		relstore.Column{Name: "x1", Type: relstore.Float64},
+		relstore.Column{Name: "y1", Type: relstore.Float64},
+		relstore.Column{Name: "z1", Type: relstore.Float64},
+	)
+)
+
+func seqSchemaFor(t ObjectType) *relstore.Schema {
+	return relstore.MustSchema(string(t), "id", seqColumns...)
+}
+
+// NewStore returns an empty Graphitti store with the type-specific tables
+// of the demonstration studies pre-created.
+func NewStore() *Store {
+	s := &Store{
+		rel:          relstore.NewStore(),
+		graph:        agraph.New(),
+		ontologies:   make(map[string]*ontology.Ontology),
+		systems:      make(map[string]*imaging.CoordinateSystem),
+		itrees:       make(map[string]*interval.Tree[string]),
+		rtrees:       make(map[string]*rtree.Tree[string]),
+		seqs:         make(map[string]*seq.Sequence),
+		seqType:      make(map[string]ObjectType),
+		alignments:   make(map[string]*msa.Alignment),
+		trees:        make(map[string]*phylo.Tree),
+		igraphs:      make(map[string]*interact.Graph),
+		images:       make(map[string]*imaging.Image),
+		recordTables: make(map[string]bool),
+		annotations:  make(map[uint64]*Annotation),
+		referents:    make(map[uint64]*Referent),
+		refByMark:    make(map[string]uint64),
+		keywordIdx:   make(map[string][]uint64),
+	}
+	for _, t := range []ObjectType{TypeDNA, TypeRNA, TypeProtein} {
+		if _, err := s.rel.CreateTable(seqSchemaFor(t)); err != nil {
+			panic(err) // static schemas; cannot fail
+		}
+	}
+	for _, schema := range []*relstore.Schema{alignmentSchema, treeSchema, interactionSchema, imageSchema} {
+		if _, err := s.rel.CreateTable(schema); err != nil {
+			panic(err)
+		}
+	}
+	return s
+}
+
+// Rel exposes the underlying relational store (read-mostly; used by the
+// admin workflow and the record-table API).
+func (s *Store) Rel() *relstore.Store { return s.rel }
+
+// Graph exposes the a-graph for path/connect queries.
+func (s *Store) Graph() *agraph.Graph { return s.graph }
+
+// RegisterOntology makes an ontology available for annotation references.
+func (s *Store) RegisterOntology(o *ontology.Ontology) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.ontologies[o.Name()]; dup {
+		return fmt.Errorf("%w: ontology %s", ErrDuplicate, o.Name())
+	}
+	s.ontologies[o.Name()] = o
+	return nil
+}
+
+// Ontology returns a registered ontology.
+func (s *Store) Ontology(name string) (*ontology.Ontology, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o, ok := s.ontologies[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchOntology, name)
+	}
+	return o, nil
+}
+
+// Ontologies returns the names of registered ontologies, sorted.
+func (s *Store) Ontologies() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.ontologies))
+	for name := range s.ontologies {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RegisterCoordinateSystem makes a shared spatial reference available for
+// image registration.
+func (s *Store) RegisterCoordinateSystem(cs *imaging.CoordinateSystem) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.systems[cs.Name]; dup {
+		return fmt.Errorf("%w: coordinate system %s", ErrDuplicate, cs.Name)
+	}
+	s.systems[cs.Name] = cs
+	tr, err := rtree.NewTree[string](cs.Dims)
+	if err != nil {
+		return err
+	}
+	s.rtrees[cs.Name] = tr
+	return nil
+}
+
+// CoordinateSystem returns a registered coordinate system.
+func (s *Store) CoordinateSystem(name string) (*imaging.CoordinateSystem, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cs, ok := s.systems[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchSystem, name)
+	}
+	return cs, nil
+}
+
+func seqObjectType(k seq.Kind) ObjectType {
+	switch k {
+	case seq.DNA:
+		return TypeDNA
+	case seq.RNA:
+		return TypeRNA
+	default:
+		return TypeProtein
+	}
+}
+
+// RegisterSequence registers a DNA/RNA/protein sequence. A sequence with
+// an empty Domain becomes its own coordinate domain.
+func (s *Store) RegisterSequence(sq *seq.Sequence) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.seqs[sq.ID]; dup {
+		return fmt.Errorf("%w: sequence %s", ErrDuplicate, sq.ID)
+	}
+	if sq.Domain == "" {
+		sq.Domain = sq.ID
+	}
+	typ := seqObjectType(sq.Kind)
+	tbl, err := s.rel.Table(string(typ))
+	if err != nil {
+		return err
+	}
+	gc := 0.0
+	if sq.Kind != seq.Protein {
+		gc, _ = sq.GC()
+	}
+	row := relstore.Row{
+		relstore.S(sq.ID), relstore.S(sq.Description), relstore.S(sq.Domain),
+		relstore.I(sq.Offset), relstore.I(sq.Len()), relstore.F(gc),
+		relstore.Blob([]byte(sq.Residues)),
+	}
+	if err := tbl.Insert(row); err != nil {
+		return err
+	}
+	s.seqs[sq.ID] = sq
+	s.seqType[sq.ID] = typ
+	s.graph.AddNode(agraph.Object(string(typ), sq.ID))
+	return nil
+}
+
+// Sequence returns a registered sequence and its object type.
+func (s *Store) Sequence(id string) (*seq.Sequence, ObjectType, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sq, ok := s.seqs[id]
+	if !ok {
+		return nil, "", fmt.Errorf("%w: sequence %s", ErrNoSuchObject, id)
+	}
+	return sq, s.seqType[id], nil
+}
+
+// RegisterAlignment registers a multiple sequence alignment.
+func (s *Store) RegisterAlignment(a *msa.Alignment) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.alignments[a.ID]; dup {
+		return fmt.Errorf("%w: alignment %s", ErrDuplicate, a.ID)
+	}
+	tbl, err := s.rel.Table(string(TypeAlignment))
+	if err != nil {
+		return err
+	}
+	joined := ""
+	for i, id := range a.RowIDs {
+		if i > 0 {
+			joined += ","
+		}
+		joined += id
+	}
+	var fasta []byte
+	for i, id := range a.RowIDs {
+		fasta = append(fasta, '>')
+		fasta = append(fasta, id...)
+		fasta = append(fasta, '\n')
+		fasta = append(fasta, a.Rows[i]...)
+		fasta = append(fasta, '\n')
+	}
+	row := relstore.Row{
+		relstore.S(a.ID), relstore.I(int64(a.NumRows())), relstore.I(int64(a.NumCols())),
+		relstore.S(joined), relstore.Blob(fasta),
+	}
+	if err := tbl.Insert(row); err != nil {
+		return err
+	}
+	s.alignments[a.ID] = a
+	s.graph.AddNode(agraph.Object(string(TypeAlignment), a.ID))
+	return nil
+}
+
+// Alignment returns a registered alignment.
+func (s *Store) Alignment(id string) (*msa.Alignment, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a, ok := s.alignments[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: alignment %s", ErrNoSuchObject, id)
+	}
+	return a, nil
+}
+
+// RegisterTree registers a phylogenetic tree.
+func (s *Store) RegisterTree(t *phylo.Tree) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.trees[t.ID]; dup {
+		return fmt.Errorf("%w: tree %s", ErrDuplicate, t.ID)
+	}
+	tbl, err := s.rel.Table(string(TypeTree))
+	if err != nil {
+		return err
+	}
+	row := relstore.Row{
+		relstore.S(t.ID), relstore.I(int64(t.NumLeaves())), relstore.Blob([]byte(t.Newick())),
+	}
+	if err := tbl.Insert(row); err != nil {
+		return err
+	}
+	s.trees[t.ID] = t
+	s.graph.AddNode(agraph.Object(string(TypeTree), t.ID))
+	return nil
+}
+
+// Tree returns a registered phylogenetic tree.
+func (s *Store) Tree(id string) (*phylo.Tree, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.trees[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: tree %s", ErrNoSuchObject, id)
+	}
+	return t, nil
+}
+
+// RegisterInteractionGraph registers a molecular interaction graph.
+func (s *Store) RegisterInteractionGraph(g *interact.Graph) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.igraphs[g.ID]; dup {
+		return fmt.Errorf("%w: interaction graph %s", ErrDuplicate, g.ID)
+	}
+	tbl, err := s.rel.Table(string(TypeInteraction))
+	if err != nil {
+		return err
+	}
+	row := relstore.Row{
+		relstore.S(g.ID), relstore.I(int64(g.NumMolecules())), relstore.I(int64(g.NumInteractions())),
+	}
+	if err := tbl.Insert(row); err != nil {
+		return err
+	}
+	s.igraphs[g.ID] = g
+	s.graph.AddNode(agraph.Object(string(TypeInteraction), g.ID))
+	return nil
+}
+
+// InteractionGraph returns a registered interaction graph.
+func (s *Store) InteractionGraph(id string) (*interact.Graph, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	g, ok := s.igraphs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: interaction graph %s", ErrNoSuchObject, id)
+	}
+	return g, nil
+}
+
+// RegisterImage registers an image; its coordinate system must have been
+// registered first.
+func (s *Store) RegisterImage(im *imaging.Image) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.images[im.ID]; dup {
+		return fmt.Errorf("%w: image %s", ErrDuplicate, im.ID)
+	}
+	if _, ok := s.systems[im.System]; !ok {
+		return fmt.Errorf("%w: %s (register it before image %s)", ErrNoSuchSystem, im.System, im.ID)
+	}
+	tbl, err := s.rel.Table(string(TypeImage))
+	if err != nil {
+		return err
+	}
+	fp := im.Footprint()
+	row := relstore.Row{
+		relstore.S(im.ID), relstore.S(im.System), relstore.S(im.Modality),
+		relstore.S(im.Subject), relstore.I(int64(im.Local.Dims)),
+		relstore.F(fp.Min[0]), relstore.F(fp.Min[1]), relstore.F(fp.Min[2]),
+		relstore.F(fp.Max[0]), relstore.F(fp.Max[1]), relstore.F(fp.Max[2]),
+	}
+	if err := tbl.Insert(row); err != nil {
+		return err
+	}
+	s.images[im.ID] = im
+	s.graph.AddNode(agraph.Object(string(TypeImage), im.ID))
+	return nil
+}
+
+// Image returns a registered image.
+func (s *Store) Image(id string) (*imaging.Image, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	im, ok := s.images[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: image %s", ErrNoSuchObject, id)
+	}
+	return im, nil
+}
+
+// Images returns the IDs of all registered images, sorted.
+func (s *Store) Images() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.images))
+	for id := range s.images {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SequenceIDs returns the IDs of all registered sequences, sorted.
+func (s *Store) SequenceIDs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.seqs))
+	for id := range s.seqs {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AlignmentIDs returns the IDs of all registered alignments, sorted.
+func (s *Store) AlignmentIDs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.alignments))
+	for id := range s.alignments {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TreeIDs returns the IDs of all registered phylogenetic trees, sorted.
+func (s *Store) TreeIDs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.trees))
+	for id := range s.trees {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// InteractionGraphIDs returns the IDs of all registered interaction
+// graphs, sorted.
+func (s *Store) InteractionGraphIDs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.igraphs))
+	for id := range s.igraphs {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CoordinateSystems returns the names of all registered coordinate
+// systems, sorted.
+func (s *Store) CoordinateSystems() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.systems))
+	for name := range s.systems {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RecordTables returns the names of all user record tables, sorted.
+func (s *Store) RecordTables() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.recordTables))
+	for name := range s.recordTables {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CreateRecordTable creates a user-defined relational table whose rows can
+// be annotated as record-set referents (the demo's "relational records").
+func (s *Store) CreateRecordTable(schema *relstore.Schema) (*relstore.Table, error) {
+	tbl, err := s.rel.CreateTable(schema)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.recordTables[schema.Name] = true
+	s.mu.Unlock()
+	return tbl, nil
+}
+
+// InsertRecord inserts a row into a user record table and registers the
+// row as an annotatable object.
+func (s *Store) InsertRecord(table string, row relstore.Row) error {
+	s.mu.RLock()
+	isRecord := s.recordTables[table]
+	s.mu.RUnlock()
+	if !isRecord {
+		return fmt.Errorf("%w: record table %s", ErrNoSuchObject, table)
+	}
+	tbl, err := s.rel.Table(table)
+	if err != nil {
+		return err
+	}
+	if err := tbl.Insert(row); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Stats summarises the store for the admin workflow.
+type Stats struct {
+	Annotations       int
+	Referents         int
+	Sequences         int
+	Alignments        int
+	Trees             int
+	InteractionGraphs int
+	Images            int
+	Ontologies        int
+	IntervalTrees     int
+	RTrees            int
+	GraphNodes        int
+	GraphEdges        int
+	Keywords          int
+}
+
+// Stats returns current component sizes.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{
+		Annotations:       len(s.annotations),
+		Referents:         len(s.referents),
+		Sequences:         len(s.seqs),
+		Alignments:        len(s.alignments),
+		Trees:             len(s.trees),
+		InteractionGraphs: len(s.igraphs),
+		Images:            len(s.images),
+		Ontologies:        len(s.ontologies),
+		IntervalTrees:     len(s.itrees),
+		RTrees:            len(s.rtrees),
+		GraphNodes:        s.graph.NodeCount(),
+		GraphEdges:        s.graph.EdgeCount(),
+		Keywords:          len(s.keywordIdx),
+	}
+}

@@ -1,0 +1,161 @@
+// Package dublincore models the Dublin Core metadata element set used in
+// Graphitti annotation contents.
+//
+// The paper specifies that "the annotation content produced by Graphitti is
+// an XML document whose elements consist of Dublin core attributes and
+// other user-defined tags". This package provides the fifteen elements of
+// the Dublin Core Metadata Element Set 1.1, a Record holding repeatable
+// element values, validation, and conversion to/from the xmldoc model.
+package dublincore
+
+import (
+	"fmt"
+	"sort"
+
+	"graphitti/internal/xmldoc"
+)
+
+// Element is one of the fifteen Dublin Core elements.
+type Element string
+
+// The Dublin Core Metadata Element Set, version 1.1.
+const (
+	Title       Element = "title"
+	Creator     Element = "creator"
+	Subject     Element = "subject"
+	Description Element = "description"
+	Publisher   Element = "publisher"
+	Contributor Element = "contributor"
+	Date        Element = "date"
+	Type        Element = "type"
+	Format      Element = "format"
+	Identifier  Element = "identifier"
+	Source      Element = "source"
+	Language    Element = "language"
+	Relation    Element = "relation"
+	Coverage    Element = "coverage"
+	Rights      Element = "rights"
+)
+
+// Elements lists all fifteen elements in canonical order.
+var Elements = []Element{
+	Title, Creator, Subject, Description, Publisher, Contributor, Date,
+	Type, Format, Identifier, Source, Language, Relation, Coverage, Rights,
+}
+
+var valid = func() map[Element]bool {
+	m := make(map[Element]bool, len(Elements))
+	for _, e := range Elements {
+		m[e] = true
+	}
+	return m
+}()
+
+// IsValid reports whether e is one of the fifteen Dublin Core elements.
+func (e Element) IsValid() bool { return valid[e] }
+
+// Record is a set of Dublin Core element values. All elements are optional
+// and repeatable, per the DCMES specification.
+type Record struct {
+	values map[Element][]string
+}
+
+// Set replaces the values of element e.
+func (r *Record) Set(e Element, vals ...string) error {
+	if !e.IsValid() {
+		return fmt.Errorf("dublincore: unknown element %q", e)
+	}
+	if r.values == nil {
+		r.values = make(map[Element][]string)
+	}
+	r.values[e] = append([]string(nil), vals...)
+	return nil
+}
+
+// Add appends a value to element e.
+func (r *Record) Add(e Element, val string) error {
+	if !e.IsValid() {
+		return fmt.Errorf("dublincore: unknown element %q", e)
+	}
+	if r.values == nil {
+		r.values = make(map[Element][]string)
+	}
+	r.values[e] = append(r.values[e], val)
+	return nil
+}
+
+// Get returns the values of element e (nil when unset).
+func (r *Record) Get(e Element) []string {
+	return r.values[e]
+}
+
+// First returns the first value of element e, or "".
+func (r *Record) First(e Element) string {
+	if vs := r.values[e]; len(vs) > 0 {
+		return vs[0]
+	}
+	return ""
+}
+
+// Len returns the total number of element values.
+func (r *Record) Len() int {
+	n := 0
+	for _, vs := range r.values {
+		n += len(vs)
+	}
+	return n
+}
+
+// Elements returns the elements that have at least one value, in canonical
+// order.
+func (r *Record) Elements() []Element {
+	var out []Element
+	for _, e := range Elements {
+		if len(r.values[e]) > 0 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// AppendXML writes the record's elements as children of parent, one
+// <dc:element> child per value, in canonical element order.
+func (r *Record) AppendXML(doc *xmldoc.Document, parent *xmldoc.Node) {
+	for _, e := range r.Elements() {
+		vs := append([]string(nil), r.values[e]...)
+		sort.Strings(vs)
+		for _, v := range vs {
+			doc.AddElementText(parent, "dc:"+string(e), v)
+		}
+	}
+}
+
+// FromXML reads Dublin Core values from the children of parent. Elements
+// are recognised both with and without the "dc:" prefix; non-DC children
+// are ignored.
+func FromXML(parent *xmldoc.Node) *Record {
+	r := &Record{}
+	for _, c := range parent.ChildElements("") {
+		name := c.Name
+		if len(name) > 3 && name[:3] == "dc:" {
+			name = name[3:]
+		}
+		e := Element(name)
+		if e.IsValid() {
+			_ = r.Add(e, c.Text())
+		}
+	}
+	return r
+}
+
+// Validate checks that a record intended for a Graphitti annotation has the
+// minimal fields the system relies on: at least one creator and a date.
+func (r *Record) Validate() error {
+	if len(r.Get(Creator)) == 0 {
+		return fmt.Errorf("dublincore: record has no %s", Creator)
+	}
+	if len(r.Get(Date)) == 0 {
+		return fmt.Errorf("dublincore: record has no %s", Date)
+	}
+	return nil
+}

@@ -1,0 +1,419 @@
+// Package httpapi exposes a Graphitti store over HTTP/JSON.
+//
+// The paper's demonstration is a three-tab GUI; this API is the
+// service-shaped equivalent a modern deployment would put behind such a
+// front-end. Endpoints map one-to-one onto the tabs:
+//
+//	annotation tab:  POST /api/annotations, GET /api/objects
+//	query tab:       POST /api/search, POST /api/query,
+//	                 GET  /api/annotations/{id}/related,
+//	                 GET  /api/annotations/{id}/correlated,
+//	                 GET  /api/referents
+//	admin tab:       GET /api/stats, DELETE /api/annotations/{id},
+//	                 GET /api/snapshot
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"graphitti/internal/core"
+	"graphitti/internal/interval"
+	"graphitti/internal/persist"
+	"graphitti/internal/query"
+	"graphitti/internal/rtree"
+)
+
+// NewHandler returns an http.Handler serving the API for one store.
+func NewHandler(s *core.Store) http.Handler {
+	api := &server{store: s, proc: query.NewProcessor(s)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/stats", api.stats)
+	mux.HandleFunc("GET /api/annotations", api.listAnnotations)
+	mux.HandleFunc("POST /api/annotations", api.createAnnotation)
+	mux.HandleFunc("GET /api/annotations/{id}", api.getAnnotation)
+	mux.HandleFunc("DELETE /api/annotations/{id}", api.deleteAnnotation)
+	mux.HandleFunc("GET /api/annotations/{id}/related", api.related)
+	mux.HandleFunc("GET /api/annotations/{id}/correlated", api.correlated)
+	mux.HandleFunc("POST /api/search", api.search)
+	mux.HandleFunc("POST /api/query", api.runQuery)
+	mux.HandleFunc("GET /api/referents", api.referents)
+	mux.HandleFunc("GET /api/objects", api.objects)
+	mux.HandleFunc("GET /api/snapshot", api.snapshot)
+	return mux
+}
+
+type server struct {
+	store *core.Store
+	proc  *query.Processor
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, core.ErrNoSuchAnnotation),
+		errors.Is(err, core.ErrNoSuchObject),
+		errors.Is(err, core.ErrNoSuchReferent),
+		errors.Is(err, core.ErrNoSuchOntology),
+		errors.Is(err, core.ErrNoSuchTerm),
+		errors.Is(err, core.ErrNoSuchSystem):
+		status = http.StatusNotFound
+	case errors.Is(err, core.ErrBadMark),
+		errors.Is(err, core.ErrEmptyAnnotation),
+		errors.Is(err, query.ErrSyntax):
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.store.Stats())
+}
+
+// annotationView is the JSON projection of an annotation.
+type annotationView struct {
+	ID       uint64         `json:"id"`
+	Creator  string         `json:"creator"`
+	Date     string         `json:"date"`
+	Title    string         `json:"title,omitempty"`
+	Terms    []core.TermRef `json:"terms,omitempty"`
+	Referent []uint64       `json:"referents,omitempty"`
+	XML      string         `json:"xml"`
+}
+
+func viewOf(ann *core.Annotation) annotationView {
+	return annotationView{
+		ID:       ann.ID,
+		Creator:  ann.DC.First("creator"),
+		Date:     ann.DC.First("date"),
+		Title:    ann.DC.First("title"),
+		Terms:    ann.Terms,
+		Referent: ann.ReferentIDs,
+		XML:      ann.Content.String(),
+	}
+}
+
+func (s *server) listAnnotations(w http.ResponseWriter, r *http.Request) {
+	keyword := r.URL.Query().Get("keyword")
+	var out []annotationView
+	if keyword != "" {
+		for _, ann := range s.store.SearchKeyword(keyword, true) {
+			out = append(out, viewOf(ann))
+		}
+	} else {
+		for _, id := range s.store.AnnotationIDs() {
+			ann, err := s.store.Annotation(id)
+			if err != nil {
+				continue
+			}
+			out = append(out, viewOf(ann))
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) getAnnotation(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	ann, err := s.store.Annotation(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, viewOf(ann))
+}
+
+func (s *server) deleteAnnotation(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if err := s.store.DeleteAnnotation(id); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// markSpec describes one referent in an annotation request.
+type markSpec struct {
+	Type string `json:"type"` // interval|sequence|region|clade|subgraph|block|object
+	// interval / sequence / block
+	Domain string `json:"domain,omitempty"`
+	SeqID  string `json:"seqId,omitempty"`
+	Lo     int64  `json:"lo,omitempty"`
+	Hi     int64  `json:"hi,omitempty"`
+	// region
+	ImageID string    `json:"imageId,omitempty"`
+	Rect    []float64 `json:"rect,omitempty"` // x0,y0,x1,y1 or 3-D with 6
+	// clade / subgraph / block rows
+	ObjectID string   `json:"objectId,omitempty"`
+	Keys     []string `json:"keys,omitempty"`
+	// object
+	ObjectType string `json:"objectType,omitempty"`
+}
+
+type annotationRequest struct {
+	Creator string            `json:"creator"`
+	Date    string            `json:"date"`
+	Title   string            `json:"title,omitempty"`
+	Body    string            `json:"body,omitempty"`
+	Tags    map[string]string `json:"tags,omitempty"`
+	Marks   []markSpec        `json:"marks"`
+	Terms   []core.TermRef    `json:"terms,omitempty"`
+}
+
+func (s *server) createAnnotation(w http.ResponseWriter, r *http.Request) {
+	var req annotationRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	b := s.store.NewAnnotation().Creator(req.Creator).Date(req.Date).Body(req.Body)
+	if req.Title != "" {
+		b.Title(req.Title)
+	}
+	for name, val := range req.Tags {
+		b.Tag(name, val)
+	}
+	for i, m := range req.Marks {
+		ref, err := s.resolveMark(m)
+		if err != nil {
+			writeErr(w, fmt.Errorf("mark %d: %w", i, err))
+			return
+		}
+		b.Refer(ref)
+	}
+	for _, tr := range req.Terms {
+		b.OntologyRef(tr.Ontology, tr.TermID)
+	}
+	ann, err := s.store.Commit(b)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, viewOf(ann))
+}
+
+func (s *server) resolveMark(m markSpec) (*core.Referent, error) {
+	switch m.Type {
+	case "interval":
+		return s.store.MarkDomainInterval(m.Domain, interval.Interval{Lo: m.Lo, Hi: m.Hi})
+	case "sequence":
+		return s.store.MarkSequenceInterval(m.SeqID, interval.Interval{Lo: m.Lo, Hi: m.Hi})
+	case "region":
+		rect, err := rectOf(m.Rect)
+		if err != nil {
+			return nil, err
+		}
+		return s.store.MarkImageRegion(m.ImageID, rect)
+	case "clade":
+		return s.store.MarkClade(m.ObjectID, m.Keys...)
+	case "subgraph":
+		return s.store.MarkSubgraph(m.ObjectID, m.Keys...)
+	case "block":
+		return s.store.MarkAlignmentBlock(m.ObjectID, m.Keys, interval.Interval{Lo: m.Lo, Hi: m.Hi})
+	case "object":
+		return s.store.MarkObject(core.ObjectType(m.ObjectType), m.ObjectID)
+	default:
+		return nil, fmt.Errorf("%w: unknown mark type %q", core.ErrBadMark, m.Type)
+	}
+}
+
+func rectOf(coords []float64) (rtree.Rect, error) {
+	switch len(coords) {
+	case 4:
+		return rtree.Rect2D(coords[0], coords[1], coords[2], coords[3]), nil
+	case 6:
+		return rtree.Rect3D(coords[0], coords[1], coords[2], coords[3], coords[4], coords[5]), nil
+	default:
+		return rtree.Rect{}, fmt.Errorf("%w: rect wants 4 or 6 coordinates, got %d",
+			core.ErrBadMark, len(coords))
+	}
+}
+
+func (s *server) related(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	rel, err := s.store.RelatedAnnotations(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	out := make([]annotationView, 0, len(rel))
+	for _, ann := range rel {
+		out = append(out, viewOf(ann))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) correlated(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	items, err := s.store.CorrelatedData(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	type item struct {
+		Kind        string `json:"kind"`
+		Key         string `json:"key"`
+		Label       string `json:"label"`
+		Description string `json:"description"`
+	}
+	out := make([]item, 0, len(items))
+	for _, it := range items {
+		out = append(out, item{
+			Kind: it.Node.Kind.String(), Key: it.Node.Key,
+			Label: string(it.Label), Description: it.Description,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type searchRequest struct {
+	Expr string `json:"expr"`
+}
+
+func (s *server) search(w http.ResponseWriter, r *http.Request) {
+	var req searchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	anns, err := s.store.SearchContents(req.Expr)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	out := make([]annotationView, 0, len(anns))
+	for _, ann := range anns {
+		out = append(out, viewOf(ann))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type queryRequest struct {
+	Query      string `json:"query"`
+	MaxResults int    `json:"maxResults,omitempty"`
+}
+
+type queryResponse struct {
+	Matches     int              `json:"matches"`
+	Order       []string         `json:"order"`
+	Annotations []annotationView `json:"annotations,omitempty"`
+	Referents   []string         `json:"referents,omitempty"`
+	Subgraphs   []subgraphView   `json:"subgraphs,omitempty"`
+}
+
+type subgraphView struct {
+	Nodes []string `json:"nodes"`
+	Edges int      `json:"edges"`
+}
+
+func (s *server) runQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	opts := query.DefaultOptions
+	opts.MaxResults = req.MaxResults
+	res, err := s.proc.Execute(req.Query, opts)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	resp := queryResponse{Matches: res.Stats.Matches, Order: res.Stats.Order}
+	for _, ann := range res.Annotations {
+		resp.Annotations = append(resp.Annotations, viewOf(ann))
+	}
+	for _, ref := range res.Referents {
+		resp.Referents = append(resp.Referents, ref.String())
+	}
+	for _, sg := range res.Subgraphs {
+		sv := subgraphView{Edges: sg.EdgeCount()}
+		for _, n := range sg.Nodes {
+			sv.Nodes = append(sv.Nodes, n.String())
+		}
+		resp.Subgraphs = append(resp.Subgraphs, sv)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) referents(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	domain := q.Get("domain")
+	if domain == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "domain parameter required"})
+		return
+	}
+	pos, err := strconv.ParseInt(q.Get("pos"), 10, 64)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "pos parameter required"})
+		return
+	}
+	refs := s.store.ReferentsAt(domain, pos)
+	out := make([]string, 0, len(refs))
+	for _, ref := range refs {
+		out = append(out, ref.String())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// objects lists the registered data objects, optionally filtered by type.
+func (s *server) objects(w http.ResponseWriter, r *http.Request) {
+	typeFilter := r.URL.Query().Get("type")
+	type objectView struct {
+		Type string `json:"type"`
+		ID   string `json:"id"`
+	}
+	out := []objectView{}
+	for _, h := range s.store.ObjectList() {
+		if typeFilter != "" && string(h.Type) != typeFilter {
+			continue
+		}
+		out = append(out, objectView{Type: string(h.Type), ID: h.ID})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) snapshot(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := persist.Write(s.store, w); err != nil {
+		// Headers are gone; best effort.
+		fmt.Fprintf(w, `{"error":%q}`, err.Error())
+	}
+}
+
+func pathID(r *http.Request) (uint64, error) {
+	raw := r.PathValue("id")
+	id, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: bad annotation id %q", core.ErrNoSuchAnnotation, raw)
+	}
+	return id, nil
+}

@@ -1,0 +1,97 @@
+package interval
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Scan is a naive, unindexed collection of intervals that answers the same
+// queries as Tree by linear search. It is the baseline for the A2 ablation
+// (interval tree vs. scan) and the oracle for the tree's property tests.
+type Scan[V any] struct {
+	entries []Entry[V]
+	ids     map[uint64]int
+}
+
+// Len reports the number of entries.
+func (s *Scan[V]) Len() int { return len(s.entries) }
+
+// Insert adds an entry, enforcing the same contract as Tree.Insert.
+func (s *Scan[V]) Insert(iv Interval, id uint64, val V) error {
+	if !iv.Valid() {
+		return fmt.Errorf("%w: %v", ErrInvalid, iv)
+	}
+	if s.ids == nil {
+		s.ids = make(map[uint64]int)
+	}
+	if _, dup := s.ids[id]; dup {
+		return fmt.Errorf("%w: %d", ErrDuplicateID, id)
+	}
+	s.ids[id] = len(s.entries)
+	s.entries = append(s.entries, Entry[V]{Interval: iv, ID: id, Value: val})
+	return nil
+}
+
+// Delete removes the entry with the given ID, reporting whether it existed.
+func (s *Scan[V]) Delete(id uint64) bool {
+	i, ok := s.ids[id]
+	if !ok {
+		return false
+	}
+	last := len(s.entries) - 1
+	s.entries[i] = s.entries[last]
+	s.ids[s.entries[i].ID] = i
+	s.entries = s.entries[:last]
+	delete(s.ids, id)
+	return true
+}
+
+// Stab returns all entries containing p in (Lo, Hi, ID) order.
+func (s *Scan[V]) Stab(p int64) []Entry[V] {
+	return s.Overlapping(Interval{p, p + 1})
+}
+
+// Overlapping returns all entries overlapping q in (Lo, Hi, ID) order.
+func (s *Scan[V]) Overlapping(q Interval) []Entry[V] {
+	if !q.Valid() {
+		return nil
+	}
+	var out []Entry[V]
+	for _, e := range s.entries {
+		if e.Overlaps(q) {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+	return out
+}
+
+// CountOverlapping returns the number of entries overlapping q.
+func (s *Scan[V]) CountOverlapping(q Interval) int {
+	if !q.Valid() {
+		return 0
+	}
+	n := 0
+	for _, e := range s.entries {
+		if e.Overlaps(q) {
+			n++
+		}
+	}
+	return n
+}
+
+// Next returns the first entry after iv in (Lo, Hi, ID) order, mirroring
+// Tree.Next.
+func (s *Scan[V]) Next(iv Interval) (Entry[V], bool) {
+	var best Entry[V]
+	found := false
+	for _, e := range s.entries {
+		if e.Lo < iv.Hi {
+			continue
+		}
+		if !found || less(e, best) {
+			best, found = e, true
+		}
+	}
+	return best, found
+}

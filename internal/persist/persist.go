@@ -1,0 +1,618 @@
+// Package persist serialises a Graphitti store to a portable JSON snapshot
+// and rebuilds stores from snapshots.
+//
+// The snapshot is a logical export — registered ontologies, coordinate
+// systems, data objects, record tables and annotations — not a byte-level
+// image. Load replays the snapshot through the normal registration and
+// commit pipeline, so every index (interval trees, R-trees, keyword index,
+// a-graph) is rebuilt consistently and all invariants re-checked.
+// Annotation and referent IDs are reassigned densely in commit order;
+// identical marks re-deduplicate into shared referents exactly as they did
+// originally.
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"graphitti/internal/biodata/imaging"
+	"graphitti/internal/biodata/interact"
+	"graphitti/internal/biodata/msa"
+	"graphitti/internal/biodata/phylo"
+	"graphitti/internal/biodata/seq"
+	"graphitti/internal/core"
+	"graphitti/internal/dublincore"
+	"graphitti/internal/interval"
+	"graphitti/internal/ontology"
+	"graphitti/internal/relstore"
+	"graphitti/internal/rtree"
+)
+
+// Version identifies the snapshot format.
+const Version = 1
+
+// Snapshot is the portable representation of a store.
+type Snapshot struct {
+	Version      int              `json:"version"`
+	Ontologies   []OntologyDump   `json:"ontologies,omitempty"`
+	Systems      []SystemDump     `json:"systems,omitempty"`
+	Sequences    []SequenceDump   `json:"sequences,omitempty"`
+	Alignments   []AlignmentDump  `json:"alignments,omitempty"`
+	Trees        []TreeDump       `json:"trees,omitempty"`
+	Graphs       []GraphDump      `json:"graphs,omitempty"`
+	Images       []ImageDump      `json:"images,omitempty"`
+	RecordTables []TableDump      `json:"recordTables,omitempty"`
+	Annotations  []AnnotationDump `json:"annotations,omitempty"`
+}
+
+// OntologyDump serialises a term graph.
+type OntologyDump struct {
+	Name  string     `json:"name"`
+	Terms []TermDump `json:"terms"`
+	Edges []EdgeDump `json:"edges,omitempty"`
+}
+
+// TermDump serialises one ontology term.
+type TermDump struct {
+	ID       string   `json:"id"`
+	Name     string   `json:"name,omitempty"`
+	Def      string   `json:"def,omitempty"`
+	Synonyms []string `json:"synonyms,omitempty"`
+}
+
+// EdgeDump serialises one quantified relationship.
+type EdgeDump struct {
+	From  string `json:"from"`
+	To    string `json:"to"`
+	Rel   string `json:"rel"`
+	Quant uint8  `json:"quant,omitempty"`
+}
+
+// SystemDump serialises a coordinate system.
+type SystemDump struct {
+	Name   string        `json:"name"`
+	Bounds [2][3]float64 `json:"bounds"`
+	Dims   int           `json:"dims"`
+}
+
+// SequenceDump serialises a sequence.
+type SequenceDump struct {
+	ID          string `json:"id"`
+	Kind        uint8  `json:"kind"`
+	Description string `json:"description,omitempty"`
+	Domain      string `json:"domain"`
+	Offset      int64  `json:"offset"`
+	Residues    string `json:"residues"`
+}
+
+// AlignmentDump serialises an alignment.
+type AlignmentDump struct {
+	ID     string   `json:"id"`
+	RowIDs []string `json:"rowIds"`
+	Rows   []string `json:"rows"`
+}
+
+// TreeDump serialises a phylogenetic tree.
+type TreeDump struct {
+	ID     string `json:"id"`
+	Newick string `json:"newick"`
+}
+
+// GraphDump serialises an interaction graph.
+type GraphDump struct {
+	ID           string            `json:"id"`
+	Molecules    []MoleculeDump    `json:"molecules"`
+	Interactions []InteractionDump `json:"interactions,omitempty"`
+}
+
+// MoleculeDump serialises an interaction-graph node.
+type MoleculeDump struct {
+	ID   string `json:"id"`
+	Name string `json:"name,omitempty"`
+	Type uint8  `json:"type"`
+}
+
+// InteractionDump serialises one interaction.
+type InteractionDump struct {
+	A     string  `json:"a"`
+	B     string  `json:"b"`
+	Kind  string  `json:"kind"`
+	Score float64 `json:"score,omitempty"`
+}
+
+// ImageDump serialises a registered image.
+type ImageDump struct {
+	ID       string        `json:"id"`
+	System   string        `json:"system"`
+	Modality string        `json:"modality,omitempty"`
+	Subject  string        `json:"subject,omitempty"`
+	Dims     int           `json:"dims"`
+	Local    [2][3]float64 `json:"local"`
+	Scale    [3]float64    `json:"scale"`
+	Offset   [3]float64    `json:"offset"`
+}
+
+// TableDump serialises a user record table.
+type TableDump struct {
+	Name    string        `json:"name"`
+	Key     string        `json:"key"`
+	Columns []ColumnDump  `json:"columns"`
+	Rows    [][]ValueDump `json:"rows,omitempty"`
+}
+
+// ColumnDump serialises a column definition.
+type ColumnDump struct {
+	Name    string `json:"name"`
+	Type    uint8  `json:"type"`
+	NotNull bool   `json:"notNull,omitempty"`
+}
+
+// ValueDump serialises one typed cell. T is one of "null", "i", "f", "s",
+// "b", "bytes".
+type ValueDump struct {
+	T     string  `json:"t"`
+	I     int64   `json:"i,omitempty"`
+	F     float64 `json:"f,omitempty"`
+	S     string  `json:"s,omitempty"`
+	B     bool    `json:"b,omitempty"`
+	Bytes []byte  `json:"bytes,omitempty"`
+}
+
+// AnnotationDump serialises an annotation for replay.
+type AnnotationDump struct {
+	DC        map[string][]string `json:"dc"`
+	Body      string              `json:"body,omitempty"`
+	Tags      []TagDump           `json:"tags,omitempty"`
+	Referents []ReferentDump      `json:"referents,omitempty"`
+	Terms     []TermRefDump       `json:"terms,omitempty"`
+}
+
+// TagDump is one user-defined tag.
+type TagDump struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// TermRefDump references an ontology term.
+type TermRefDump struct {
+	Ontology string `json:"ontology"`
+	Term     string `json:"term"`
+}
+
+// ReferentDump serialises a mark.
+type ReferentDump struct {
+	Kind       uint8         `json:"kind"`
+	ObjectType string        `json:"objectType"`
+	ObjectID   string        `json:"objectId"`
+	Domain     string        `json:"domain"`
+	Lo         int64         `json:"lo,omitempty"`
+	Hi         int64         `json:"hi,omitempty"`
+	Rect       [2][3]float64 `json:"rect,omitempty"`
+	RectDims   int           `json:"rectDims,omitempty"`
+	Keys       []string      `json:"keys,omitempty"`
+}
+
+// Export captures the store as a snapshot.
+func Export(s *core.Store) (*Snapshot, error) {
+	snap := &Snapshot{Version: Version}
+
+	for _, name := range s.Ontologies() {
+		o, err := s.Ontology(name)
+		if err != nil {
+			return nil, err
+		}
+		snap.Ontologies = append(snap.Ontologies, dumpOntology(o))
+	}
+	for _, name := range s.CoordinateSystems() {
+		cs, err := s.CoordinateSystem(name)
+		if err != nil {
+			return nil, err
+		}
+		snap.Systems = append(snap.Systems, SystemDump{
+			Name: cs.Name, Dims: cs.Dims,
+			Bounds: [2][3]float64{cs.Bounds.Min, cs.Bounds.Max},
+		})
+	}
+	for _, id := range s.SequenceIDs() {
+		sq, _, err := s.Sequence(id)
+		if err != nil {
+			return nil, err
+		}
+		snap.Sequences = append(snap.Sequences, SequenceDump{
+			ID: sq.ID, Kind: uint8(sq.Kind), Description: sq.Description,
+			Domain: sq.Domain, Offset: sq.Offset, Residues: sq.Residues,
+		})
+	}
+	for _, id := range s.AlignmentIDs() {
+		a, err := s.Alignment(id)
+		if err != nil {
+			return nil, err
+		}
+		snap.Alignments = append(snap.Alignments, AlignmentDump{
+			ID: a.ID, RowIDs: a.RowIDs, Rows: a.Rows,
+		})
+	}
+	for _, id := range s.TreeIDs() {
+		t, err := s.Tree(id)
+		if err != nil {
+			return nil, err
+		}
+		snap.Trees = append(snap.Trees, TreeDump{ID: t.ID, Newick: t.Newick()})
+	}
+	for _, id := range s.InteractionGraphIDs() {
+		g, err := s.InteractionGraph(id)
+		if err != nil {
+			return nil, err
+		}
+		snap.Graphs = append(snap.Graphs, dumpGraph(g))
+	}
+	for _, id := range s.Images() {
+		im, err := s.Image(id)
+		if err != nil {
+			return nil, err
+		}
+		snap.Images = append(snap.Images, ImageDump{
+			ID: im.ID, System: im.System, Modality: im.Modality,
+			Subject: im.Subject, Dims: im.Local.Dims,
+			Local: [2][3]float64{im.Local.Min, im.Local.Max},
+			Scale: im.Reg.Scale, Offset: im.Reg.Offset,
+		})
+	}
+	for _, name := range s.RecordTables() {
+		td, err := dumpTable(s, name)
+		if err != nil {
+			return nil, err
+		}
+		snap.RecordTables = append(snap.RecordTables, td)
+	}
+	for _, annID := range s.AnnotationIDs() {
+		ann, err := s.Annotation(annID)
+		if err != nil {
+			return nil, err
+		}
+		ad, err := dumpAnnotation(s, ann)
+		if err != nil {
+			return nil, err
+		}
+		snap.Annotations = append(snap.Annotations, ad)
+	}
+	return snap, nil
+}
+
+// Write exports the store as JSON to w.
+func Write(s *core.Store, w io.Writer) error {
+	snap, err := Export(s)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(snap)
+}
+
+func dumpOntology(o *ontology.Ontology) OntologyDump {
+	d := OntologyDump{Name: o.Name()}
+	for _, id := range o.Terms() {
+		t, _ := o.Term(id)
+		d.Terms = append(d.Terms, TermDump{
+			ID: t.ID, Name: t.Name, Def: t.Def, Synonyms: t.Synonyms,
+		})
+		for _, e := range o.Parents(id) {
+			d.Edges = append(d.Edges, EdgeDump{
+				From: e.From, To: e.To, Rel: e.Rel, Quant: uint8(e.Quant),
+			})
+		}
+	}
+	sort.Slice(d.Edges, func(i, j int) bool {
+		if d.Edges[i].From != d.Edges[j].From {
+			return d.Edges[i].From < d.Edges[j].From
+		}
+		return d.Edges[i].To < d.Edges[j].To
+	})
+	return d
+}
+
+func dumpGraph(g *interact.Graph) GraphDump {
+	d := GraphDump{ID: g.ID}
+	for _, id := range g.Molecules() {
+		m, _ := g.Molecule(id)
+		d.Molecules = append(d.Molecules, MoleculeDump{
+			ID: m.ID, Name: m.Name, Type: uint8(m.Type),
+		})
+	}
+	for _, e := range g.Interactions() {
+		d.Interactions = append(d.Interactions, InteractionDump{
+			A: e.A, B: e.B, Kind: e.Kind, Score: e.Score,
+		})
+	}
+	return d
+}
+
+func dumpTable(s *core.Store, name string) (TableDump, error) {
+	tbl, err := s.Rel().Table(name)
+	if err != nil {
+		return TableDump{}, err
+	}
+	schema := tbl.Schema()
+	td := TableDump{Name: schema.Name, Key: schema.Key}
+	for _, c := range schema.Columns {
+		td.Columns = append(td.Columns, ColumnDump{
+			Name: c.Name, Type: uint8(c.Type), NotNull: c.NotNull,
+		})
+	}
+	var rows []relstore.Row
+	tbl.Scan(func(r relstore.Row) bool {
+		rows = append(rows, r.Clone())
+		return true
+	})
+	ki, err := schema.ColumnIndex(schema.Key)
+	if err != nil {
+		return TableDump{}, err
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if c, ok := rows[i][ki].Compare(rows[j][ki]); ok {
+			return c < 0
+		}
+		return false
+	})
+	for _, r := range rows {
+		vr := make([]ValueDump, len(r))
+		for i, v := range r {
+			vr[i] = dumpValue(v)
+		}
+		td.Rows = append(td.Rows, vr)
+	}
+	return td, nil
+}
+
+func dumpValue(v relstore.Value) ValueDump {
+	if v.IsNull() {
+		return ValueDump{T: "null"}
+	}
+	switch v.Type() {
+	case relstore.Int64:
+		return ValueDump{T: "i", I: v.Int()}
+	case relstore.Float64:
+		return ValueDump{T: "f", F: v.Float()}
+	case relstore.String:
+		return ValueDump{T: "s", S: v.Str()}
+	case relstore.Bool:
+		return ValueDump{T: "b", B: v.BoolVal()}
+	default:
+		return ValueDump{T: "bytes", Bytes: v.BytesVal()}
+	}
+}
+
+func restoreValue(d ValueDump) (relstore.Value, error) {
+	switch d.T {
+	case "null":
+		return relstore.Null, nil
+	case "i":
+		return relstore.I(d.I), nil
+	case "f":
+		return relstore.F(d.F), nil
+	case "s":
+		return relstore.S(d.S), nil
+	case "b":
+		return relstore.B(d.B), nil
+	case "bytes":
+		return relstore.Blob(d.Bytes), nil
+	default:
+		return relstore.Value{}, fmt.Errorf("persist: unknown value tag %q", d.T)
+	}
+}
+
+func dumpAnnotation(s *core.Store, ann *core.Annotation) (AnnotationDump, error) {
+	d := AnnotationDump{DC: map[string][]string{}}
+	for _, e := range ann.DC.Elements() {
+		d.DC[string(e)] = ann.DC.Get(e)
+	}
+	// Body and user tags live in the content document.
+	if body := ann.Content.Root.FirstChildElement("body"); body != nil {
+		d.Body = body.Text()
+	}
+	if tags := ann.Content.Root.FirstChildElement("tags"); tags != nil {
+		for _, el := range tags.ChildElements("") {
+			d.Tags = append(d.Tags, TagDump{Name: el.Name, Value: el.Text()})
+		}
+	}
+	for _, refID := range ann.ReferentIDs {
+		ref, err := s.Referent(refID)
+		if err != nil {
+			return d, err
+		}
+		rd := ReferentDump{
+			Kind:       uint8(ref.Kind),
+			ObjectType: string(ref.ObjectType),
+			ObjectID:   ref.ObjectID,
+			Domain:     ref.Domain,
+			Lo:         ref.Interval.Lo,
+			Hi:         ref.Interval.Hi,
+			Keys:       ref.Keys,
+		}
+		if ref.Kind == core.RegionReferent {
+			rd.Rect = [2][3]float64{ref.Region.Min, ref.Region.Max}
+			rd.RectDims = ref.Region.Dims
+		}
+		d.Referents = append(d.Referents, rd)
+	}
+	for _, tr := range ann.Terms {
+		d.Terms = append(d.Terms, TermRefDump{Ontology: tr.Ontology, Term: tr.TermID})
+	}
+	return d, nil
+}
+
+// Load rebuilds a store from a snapshot by replaying registrations and
+// commits through the normal pipeline.
+func Load(snap *Snapshot) (*core.Store, error) {
+	if snap.Version != Version {
+		return nil, fmt.Errorf("persist: snapshot version %d, want %d", snap.Version, Version)
+	}
+	s := core.NewStore()
+	for _, od := range snap.Ontologies {
+		o := ontology.New(od.Name)
+		for _, td := range od.Terms {
+			t, err := o.AddTerm(td.ID, td.Name)
+			if err != nil {
+				return nil, fmt.Errorf("persist: ontology %s: %w", od.Name, err)
+			}
+			t.Def = td.Def
+			t.Synonyms = td.Synonyms
+		}
+		for _, ed := range od.Edges {
+			if err := o.AddEdge(ed.From, ed.To, ed.Rel, ontology.Quantifier(ed.Quant)); err != nil {
+				return nil, fmt.Errorf("persist: ontology %s: %w", od.Name, err)
+			}
+		}
+		if err := s.RegisterOntology(o); err != nil {
+			return nil, err
+		}
+	}
+	for _, sd := range snap.Systems {
+		cs, err := imaging.NewCoordinateSystem(sd.Name, rtree.Rect{
+			Min: sd.Bounds[0], Max: sd.Bounds[1], Dims: sd.Dims,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("persist: system %s: %w", sd.Name, err)
+		}
+		if err := s.RegisterCoordinateSystem(cs); err != nil {
+			return nil, err
+		}
+	}
+	for _, qd := range snap.Sequences {
+		sq, err := seq.New(qd.ID, seq.Kind(qd.Kind), qd.Residues)
+		if err != nil {
+			return nil, fmt.Errorf("persist: sequence %s: %w", qd.ID, err)
+		}
+		sq.Description = qd.Description
+		sq.Domain = qd.Domain
+		sq.Offset = qd.Offset
+		if err := s.RegisterSequence(sq); err != nil {
+			return nil, err
+		}
+	}
+	for _, ad := range snap.Alignments {
+		a, err := msa.New(ad.ID, ad.RowIDs, ad.Rows)
+		if err != nil {
+			return nil, fmt.Errorf("persist: alignment %s: %w", ad.ID, err)
+		}
+		if err := s.RegisterAlignment(a); err != nil {
+			return nil, err
+		}
+	}
+	for _, td := range snap.Trees {
+		t, err := phylo.ParseNewick(td.ID, td.Newick)
+		if err != nil {
+			return nil, fmt.Errorf("persist: tree %s: %w", td.ID, err)
+		}
+		if err := s.RegisterTree(t); err != nil {
+			return nil, err
+		}
+	}
+	for _, gd := range snap.Graphs {
+		g := interact.NewGraph(gd.ID)
+		for _, md := range gd.Molecules {
+			if _, err := g.AddMolecule(md.ID, md.Name, interact.MoleculeType(md.Type)); err != nil {
+				return nil, fmt.Errorf("persist: graph %s: %w", gd.ID, err)
+			}
+		}
+		for _, ed := range gd.Interactions {
+			if err := g.AddInteraction(ed.A, ed.B, ed.Kind, ed.Score); err != nil {
+				return nil, fmt.Errorf("persist: graph %s: %w", gd.ID, err)
+			}
+		}
+		if err := s.RegisterInteractionGraph(g); err != nil {
+			return nil, err
+		}
+	}
+	for _, id := range snap.Images {
+		reg := imaging.Registration{Scale: id.Scale, Offset: id.Offset}
+		im, err := imaging.NewImage(id.ID, id.System, rtree.Rect{
+			Min: id.Local[0], Max: id.Local[1], Dims: id.Dims,
+		}, reg)
+		if err != nil {
+			return nil, fmt.Errorf("persist: image %s: %w", id.ID, err)
+		}
+		im.Modality = id.Modality
+		im.Subject = id.Subject
+		if err := s.RegisterImage(im); err != nil {
+			return nil, err
+		}
+	}
+	for _, td := range snap.RecordTables {
+		cols := make([]relstore.Column, len(td.Columns))
+		for i, cd := range td.Columns {
+			cols[i] = relstore.Column{Name: cd.Name, Type: relstore.Type(cd.Type), NotNull: cd.NotNull}
+		}
+		schema, err := relstore.NewSchema(td.Name, td.Key, cols...)
+		if err != nil {
+			return nil, fmt.Errorf("persist: table %s: %w", td.Name, err)
+		}
+		if _, err := s.CreateRecordTable(schema); err != nil {
+			return nil, err
+		}
+		for _, rd := range td.Rows {
+			row := make(relstore.Row, len(rd))
+			for i, vd := range rd {
+				v, err := restoreValue(vd)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+			if err := s.InsertRecord(td.Name, row); err != nil {
+				return nil, fmt.Errorf("persist: table %s: %w", td.Name, err)
+			}
+		}
+	}
+	for i, ad := range snap.Annotations {
+		b := s.NewAnnotation()
+		elems := make([]string, 0, len(ad.DC))
+		for e := range ad.DC {
+			elems = append(elems, e)
+		}
+		sort.Strings(elems)
+		for _, e := range elems {
+			b.DCElement(dublincore.Element(e), ad.DC[e]...)
+		}
+		if ad.Body != "" {
+			b.Body(ad.Body)
+		}
+		for _, tg := range ad.Tags {
+			b.Tag(tg.Name, tg.Value)
+		}
+		for _, rd := range ad.Referents {
+			ref := &core.Referent{
+				Kind:       core.ReferentKind(rd.Kind),
+				ObjectType: core.ObjectType(rd.ObjectType),
+				ObjectID:   rd.ObjectID,
+				Domain:     rd.Domain,
+				Interval:   interval.Interval{Lo: rd.Lo, Hi: rd.Hi},
+				Keys:       rd.Keys,
+			}
+			if ref.Kind == core.RegionReferent {
+				ref.Region = rtree.Rect{Min: rd.Rect[0], Max: rd.Rect[1], Dims: rd.RectDims}
+			}
+			b.Refer(ref)
+		}
+		for _, tr := range ad.Terms {
+			b.OntologyRef(tr.Ontology, tr.Term)
+		}
+		if _, err := s.Commit(b); err != nil {
+			return nil, fmt.Errorf("persist: annotation %d: %w", i, err)
+		}
+	}
+	return s, nil
+}
+
+// Read loads a snapshot from JSON and rebuilds the store.
+func Read(r io.Reader) (*core.Store, error) {
+	var snap Snapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&snap); err != nil {
+		return nil, fmt.Errorf("persist: decode: %w", err)
+	}
+	return Load(&snap)
+}

@@ -1,0 +1,201 @@
+package persist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"graphitti/internal/biodata/seq"
+	"graphitti/internal/core"
+	"graphitti/internal/interval"
+	"graphitti/internal/workload"
+	"graphitti/internal/xmldoc"
+)
+
+func influenzaStore(t *testing.T) *core.Store {
+	t.Helper()
+	cfg := workload.DefaultInfluenza
+	cfg.Annotations = 60
+	study, err := workload.Influenza(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return study.Store
+}
+
+func neuroStore(t *testing.T) *core.Store {
+	t.Helper()
+	study, err := workload.Neuroscience(workload.DefaultNeuro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return study.Store
+}
+
+// assertStoresEquivalent compares the observable state of two stores.
+func assertStoresEquivalent(t *testing.T, a, b *core.Store) {
+	t.Helper()
+	sa, sb := a.Stats(), b.Stats()
+	if sa != sb {
+		t.Fatalf("stats differ:\n a=%+v\n b=%+v", sa, sb)
+	}
+	idsA, idsB := a.AnnotationIDs(), b.AnnotationIDs()
+	if len(idsA) != len(idsB) {
+		t.Fatalf("annotation counts differ: %d vs %d", len(idsA), len(idsB))
+	}
+	for i := range idsA {
+		annA, err := a.Annotation(idsA[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		annB, err := b.Annotation(idsB[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !xmldoc.Equal(annA.Content, annB.Content) {
+			t.Fatalf("annotation %d content differs:\n%s\nvs\n%s",
+				idsA[i], annA.Content.String(), annB.Content.String())
+		}
+	}
+}
+
+func TestRoundTripInfluenza(t *testing.T) {
+	orig := influenzaStore(t)
+	var buf bytes.Buffer
+	if err := Write(orig, &buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStoresEquivalent(t, orig, restored)
+
+	// Queries behave identically on the restored store.
+	a := orig.SearchKeyword("protease", true)
+	b := restored.SearchKeyword("protease", true)
+	if len(a) != len(b) {
+		t.Fatalf("keyword results differ: %d vs %d", len(a), len(b))
+	}
+	ra := orig.ReferentsAt("segment1", 25)
+	rb := restored.ReferentsAt("segment1", 25)
+	if len(ra) != len(rb) {
+		t.Fatalf("stab results differ: %d vs %d", len(ra), len(rb))
+	}
+}
+
+func TestRoundTripNeuro(t *testing.T) {
+	orig := neuroStore(t)
+	var buf bytes.Buffer
+	if err := Write(orig, &buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStoresEquivalent(t, orig, restored)
+	// The R-tree rebuilt: same region query results.
+	imgs := orig.Images()
+	if len(imgs) == 0 {
+		t.Fatal("no images")
+	}
+}
+
+func TestRoundTripDoubleStable(t *testing.T) {
+	orig := influenzaStore(t)
+	var b1 bytes.Buffer
+	if err := Write(orig, &b1); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Read(bytes.NewReader(b1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b2 bytes.Buffer
+	if err := Write(restored, &b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("snapshot not stable under export/load/export")
+	}
+}
+
+func TestSharedReferentsSurviveReplay(t *testing.T) {
+	s := core.NewStore()
+	d, err := graphittiDNA("NC_1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterSequence(d); err != nil {
+		t.Fatal(err)
+	}
+	m1, _ := s.MarkSequenceInterval("NC_1", span(10, 50))
+	m2, _ := s.MarkSequenceInterval("NC_1", span(10, 50))
+	a1, err := s.Commit(s.NewAnnotation().Creator("a").Date("2008-01-01").Refer(m1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := s.Commit(s.NewAnnotation().Creator("b").Date("2008-01-02").Refer(m2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.ReferentIDs[0] != a2.ReferentIDs[0] {
+		t.Fatal("setup: marks not shared")
+	}
+	var buf bytes.Buffer
+	if err := Write(s, &buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := restored.AnnotationIDs()
+	r1, _ := restored.Annotation(ids[0])
+	r2, _ := restored.Annotation(ids[1])
+	if r1.ReferentIDs[0] != r2.ReferentIDs[0] {
+		t.Fatal("shared referent split during replay")
+	}
+	if restored.Stats().Referents != 1 {
+		t.Fatalf("referents = %d after replay", restored.Stats().Referents)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Read(strings.NewReader("{not json")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+	if _, err := Load(&Snapshot{Version: 99}); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+	// Annotation referencing an unknown ontology term fails cleanly.
+	snap := &Snapshot{
+		Version: Version,
+		Annotations: []AnnotationDump{{
+			DC:    map[string][]string{"creator": {"x"}, "date": {"2008-01-01"}},
+			Terms: []TermRefDump{{Ontology: "ghost", Term: "t"}},
+		}},
+	}
+	if _, err := Load(snap); err == nil {
+		t.Fatal("dangling term reference accepted")
+	}
+	// Bad value tag.
+	snap2 := &Snapshot{
+		Version: Version,
+		RecordTables: []TableDump{{
+			Name: "t", Key: "k",
+			Columns: []ColumnDump{{Name: "k", Type: 2}},
+			Rows:    [][]ValueDump{{{T: "wat"}}},
+		}},
+	}
+	if _, err := Load(snap2); err == nil {
+		t.Fatal("unknown value tag accepted")
+	}
+}
+
+func graphittiDNA(id string) (*seq.Sequence, error) {
+	return seq.New(id, seq.DNA, strings.Repeat("ACGT", 50))
+}
+
+func span(lo, hi int64) interval.Interval { return interval.Interval{Lo: lo, Hi: hi} }

@@ -1,0 +1,707 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"graphitti/internal/agraph"
+	"graphitti/internal/core"
+	"graphitti/internal/dublincore"
+	"graphitti/internal/subx"
+	"graphitti/internal/xquery"
+)
+
+// Processor executes parsed queries against a Graphitti store.
+type Processor struct {
+	store *core.Store
+}
+
+// NewProcessor returns a processor bound to a store.
+func NewProcessor(s *core.Store) *Processor { return &Processor{store: s} }
+
+// Options tune execution.
+type Options struct {
+	// OrderBySelectivity enables the paper's "finding a feasible order
+	// among these subqueries": variables are resolved smallest candidate
+	// set first, preferring variables joined to already-bound ones.
+	// Disabling it (ablation A5) binds variables in declaration order.
+	OrderBySelectivity bool
+	// MaxResults caps the number of matches (0 = unlimited).
+	MaxResults int
+}
+
+// DefaultOptions enable selectivity ordering.
+var DefaultOptions = Options{OrderBySelectivity: true}
+
+// Match binds each query variable to an a-graph node.
+type Match map[string]agraph.NodeRef
+
+// Stats reports how execution went (used by ablation A5 and tests).
+type Stats struct {
+	// CandidateCounts is the per-variable sub-query result size.
+	CandidateCounts map[string]int
+	// Order is the variable binding order the planner chose.
+	Order []string
+	// BindingsTried counts candidate assignments attempted.
+	BindingsTried int
+	// Matches is the number of accepted bindings.
+	Matches int
+}
+
+// Result is the outcome of a query, shaped per the paper's three result
+// forms: annotation contents, heterogeneous sub-structures, or connection
+// subgraphs.
+type Result struct {
+	Kind        SelectKind
+	Matches     []Match
+	Annotations []*core.Annotation // SelectContents
+	Referents   []*core.Referent   // SelectReferents
+	Subgraphs   []*agraph.Subgraph // SelectGraph (one per match)
+	Stats       Stats
+}
+
+// Execute parses and runs a query with the given options.
+func (p *Processor) Execute(src string, opts Options) (*Result, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return p.ExecuteParsed(q, opts)
+}
+
+// ExecuteParsed runs a parsed query.
+func (p *Processor) ExecuteParsed(q *Query, opts Options) (*Result, error) {
+	// Phase 1 — sub-query separation: resolve per-type candidate sets.
+	domains := make(map[string][]agraph.NodeRef, len(q.Vars))
+	stats := Stats{CandidateCounts: make(map[string]int, len(q.Vars))}
+	for i := range q.Vars {
+		v := &q.Vars[i]
+		cands, err := p.candidates(v)
+		if err != nil {
+			return nil, err
+		}
+		domains[v.Name] = cands
+		stats.CandidateCounts[v.Name] = len(cands)
+	}
+
+	// Phase 2 — feasible ordering.
+	order := p.planOrder(q, domains, opts.OrderBySelectivity)
+	stats.Order = order
+
+	// Phase 3 — joining along a-graph edges with backtracking. The query's
+	// own "limit N" clause applies unless the caller set a tighter cap.
+	limit := opts.MaxResults
+	if q.Limit > 0 && (limit == 0 || q.Limit < limit) {
+		limit = q.Limit
+	}
+	var matches []Match
+	binding := make(Match, len(q.Vars))
+	p.backtrack(q, domains, order, 0, binding, &matches, &stats, limit)
+	stats.Matches = len(matches)
+
+	// Phase 4 — collation into the selected result form.
+	res := &Result{Kind: q.Select, Matches: matches, Stats: stats}
+	if err := p.collate(q, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// candidates resolves one variable's sub-query against the store.
+func (p *Processor) candidates(v *VarDecl) ([]agraph.NodeRef, error) {
+	switch v.Class {
+	case ClassAnnotation:
+		return p.annotationCandidates(v)
+	case ClassReferent:
+		return p.referentCandidates(v)
+	case ClassObject:
+		return p.objectCandidates(v)
+	default:
+		return p.termCandidates(v)
+	}
+}
+
+func (p *Processor) annotationCandidates(v *VarDecl) ([]agraph.NodeRef, error) {
+	// Start from the most selective source available: a keyword.
+	var anns []*core.Annotation
+	seeded := false
+	for _, prop := range v.Props {
+		if prop.Kind == PropContains {
+			anns = p.store.SearchKeyword(prop.Str, true)
+			seeded = true
+			break
+		}
+	}
+	if !seeded {
+		for _, id := range p.store.AnnotationIDs() {
+			ann, err := p.store.Annotation(id)
+			if err != nil {
+				continue
+			}
+			anns = append(anns, ann)
+		}
+	}
+	var out []agraph.NodeRef
+	for _, ann := range anns {
+		ok, err := annotationMatches(ann, v.Props)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, agraph.ContentRoot(ann.ID))
+		}
+	}
+	return out, nil
+}
+
+func annotationMatches(ann *core.Annotation, props []Prop) (bool, error) {
+	for _, prop := range props {
+		switch prop.Kind {
+		case PropContains:
+			found := false
+			token := strings.ToLower(prop.Str)
+			for _, w := range ann.Content.Keywords() {
+				if w == token {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false, nil
+			}
+		case PropCreator:
+			match := false
+			for _, c := range ann.DC.Get(dublincore.Creator) {
+				if c == prop.Str {
+					match = true
+					break
+				}
+			}
+			if !match {
+				return false, nil
+			}
+		case PropXPath:
+			xq, err := xquery.Compile(prop.Str)
+			if err != nil {
+				return false, fmt.Errorf("query: xpath property: %w", err)
+			}
+			truthy, err := xq.EvalBool(ann.Content)
+			if err != nil {
+				return false, err
+			}
+			if !truthy {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+func (p *Processor) referentCandidates(v *VarDecl) ([]agraph.NodeRef, error) {
+	// Index-driven seeding when a spatial predicate names its space.
+	var seed []*core.Referent
+	seeded := false
+	var domain string
+	for _, prop := range v.Props {
+		if prop.Kind == PropDomain {
+			domain = prop.Str
+		}
+	}
+	for _, prop := range v.Props {
+		switch prop.Kind {
+		case PropOverlapsIv:
+			if domain != "" {
+				seed = p.store.ReferentsOverlapping(subx.IntervalMark{Domain: domain, IV: prop.Iv})
+				seeded = true
+			}
+		case PropOverlapsRect:
+			if domain != "" {
+				seed = p.store.ReferentsOverlapping(subx.RegionMark{System: domain, R: prop.Rect})
+				seeded = true
+			}
+		}
+		if seeded {
+			break
+		}
+	}
+	if !seeded {
+		seed = p.store.Referents()
+	}
+	var out []agraph.NodeRef
+	for _, r := range seed {
+		if referentMatches(r, v.Props) {
+			out = append(out, agraph.Referent(r.ID))
+		}
+	}
+	return out, nil
+}
+
+func referentMatches(r *core.Referent, props []Prop) bool {
+	for _, prop := range props {
+		switch prop.Kind {
+		case PropKindIs:
+			if r.Kind.String() != prop.Str {
+				return false
+			}
+		case PropDomain:
+			if r.Domain != prop.Str {
+				return false
+			}
+		case PropObjectIs:
+			if r.ObjectID != prop.Str {
+				return false
+			}
+		case PropOverlapsIv:
+			if r.Kind != core.IntervalReferent && r.Kind != core.BlockReferent {
+				return false
+			}
+			if !r.Interval.Overlaps(prop.Iv) {
+				return false
+			}
+		case PropOverlapsRect:
+			if r.Kind != core.RegionReferent || !r.Region.Overlaps(prop.Rect) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (p *Processor) objectCandidates(v *VarDecl) ([]agraph.NodeRef, error) {
+	var out []agraph.NodeRef
+	for _, h := range p.store.ObjectList() {
+		ok := true
+		for _, prop := range v.Props {
+			switch prop.Kind {
+			case PropType:
+				if string(h.Type) != prop.Str {
+					ok = false
+				}
+			case PropID:
+				if h.ID != prop.Str {
+					ok = false
+				}
+			}
+		}
+		if ok {
+			out = append(out, agraph.Object(string(h.Type), h.ID))
+		}
+	}
+	return out, nil
+}
+
+func (p *Processor) termCandidates(v *VarDecl) ([]agraph.NodeRef, error) {
+	var ontNames []string
+	for _, prop := range v.Props {
+		if prop.Kind == PropOntology {
+			ontNames = []string{prop.Str}
+		}
+	}
+	if ontNames == nil {
+		ontNames = p.store.Ontologies()
+	}
+	var out []agraph.NodeRef
+	for _, name := range ontNames {
+		o, err := p.store.Ontology(name)
+		if err != nil {
+			return nil, err
+		}
+		terms := o.Terms()
+		// Narrowing properties.
+		for _, prop := range v.Props {
+			switch prop.Kind {
+			case PropTermIs:
+				terms = filterStrings(terms, func(s string) bool { return s == prop.Str })
+			case PropNamed:
+				if t, ok := o.TermByName(prop.Str); ok {
+					terms = filterStrings(terms, func(s string) bool { return s == t.ID })
+				} else {
+					terms = nil
+				}
+			case PropUnder:
+				ci, err := o.CI(prop.Str)
+				if err != nil {
+					// The concept may belong to a different ontology in
+					// the unnamed case; treat as no candidates here.
+					terms = nil
+					continue
+				}
+				allowed := map[string]bool{prop.Str: true}
+				for _, t := range ci {
+					allowed[t] = true
+				}
+				terms = filterStrings(terms, func(s string) bool { return allowed[s] })
+			}
+		}
+		for _, t := range terms {
+			out = append(out, agraph.Term(name, t))
+		}
+	}
+	return out, nil
+}
+
+func filterStrings(in []string, keep func(string) bool) []string {
+	var out []string
+	for _, s := range in {
+		if keep(s) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// planOrder picks the variable binding order. With selectivity ordering,
+// the smallest unresolved candidate set joined to the bound set goes next
+// (falling back to the global smallest); otherwise declaration order.
+func (p *Processor) planOrder(q *Query, domains map[string][]agraph.NodeRef, bySelectivity bool) []string {
+	names := make([]string, len(q.Vars))
+	for i, v := range q.Vars {
+		names[i] = v.Name
+	}
+	if !bySelectivity {
+		return names
+	}
+	adjacent := make(map[string]map[string]bool)
+	for _, e := range q.Edges {
+		if adjacent[e.From] == nil {
+			adjacent[e.From] = make(map[string]bool)
+		}
+		if adjacent[e.To] == nil {
+			adjacent[e.To] = make(map[string]bool)
+		}
+		adjacent[e.From][e.To] = true
+		adjacent[e.To][e.From] = true
+	}
+	var order []string
+	bound := make(map[string]bool)
+	for len(order) < len(names) {
+		best := ""
+		bestConnected := false
+		for _, name := range names {
+			if bound[name] {
+				continue
+			}
+			connected := false
+			for b := range bound {
+				if adjacent[name][b] {
+					connected = true
+					break
+				}
+			}
+			if best == "" {
+				best, bestConnected = name, connected
+				continue
+			}
+			// Prefer connected variables; among equals, smaller domains.
+			switch {
+			case connected && !bestConnected:
+				best, bestConnected = name, connected
+			case connected == bestConnected && len(domains[name]) < len(domains[best]):
+				best, bestConnected = name, connected
+			}
+		}
+		order = append(order, best)
+		bound[best] = true
+	}
+	return order
+}
+
+func (p *Processor) backtrack(q *Query, domains map[string][]agraph.NodeRef,
+	order []string, depth int, binding Match, out *[]Match, stats *Stats, maxResults int) bool {
+	if maxResults > 0 && len(*out) >= maxResults {
+		return false
+	}
+	if depth == len(order) {
+		m := make(Match, len(binding))
+		for k, v := range binding {
+			m[k] = v
+		}
+		*out = append(*out, m)
+		return maxResults <= 0 || len(*out) < maxResults
+	}
+	name := order[depth]
+	for _, cand := range domains[name] {
+		stats.BindingsTried++
+		binding[name] = cand
+		if p.consistent(q, binding, name) {
+			if !p.backtrack(q, domains, order, depth+1, binding, out, stats, maxResults) {
+				delete(binding, name)
+				return false
+			}
+		}
+		delete(binding, name)
+	}
+	return true
+}
+
+// consistent checks all edge patterns and constraints whose variables are
+// fully bound, after `last` was just assigned.
+func (p *Processor) consistent(q *Query, binding Match, last string) bool {
+	g := p.store.Graph()
+	for _, e := range q.Edges {
+		if e.From != last && e.To != last {
+			continue
+		}
+		from, okF := binding[e.From]
+		to, okT := binding[e.To]
+		if !okF || !okT {
+			continue
+		}
+		if !hasEdge(g, from, to, agraph.EdgeLabel(e.Label)) {
+			return false
+		}
+	}
+	for _, c := range q.Constraints {
+		relevant := false
+		allBound := true
+		for _, name := range c.Vars {
+			if name == last {
+				relevant = true
+			}
+			if _, ok := binding[name]; !ok {
+				allBound = false
+			}
+		}
+		if !relevant || !allBound {
+			continue
+		}
+		if !p.checkConstraint(c, binding) {
+			return false
+		}
+	}
+	return true
+}
+
+func hasEdge(g *agraph.Graph, from, to agraph.NodeRef, label agraph.EdgeLabel) bool {
+	for _, e := range g.Out(from, label) {
+		if e.To == to {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Processor) checkConstraint(c Constraint, binding Match) bool {
+	if c.Kind == ConstraintDistinct {
+		seen := make(map[agraph.NodeRef]bool, len(c.Vars))
+		for _, name := range c.Vars {
+			ref := binding[name]
+			if seen[ref] {
+				return false
+			}
+			seen[ref] = true
+		}
+		return true
+	}
+	refs := make([]*core.Referent, 0, len(c.Vars))
+	for _, name := range c.Vars {
+		node := binding[name]
+		id, ok := parseReferentNode(node)
+		if !ok {
+			return false
+		}
+		r, err := p.store.Referent(id)
+		if err != nil {
+			return false
+		}
+		refs = append(refs, r)
+	}
+	switch c.Kind {
+	case ConstraintDisjoint:
+		for i := 0; i < len(refs); i++ {
+			for j := i + 1; j < len(refs); j++ {
+				if refs[i].ID == refs[j].ID || refs[i].Overlaps(refs[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	case ConstraintOverlapping:
+		for i := 0; i < len(refs); i++ {
+			for j := i + 1; j < len(refs); j++ {
+				if !refs[i].Overlaps(refs[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	case ConstraintSameDomain:
+		for _, r := range refs[1:] {
+			if r.Domain != refs[0].Domain {
+				return false
+			}
+		}
+		return true
+	case ConstraintConsecutive:
+		for _, r := range refs {
+			if r.Kind != core.IntervalReferent || r.Domain != refs[0].Domain {
+				return false
+			}
+		}
+		sorted := append([]*core.Referent(nil), refs...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Interval.Lo < sorted[j].Interval.Lo })
+		for i := 1; i < len(sorted); i++ {
+			if sorted[i-1].Interval.Hi > sorted[i].Interval.Lo {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func parseReferentNode(ref agraph.NodeRef) (uint64, bool) {
+	if ref.Kind != agraph.ReferentNode {
+		return 0, false
+	}
+	var id uint64
+	for _, c := range ref.Key {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id, true
+}
+
+// collate assembles the selected result form from the raw matches.
+func (p *Processor) collate(q *Query, res *Result) error {
+	switch q.Select {
+	case SelectContents:
+		seen := make(map[uint64]bool)
+		for _, m := range res.Matches {
+			for _, v := range q.Vars {
+				if v.Class != ClassAnnotation {
+					continue
+				}
+				node := m[v.Name]
+				if id, ok := parseContentNode(node); ok && !seen[id] {
+					seen[id] = true
+					ann, err := p.store.Annotation(id)
+					if err != nil {
+						return err
+					}
+					res.Annotations = append(res.Annotations, ann)
+				}
+			}
+		}
+		sort.Slice(res.Annotations, func(i, j int) bool {
+			return res.Annotations[i].ID < res.Annotations[j].ID
+		})
+	case SelectReferents:
+		seen := make(map[uint64]bool)
+		for _, m := range res.Matches {
+			for _, v := range q.Vars {
+				if v.Class != ClassReferent {
+					continue
+				}
+				if id, ok := parseReferentNode(m[v.Name]); ok && !seen[id] {
+					seen[id] = true
+					r, err := p.store.Referent(id)
+					if err != nil {
+						return err
+					}
+					res.Referents = append(res.Referents, r)
+				}
+			}
+		}
+		sort.Slice(res.Referents, func(i, j int) bool {
+			return res.Referents[i].ID < res.Referents[j].ID
+		})
+	case SelectGraph:
+		g := p.store.Graph()
+		for _, m := range res.Matches {
+			sg := p.matchSubgraph(q, m, g)
+			res.Subgraphs = append(res.Subgraphs, sg)
+		}
+	}
+	return nil
+}
+
+// matchSubgraph builds the type-extended connection subgraph of one match:
+// the bound nodes plus the a-graph edges realising the pattern edges.
+func (p *Processor) matchSubgraph(q *Query, m Match, g *agraph.Graph) *agraph.Subgraph {
+	nodes := make(map[agraph.NodeRef]bool, len(m))
+	var terminals []agraph.NodeRef
+	for _, node := range m {
+		if !nodes[node] {
+			nodes[node] = true
+			terminals = append(terminals, node)
+		}
+	}
+	edgeSet := make(map[uint64]agraph.Edge)
+	for _, e := range q.Edges {
+		from, to := m[e.From], m[e.To]
+		for _, ge := range g.Out(from, agraph.EdgeLabel(e.Label)) {
+			if ge.To == to {
+				edgeSet[ge.ID] = ge
+				break
+			}
+		}
+	}
+	sg := &agraph.Subgraph{Terminals: terminals}
+	for n := range nodes {
+		sg.Nodes = append(sg.Nodes, n)
+	}
+	sort.Slice(sg.Nodes, func(i, j int) bool {
+		if sg.Nodes[i].Kind != sg.Nodes[j].Kind {
+			return sg.Nodes[i].Kind < sg.Nodes[j].Kind
+		}
+		return sg.Nodes[i].Key < sg.Nodes[j].Key
+	})
+	for _, e := range edgeSet {
+		sg.Edges = append(sg.Edges, e)
+	}
+	sort.Slice(sg.Edges, func(i, j int) bool { return sg.Edges[i].ID < sg.Edges[j].ID })
+	// When the pattern graph leaves bound nodes disconnected, extend the
+	// subgraph with connecting paths ("type-extended connection
+	// subgraphs").
+	if len(terminals) >= 2 && !sg.Connected() {
+		if ext, err := g.Connect(terminals...); err == nil {
+			merge := make(map[agraph.NodeRef]bool, len(sg.Nodes))
+			for _, n := range sg.Nodes {
+				merge[n] = true
+			}
+			for _, n := range ext.Nodes {
+				if !merge[n] {
+					merge[n] = true
+					sg.Nodes = append(sg.Nodes, n)
+				}
+			}
+			for _, e := range ext.Edges {
+				if _, ok := edgeSet[e.ID]; !ok {
+					edgeSet[e.ID] = e
+					sg.Edges = append(sg.Edges, e)
+				}
+			}
+			sort.Slice(sg.Nodes, func(i, j int) bool {
+				if sg.Nodes[i].Kind != sg.Nodes[j].Kind {
+					return sg.Nodes[i].Kind < sg.Nodes[j].Kind
+				}
+				return sg.Nodes[i].Key < sg.Nodes[j].Key
+			})
+			sort.Slice(sg.Edges, func(i, j int) bool { return sg.Edges[i].ID < sg.Edges[j].ID })
+		}
+	}
+	return sg
+}
+
+func parseContentNode(ref agraph.NodeRef) (uint64, bool) {
+	if ref.Kind != agraph.ContentNode {
+		return 0, false
+	}
+	slash := strings.IndexByte(ref.Key, '/')
+	if slash < 0 {
+		return 0, false
+	}
+	var id uint64
+	for _, c := range ref.Key[:slash] {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id, true
+}

@@ -1,0 +1,178 @@
+package relstore
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPredicateStrings(t *testing.T) {
+	p := AndOf(
+		Eq1("a", I(1)),
+		OrOf(
+			&Cmp{Column: "b", Op: Lt, Val: F(2.5)},
+			&Not{P: &Cmp{Column: "c", Op: IsNullOp}},
+		),
+		TruePred{},
+	)
+	got := p.String()
+	for _, want := range []string{"a = 1", "b < 2.5", "not (c is null)", "true"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String() = %q missing %q", got, want)
+		}
+	}
+	// Operator strings.
+	ops := map[CmpOp]string{
+		Eq: "=", Ne: "!=", Lt: "<", Le: "<=", Gt: ">", Ge: ">=",
+		ContainsOp: "contains", IsNullOp: "is null",
+	}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), want)
+		}
+	}
+	// Single-element OrOf/AndOf collapse.
+	single := Eq1("a", I(1))
+	if OrOf(single) != single || AndOf(single) != single {
+		t.Error("single-element combinators should collapse")
+	}
+}
+
+func TestValueStrings(t *testing.T) {
+	cases := map[string]Value{
+		"NULL":           Null,
+		"42":             I(42),
+		"2.5":            F(2.5),
+		`"x"`:            S("x"),
+		"true":           B(true),
+		"blob (3 bytes)": Blob([]byte("abc")),
+	}
+	for want, v := range cases {
+		got := v.String()
+		if want == "blob (3 bytes)" {
+			if !strings.Contains(got, "3 bytes") {
+				t.Errorf("Blob String = %q", got)
+			}
+			continue
+		}
+		if got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+	if BytesVal := Blob([]byte("xy")).BytesVal(); string(BytesVal) != "xy" {
+		t.Error("BytesVal wrong")
+	}
+	// hashKey covers every type and distinguishes NULL.
+	keys := map[string]bool{}
+	for _, v := range []Value{Null, I(1), F(1.5), S("s"), B(true), B(false), Blob([]byte("b"))} {
+		k := v.hashKey()
+		if keys[k] {
+			t.Errorf("hash collision for %v", v)
+		}
+		keys[k] = true
+	}
+	// Bool and bytes compare.
+	if c, ok := B(false).Compare(B(true)); !ok || c >= 0 {
+		t.Error("bool compare wrong")
+	}
+	if c, ok := Blob([]byte("a")).Compare(Blob([]byte("b"))); !ok || c >= 0 {
+		t.Error("bytes compare wrong")
+	}
+	if _, ok := Null.Compare(I(1)); ok {
+		t.Error("NULL must be incomparable")
+	}
+}
+
+func TestSchemaHasColumnAndAccessors(t *testing.T) {
+	s := seqSchema(t)
+	if !s.HasColumn("organism") || s.HasColumn("ghost") {
+		t.Error("HasColumn wrong")
+	}
+	tbl := NewTable(s)
+	if tbl.Schema() != s {
+		t.Error("Schema accessor wrong")
+	}
+	if IndexKind(HashIndex).String() != "hash" || IndexKind(OrderedIndex).String() != "ordered" {
+		t.Error("IndexKind strings wrong")
+	}
+}
+
+func TestScanEarlyStopAndCount(t *testing.T) {
+	tbl := NewTable(seqSchema(t))
+	fillOrganisms(t, tbl, 30)
+	seen := 0
+	tbl.Scan(func(Row) bool {
+		seen++
+		return seen < 5
+	})
+	if seen != 5 {
+		t.Fatalf("Scan visited %d", seen)
+	}
+	// 30 rows cycling 4 organisms: indices 1,5,…,29 are mouse -> 8 rows.
+	n, err := tbl.Count(Eq1("organism", S("mouse")))
+	if err != nil || n != 8 {
+		t.Fatalf("Count = %d, %v", n, err)
+	}
+	if _, err := tbl.Count(Eq1("ghost", S("x"))); err == nil {
+		t.Fatal("Count on ghost column should fail")
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	tbl := NewTable(seqSchema(t))
+	fillOrganisms(t, tbl, 10)
+	_, plan, err := tbl.SelectPlan(Eq1("id", S("NC_0001")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan.String(), "primary-key") {
+		t.Fatalf("plan string = %q", plan.String())
+	}
+	_, plan, _ = tbl.SelectPlan(nil)
+	if !strings.Contains(plan.String(), "full-scan") {
+		t.Fatalf("plan string = %q", plan.String())
+	}
+	for _, a := range []Access{AccessPrimaryKey, AccessHashIndex, AccessOrderedIndex, AccessScan} {
+		if a.String() == "" {
+			t.Error("missing Access name")
+		}
+	}
+}
+
+func TestOrderedRangeBoundsCombine(t *testing.T) {
+	tbl := NewTable(seqSchema(t))
+	_ = tbl.CreateIndex("length", OrderedIndex)
+	fillOrganisms(t, tbl, 200)
+	// Two lower bounds: the tighter one must win; same for upper bounds.
+	p := AndOf(
+		&Cmp{Column: "length", Op: Ge, Val: I(120)},
+		&Cmp{Column: "length", Op: Gt, Val: I(149)},
+		&Cmp{Column: "length", Op: Le, Val: I(180)},
+		&Cmp{Column: "length", Op: Lt, Val: I(175)},
+	)
+	rows, plan, err := tbl.SelectPlan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Access != AccessOrderedIndex {
+		t.Fatalf("plan = %v", plan)
+	}
+	// lengths 150..174 inclusive => 25 rows.
+	if len(rows) != 25 {
+		t.Fatalf("rows = %d, want 25", len(rows))
+	}
+	if plan.Examined > 30 {
+		t.Fatalf("examined %d; bounds not combined", plan.Examined)
+	}
+}
+
+func TestValidateNestedPredicates(t *testing.T) {
+	s := seqSchema(t)
+	ok := AndOf(OrOf(Eq1("id", S("x")), &Not{P: Eq1("organism", S("y"))}), TruePred{})
+	if err := Validate(ok, s); err != nil {
+		t.Fatal(err)
+	}
+	bad := OrOf(Eq1("id", S("x")), &Not{P: Eq1("ghost", S("y"))})
+	if err := Validate(bad, s); err == nil {
+		t.Fatal("nested ghost column accepted")
+	}
+}

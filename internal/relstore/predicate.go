@@ -1,0 +1,223 @@
+package relstore
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CmpOp enumerates comparison operators in predicates.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	Eq CmpOp = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+	// ContainsOp matches string columns containing the operand substring.
+	ContainsOp
+	// IsNullOp matches NULL cells; the operand value is ignored.
+	IsNullOp
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case Eq:
+		return "="
+	case Ne:
+		return "!="
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	case ContainsOp:
+		return "contains"
+	case IsNullOp:
+		return "is null"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+}
+
+// Pred is a boolean predicate over a row.
+type Pred interface {
+	predNode()
+	String() string
+}
+
+// Cmp compares a column against a literal value.
+type Cmp struct {
+	Column string
+	Op     CmpOp
+	Val    Value
+}
+
+// And is the conjunction of its sub-predicates (true when empty).
+type And struct{ Preds []Pred }
+
+// Or is the disjunction of its sub-predicates (false when empty).
+type Or struct{ Preds []Pred }
+
+// Not negates a sub-predicate.
+type Not struct{ P Pred }
+
+// TruePred matches every row.
+type TruePred struct{}
+
+func (*Cmp) predNode()     {}
+func (*And) predNode()     {}
+func (*Or) predNode()      {}
+func (*Not) predNode()     {}
+func (TruePred) predNode() {}
+
+func (c *Cmp) String() string {
+	if c.Op == IsNullOp {
+		return c.Column + " is null"
+	}
+	return fmt.Sprintf("%s %s %s", c.Column, c.Op, c.Val)
+}
+
+func (a *And) String() string { return joinPreds(a.Preds, " and ") }
+func (o *Or) String() string  { return joinPreds(o.Preds, " or ") }
+func (n *Not) String() string { return "not (" + n.P.String() + ")" }
+
+// String implements Pred.
+func (TruePred) String() string { return "true" }
+
+func joinPreds(ps []Pred, sep string) string {
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = "(" + p.String() + ")"
+	}
+	return strings.Join(parts, sep)
+}
+
+// Eq1 is shorthand for a single-column equality predicate.
+func Eq1(column string, v Value) Pred { return &Cmp{Column: column, Op: Eq, Val: v} }
+
+// AndOf builds a conjunction.
+func AndOf(ps ...Pred) Pred {
+	if len(ps) == 1 {
+		return ps[0]
+	}
+	return &And{Preds: ps}
+}
+
+// OrOf builds a disjunction.
+func OrOf(ps ...Pred) Pred {
+	if len(ps) == 1 {
+		return ps[0]
+	}
+	return &Or{Preds: ps}
+}
+
+// Eval evaluates the predicate against a row of the given schema.
+func Eval(p Pred, schema *Schema, row Row) (bool, error) {
+	switch v := p.(type) {
+	case TruePred:
+		return true, nil
+	case *Cmp:
+		ci, err := schema.ColumnIndex(v.Column)
+		if err != nil {
+			return false, err
+		}
+		cell := row[ci]
+		switch v.Op {
+		case IsNullOp:
+			return cell.IsNull(), nil
+		case Eq:
+			return cell.Equal(v.Val), nil
+		case Ne:
+			if cell.IsNull() || v.Val.IsNull() {
+				return false, nil
+			}
+			return !cell.Equal(v.Val), nil
+		case ContainsOp:
+			if cell.IsNull() || cell.Type() != String || v.Val.Type() != String {
+				return false, nil
+			}
+			return strings.Contains(cell.Str(), v.Val.Str()), nil
+		default:
+			c, ok := cell.Compare(v.Val)
+			if !ok {
+				return false, nil
+			}
+			switch v.Op {
+			case Lt:
+				return c < 0, nil
+			case Le:
+				return c <= 0, nil
+			case Gt:
+				return c > 0, nil
+			case Ge:
+				return c >= 0, nil
+			}
+			return false, fmt.Errorf("relstore: unknown operator %v", v.Op)
+		}
+	case *And:
+		for _, sub := range v.Preds {
+			ok, err := Eval(sub, schema, row)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+		return true, nil
+	case *Or:
+		for _, sub := range v.Preds {
+			ok, err := Eval(sub, schema, row)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	case *Not:
+		ok, err := Eval(v.P, schema, row)
+		if err != nil {
+			return false, err
+		}
+		return !ok, nil
+	default:
+		return false, fmt.Errorf("relstore: unknown predicate %T", p)
+	}
+}
+
+// Validate checks that every column referenced by the predicate exists.
+func Validate(p Pred, schema *Schema) error {
+	switch v := p.(type) {
+	case TruePred:
+		return nil
+	case *Cmp:
+		_, err := schema.ColumnIndex(v.Column)
+		return err
+	case *And:
+		for _, sub := range v.Preds {
+			if err := Validate(sub, schema); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *Or:
+		for _, sub := range v.Preds {
+			if err := Validate(sub, schema); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *Not:
+		return Validate(v.P, schema)
+	default:
+		return fmt.Errorf("relstore: unknown predicate %T", p)
+	}
+}

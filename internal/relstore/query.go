@@ -1,0 +1,339 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Access enumerates the access paths the planner can choose.
+type Access uint8
+
+// Access paths in decreasing order of preference.
+const (
+	AccessPrimaryKey Access = iota
+	AccessHashIndex
+	AccessOrderedIndex
+	AccessScan
+)
+
+func (a Access) String() string {
+	switch a {
+	case AccessPrimaryKey:
+		return "primary-key"
+	case AccessHashIndex:
+		return "hash-index"
+	case AccessOrderedIndex:
+		return "ordered-index"
+	default:
+		return "full-scan"
+	}
+}
+
+// Plan describes how a Select was (or would be) executed.
+type Plan struct {
+	Table    string
+	Access   Access
+	Column   string // index column, when an index is used
+	Examined int    // rows fetched before residual filtering
+	Returned int
+}
+
+func (p Plan) String() string {
+	if p.Column != "" {
+		return fmt.Sprintf("%s via %s(%s): examined %d, returned %d",
+			p.Table, p.Access, p.Column, p.Examined, p.Returned)
+	}
+	return fmt.Sprintf("%s via %s: examined %d, returned %d",
+		p.Table, p.Access, p.Examined, p.Returned)
+}
+
+// Select returns the rows matching p, ordered by primary key.
+func (t *Table) Select(p Pred) ([]Row, error) {
+	rows, _, err := t.SelectPlan(p)
+	return rows, err
+}
+
+// SelectPlan is Select, additionally reporting the chosen access path.
+//
+// Planning is index-aware: an equality conjunct on the primary key becomes
+// a point lookup; an equality conjunct on a hash- or ordered-indexed column
+// becomes an index probe; range conjuncts on an ordered-indexed column
+// become a bounded range walk; otherwise the table is scanned. The full
+// predicate is always re-applied as a residual filter, so the planner can
+// never change results, only cost.
+func (t *Table) SelectPlan(p Pred) ([]Row, Plan, error) {
+	if p == nil {
+		p = TruePred{}
+	}
+	if err := Validate(p, t.schema); err != nil {
+		return nil, Plan{}, err
+	}
+	plan := Plan{Table: t.schema.Name, Access: AccessScan}
+
+	conjuncts := flattenAnd(p)
+
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+
+	var candidates []Row
+	switch {
+	case t.planPointLookup(conjuncts, &plan, &candidates),
+		t.planHashProbe(conjuncts, &plan, &candidates),
+		t.planOrderedRange(conjuncts, &plan, &candidates):
+	default:
+		for _, row := range t.rows {
+			candidates = append(candidates, row)
+		}
+		plan.Examined = len(candidates)
+	}
+
+	var out []Row
+	for _, row := range candidates {
+		ok, err := Eval(p, t.schema, row)
+		if err != nil {
+			return nil, plan, err
+		}
+		if ok {
+			out = append(out, row.Clone())
+		}
+	}
+	ki := t.schema.keyIndex()
+	sort.Slice(out, func(i, j int) bool {
+		if c, ok := out[i][ki].Compare(out[j][ki]); ok {
+			return c < 0
+		}
+		return out[i][ki].hashKey() < out[j][ki].hashKey()
+	})
+	plan.Returned = len(out)
+	return out, plan, nil
+}
+
+// flattenAnd returns the conjuncts of p when it is a conjunction of simple
+// comparisons (possibly nested Ands); otherwise it returns p's top-level
+// Cmp if any. Disjunctions yield no usable conjuncts.
+func flattenAnd(p Pred) []*Cmp {
+	var out []*Cmp
+	var walk func(Pred) bool
+	walk = func(q Pred) bool {
+		switch v := q.(type) {
+		case *Cmp:
+			out = append(out, v)
+			return true
+		case *And:
+			for _, sub := range v.Preds {
+				// Non-Cmp members are fine; they just do not contribute
+				// index opportunities.
+				walk(sub)
+			}
+			return true
+		default:
+			return false
+		}
+	}
+	walk(p)
+	return out
+}
+
+func (t *Table) planPointLookup(conjuncts []*Cmp, plan *Plan, out *[]Row) bool {
+	for _, c := range conjuncts {
+		if c.Op == Eq && c.Column == t.schema.Key {
+			plan.Access = AccessPrimaryKey
+			plan.Column = t.schema.Key
+			if row, ok := t.rows[c.Val.hashKey()]; ok {
+				*out = append(*out, row)
+			}
+			plan.Examined = len(*out)
+			return true
+		}
+	}
+	return false
+}
+
+func (t *Table) planHashProbe(conjuncts []*Cmp, plan *Plan, out *[]Row) bool {
+	for _, c := range conjuncts {
+		if c.Op != Eq {
+			continue
+		}
+		idx, ok := t.hashIdx[c.Column]
+		if !ok {
+			continue
+		}
+		plan.Access = AccessHashIndex
+		plan.Column = c.Column
+		for _, pk := range idx.buckets[c.Val.hashKey()] {
+			*out = append(*out, t.rows[pk])
+		}
+		plan.Examined = len(*out)
+		return true
+	}
+	return false
+}
+
+func (t *Table) planOrderedRange(conjuncts []*Cmp, plan *Plan, out *[]Row) bool {
+	// Gather bounds per ordered-indexed column.
+	type bound struct {
+		lo, hi       Value
+		loOK, hiOK   bool
+		loInc, hiInc bool
+		eq           bool
+	}
+	best := ""
+	var bb bound
+	for col := range t.ordIdx {
+		var b bound
+		usable := false
+		for _, c := range conjuncts {
+			if c.Column != col || c.Val.IsNull() {
+				continue
+			}
+			switch c.Op {
+			case Eq:
+				b.lo, b.hi, b.loOK, b.hiOK, b.loInc, b.hiInc, b.eq = c.Val, c.Val, true, true, true, true, true
+				usable = true
+			case Gt, Ge:
+				if !b.loOK || tighterLo(c.Val, b.lo) {
+					b.lo, b.loOK, b.loInc = c.Val, true, c.Op == Ge
+				}
+				usable = true
+			case Lt, Le:
+				if !b.hiOK || tighterHi(c.Val, b.hi) {
+					b.hi, b.hiOK, b.hiInc = c.Val, true, c.Op == Le
+				}
+				usable = true
+			}
+			if b.eq {
+				break
+			}
+		}
+		if usable && (best == "" || b.eq) {
+			best, bb = col, b
+			if b.eq {
+				break
+			}
+		}
+	}
+	if best == "" {
+		return false
+	}
+	idx := t.ordIdx[best]
+	plan.Access = AccessOrderedIndex
+	plan.Column = best
+	emit := func(k ordKey, _ struct{}) bool {
+		if k.val.IsNull() {
+			return true // NULLs sort first; skip and keep walking
+		}
+		if bb.loOK {
+			c, ok := k.val.Compare(bb.lo)
+			if !ok || c < 0 || (c == 0 && !bb.loInc) {
+				return true
+			}
+		}
+		if bb.hiOK {
+			c, ok := k.val.Compare(bb.hi)
+			if !ok {
+				return true // incomparable (mixed types): skip
+			}
+			if c > 0 || (c == 0 && !bb.hiInc) {
+				return false // past the upper bound: stop
+			}
+		}
+		*out = append(*out, t.rows[k.pk])
+		return true
+	}
+	if bb.loOK {
+		idx.tree.AscendGreaterOrEqual(ordKey{bb.lo, ""}, emit)
+	} else {
+		idx.tree.Ascend(emit)
+	}
+	plan.Examined = len(*out)
+	return true
+}
+
+func tighterLo(candidate, current Value) bool {
+	c, ok := candidate.Compare(current)
+	return ok && c > 0
+}
+
+func tighterHi(candidate, current Value) bool {
+	c, ok := candidate.Compare(current)
+	return ok && c < 0
+}
+
+// Count returns the number of rows matching p.
+func (t *Table) Count(p Pred) (int, error) {
+	rows, err := t.Select(p)
+	if err != nil {
+		return 0, err
+	}
+	return len(rows), nil
+}
+
+// Project returns the named columns of each row, in the given order.
+func Project(schema *Schema, rows []Row, columns ...string) ([][]Value, error) {
+	idx := make([]int, len(columns))
+	for i, c := range columns {
+		ci, err := schema.ColumnIndex(c)
+		if err != nil {
+			return nil, err
+		}
+		idx[i] = ci
+	}
+	out := make([][]Value, len(rows))
+	for i, r := range rows {
+		vals := make([]Value, len(idx))
+		for j, ci := range idx {
+			vals[j] = r[ci]
+		}
+		out[i] = vals
+	}
+	return out, nil
+}
+
+// JoinRow pairs a row from each side of a join.
+type JoinRow struct {
+	Left, Right Row
+}
+
+// HashJoin performs an equi-join between rows of two tables on the named
+// columns, using a hash table built over the smaller input.
+func HashJoin(ls *Schema, lrows []Row, lcol string, rs *Schema, rrows []Row, rcol string) ([]JoinRow, error) {
+	li, err := ls.ColumnIndex(lcol)
+	if err != nil {
+		return nil, err
+	}
+	ri, err := rs.ColumnIndex(rcol)
+	if err != nil {
+		return nil, err
+	}
+	swap := len(lrows) > len(rrows)
+	buildRows, probeRows := lrows, rrows
+	buildCol, probeCol := li, ri
+	if swap {
+		buildRows, probeRows = rrows, lrows
+		buildCol, probeCol = ri, li
+	}
+	ht := make(map[string][]Row, len(buildRows))
+	for _, r := range buildRows {
+		v := r[buildCol]
+		if v.IsNull() {
+			continue
+		}
+		k := v.hashKey()
+		ht[k] = append(ht[k], r)
+	}
+	var out []JoinRow
+	for _, pr := range probeRows {
+		v := pr[probeCol]
+		if v.IsNull() {
+			continue
+		}
+		for _, br := range ht[v.hashKey()] {
+			if swap {
+				out = append(out, JoinRow{Left: pr, Right: br})
+			} else {
+				out = append(out, JoinRow{Left: br, Right: pr})
+			}
+		}
+	}
+	return out, nil
+}

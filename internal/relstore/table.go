@@ -1,0 +1,299 @@
+package relstore
+
+import (
+	"fmt"
+	"sync"
+
+	"graphitti/internal/btree"
+)
+
+// IndexKind discriminates secondary index types.
+type IndexKind uint8
+
+// Index kinds.
+const (
+	// HashIndex supports equality lookups.
+	HashIndex IndexKind = iota
+	// OrderedIndex supports equality and range lookups.
+	OrderedIndex
+)
+
+func (k IndexKind) String() string {
+	if k == HashIndex {
+		return "hash"
+	}
+	return "ordered"
+}
+
+// Table is a single relation with a primary key and optional secondary
+// indexes. All methods are safe for concurrent use.
+type Table struct {
+	schema *Schema
+
+	mu      sync.RWMutex
+	rows    map[string]Row // primary key hash -> row
+	hashIdx map[string]*hashIndex
+	ordIdx  map[string]*orderedIndex
+}
+
+type hashIndex struct {
+	col     int
+	buckets map[string][]string // value hash -> primary key hashes
+}
+
+type ordKey struct {
+	val Value
+	pk  string
+}
+
+type orderedIndex struct {
+	col  int
+	tree *btree.Tree[ordKey, struct{}]
+}
+
+func newOrderedIndex(col int) *orderedIndex {
+	cmp := func(a, b ordKey) int {
+		// NULLs sort first so bounded range walks can skip them cheaply.
+		switch {
+		case a.val.IsNull() && !b.val.IsNull():
+			return -1
+		case !a.val.IsNull() && b.val.IsNull():
+			return 1
+		}
+		if c, ok := a.val.Compare(b.val); ok && c != 0 {
+			return c
+		}
+		// Equal or incomparable values order by primary key for stability.
+		switch {
+		case a.pk < b.pk:
+			return -1
+		case a.pk > b.pk:
+			return 1
+		}
+		return 0
+	}
+	return &orderedIndex{col: col, tree: btree.New[ordKey, struct{}](cmp)}
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(schema *Schema) *Table {
+	return &Table{
+		schema:  schema,
+		rows:    make(map[string]Row),
+		hashIdx: make(map[string]*hashIndex),
+		ordIdx:  make(map[string]*orderedIndex),
+	}
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// Len reports the number of rows.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// CreateIndex adds a secondary index on the named column. Existing rows are
+// indexed immediately. Creating an index that already exists on the column
+// with the same kind is a no-op.
+func (t *Table) CreateIndex(column string, kind IndexKind) error {
+	ci, err := t.schema.ColumnIndex(column)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch kind {
+	case HashIndex:
+		if _, ok := t.hashIdx[column]; ok {
+			return nil
+		}
+		idx := &hashIndex{col: ci, buckets: make(map[string][]string)}
+		for pk, row := range t.rows {
+			k := row[ci].hashKey()
+			idx.buckets[k] = append(idx.buckets[k], pk)
+		}
+		t.hashIdx[column] = idx
+	case OrderedIndex:
+		if _, ok := t.ordIdx[column]; ok {
+			return nil
+		}
+		idx := newOrderedIndex(ci)
+		for pk, row := range t.rows {
+			idx.tree.Set(ordKey{row[ci], pk}, struct{}{})
+		}
+		t.ordIdx[column] = idx
+	default:
+		return fmt.Errorf("relstore: unknown index kind %d", kind)
+	}
+	return nil
+}
+
+// Indexes reports the indexed columns per kind (for planning diagnostics).
+func (t *Table) Indexes() map[string]IndexKind {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make(map[string]IndexKind)
+	for col := range t.hashIdx {
+		out[col] = HashIndex
+	}
+	for col := range t.ordIdx {
+		out[col] = OrderedIndex // ordered shadows hash in reporting
+	}
+	return out
+}
+
+// Insert adds a row. The primary key value must be unique.
+func (t *Table) Insert(row Row) error {
+	if err := t.schema.CheckRow(row); err != nil {
+		return err
+	}
+	pk := row[t.schema.keyIndex()].hashKey()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.rows[pk]; dup {
+		return fmt.Errorf("%w: %s in %s", ErrDuplicateKey,
+			row[t.schema.keyIndex()], t.schema.Name)
+	}
+	stored := row.Clone()
+	t.rows[pk] = stored
+	t.indexRowLocked(pk, stored)
+	return nil
+}
+
+func (t *Table) indexRowLocked(pk string, row Row) {
+	for _, idx := range t.hashIdx {
+		k := row[idx.col].hashKey()
+		idx.buckets[k] = append(idx.buckets[k], pk)
+	}
+	for _, idx := range t.ordIdx {
+		idx.tree.Set(ordKey{row[idx.col], pk}, struct{}{})
+	}
+}
+
+func (t *Table) unindexRowLocked(pk string, row Row) {
+	for _, idx := range t.hashIdx {
+		k := row[idx.col].hashKey()
+		bucket := idx.buckets[k]
+		for i, p := range bucket {
+			if p == pk {
+				bucket[i] = bucket[len(bucket)-1]
+				bucket = bucket[:len(bucket)-1]
+				break
+			}
+		}
+		if len(bucket) == 0 {
+			delete(idx.buckets, k)
+		} else {
+			idx.buckets[k] = bucket
+		}
+	}
+	for _, idx := range t.ordIdx {
+		idx.tree.Delete(ordKey{row[idx.col], pk})
+	}
+}
+
+// Get returns the row with the given primary key value.
+func (t *Table) Get(key Value) (Row, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	row, ok := t.rows[key.hashKey()]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s in %s", ErrNoSuchRow, key, t.schema.Name)
+	}
+	return row.Clone(), nil
+}
+
+// Update replaces the row whose primary key matches row's key column.
+func (t *Table) Update(row Row) error {
+	if err := t.schema.CheckRow(row); err != nil {
+		return err
+	}
+	pk := row[t.schema.keyIndex()].hashKey()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old, ok := t.rows[pk]
+	if !ok {
+		return fmt.Errorf("%w: %s in %s", ErrNoSuchRow,
+			row[t.schema.keyIndex()], t.schema.Name)
+	}
+	t.unindexRowLocked(pk, old)
+	stored := row.Clone()
+	t.rows[pk] = stored
+	t.indexRowLocked(pk, stored)
+	return nil
+}
+
+// Delete removes the row with the given primary key value, reporting
+// whether it existed.
+func (t *Table) Delete(key Value) bool {
+	pk := key.hashKey()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	row, ok := t.rows[pk]
+	if !ok {
+		return false
+	}
+	t.unindexRowLocked(pk, row)
+	delete(t.rows, pk)
+	return true
+}
+
+// Scan visits every row until fn returns false. Rows passed to fn must not
+// be mutated. Iteration order is unspecified.
+func (t *Table) Scan(fn func(Row) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, row := range t.rows {
+		if !fn(row) {
+			return
+		}
+	}
+}
+
+// Store is a collection of named tables.
+type Store struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{tables: make(map[string]*Table)}
+}
+
+// CreateTable adds a table with the given schema.
+func (s *Store) CreateTable(schema *Schema) (*Table, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.tables[schema.Name]; dup {
+		return nil, fmt.Errorf("%w: table %s", ErrDuplicateName, schema.Name)
+	}
+	t := NewTable(schema)
+	s.tables[schema.Name] = t
+	return t, nil
+}
+
+// Table returns the named table.
+func (s *Store) Table(name string) (*Table, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, name)
+	}
+	return t, nil
+}
+
+// TableNames returns the names of all tables.
+func (s *Store) TableNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.tables))
+	for name := range s.tables {
+		out = append(out, name)
+	}
+	return out
+}

@@ -1,0 +1,556 @@
+// Package xmldoc provides the XML document model underlying Graphitti's
+// annotation contents.
+//
+// The paper stores each annotation content as "an XML document whose
+// elements consist of Dublin core attributes and other user-defined tags",
+// and the a-graph "connects nodes of the XML annotation trees" to index and
+// ontology nodes. The model here is therefore a DOM whose nodes carry
+// stable numeric IDs so that external structures (the a-graph, the keyword
+// index) can reference individual elements.
+package xmldoc
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Kind discriminates node types.
+type Kind uint8
+
+const (
+	// ElementNode is a tagged element; it may carry attributes and children.
+	ElementNode Kind = iota
+	// TextNode is character data; Value holds the text.
+	TextNode
+	// CommentNode is an XML comment; Value holds the comment body.
+	CommentNode
+)
+
+func (k Kind) String() string {
+	switch k {
+	case ElementNode:
+		return "element"
+	case TextNode:
+		return "text"
+	case CommentNode:
+		return "comment"
+	default:
+		return fmt.Sprintf("kind(%d)", k)
+	}
+}
+
+// ErrNoRoot is returned when parsing input that contains no element.
+var ErrNoRoot = errors.New("xmldoc: document has no root element")
+
+// ErrForeignNode is returned when a node from another document is supplied.
+var ErrForeignNode = errors.New("xmldoc: node belongs to a different document")
+
+// Attr is a name/value attribute pair on an element.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Node is a single DOM node. Nodes are created through a Document and carry
+// an ID that is unique within it.
+type Node struct {
+	ID       uint64
+	Kind     Kind
+	Name     string // element name (ElementNode only)
+	Value    string // character data (TextNode, CommentNode)
+	Attrs    []Attr
+	Parent   *Node
+	Children []*Node
+	doc      *Document
+}
+
+// Document owns a tree of nodes and assigns their IDs.
+type Document struct {
+	Root   *Node
+	nextID uint64
+	byID   map[uint64]*Node
+}
+
+// NewDocument returns an empty document with a root element of the given
+// name.
+func NewDocument(rootName string) *Document {
+	d := &Document{byID: make(map[uint64]*Node)}
+	d.Root = d.newNode(ElementNode)
+	d.Root.Name = rootName
+	return d
+}
+
+func (d *Document) newNode(kind Kind) *Node {
+	d.nextID++
+	n := &Node{ID: d.nextID, Kind: kind, doc: d}
+	d.byID[n.ID] = n
+	return n
+}
+
+// NodeByID returns the node with the given ID, if it exists in this
+// document.
+func (d *Document) NodeByID(id uint64) (*Node, bool) {
+	n, ok := d.byID[id]
+	return n, ok
+}
+
+// Len reports the number of nodes in the document.
+func (d *Document) Len() int { return len(d.byID) }
+
+// CreateElement returns a new, unattached element node.
+func (d *Document) CreateElement(name string) *Node {
+	n := d.newNode(ElementNode)
+	n.Name = name
+	return n
+}
+
+// CreateText returns a new, unattached text node.
+func (d *Document) CreateText(text string) *Node {
+	n := d.newNode(TextNode)
+	n.Value = text
+	return n
+}
+
+// CreateComment returns a new, unattached comment node.
+func (d *Document) CreateComment(text string) *Node {
+	n := d.newNode(CommentNode)
+	n.Value = text
+	return n
+}
+
+// AppendChild attaches child as the last child of parent. Both nodes must
+// belong to this document and the child must be detached.
+func (d *Document) AppendChild(parent, child *Node) error {
+	if parent.doc != d || child.doc != d {
+		return ErrForeignNode
+	}
+	if child.Parent != nil {
+		return fmt.Errorf("xmldoc: node %d already attached", child.ID)
+	}
+	if child == parent {
+		return errors.New("xmldoc: cannot append a node to itself")
+	}
+	child.Parent = parent
+	parent.Children = append(parent.Children, child)
+	return nil
+}
+
+// AddElement creates an element, appends it under parent and returns it.
+func (d *Document) AddElement(parent *Node, name string) *Node {
+	n := d.CreateElement(name)
+	// Append cannot fail: n is fresh and both nodes belong to d.
+	_ = d.AppendChild(parent, n)
+	return n
+}
+
+// AddText creates a text node under parent and returns it.
+func (d *Document) AddText(parent *Node, text string) *Node {
+	n := d.CreateText(text)
+	_ = d.AppendChild(parent, n)
+	return n
+}
+
+// AddElementText is the common "leaf element with text content" helper: it
+// creates <name>text</name> under parent and returns the element.
+func (d *Document) AddElementText(parent *Node, name, text string) *Node {
+	e := d.AddElement(parent, name)
+	d.AddText(e, text)
+	return e
+}
+
+// SetAttr sets (or replaces) an attribute on an element node.
+func (n *Node) SetAttr(name, value string) {
+	for i := range n.Attrs {
+		if n.Attrs[i].Name == name {
+			n.Attrs[i].Value = value
+			return
+		}
+	}
+	n.Attrs = append(n.Attrs, Attr{name, value})
+}
+
+// Attr returns the value of the named attribute and whether it is present.
+func (n *Node) Attr(name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// Text returns the concatenation of all text content in the subtree rooted
+// at n, in document order.
+func (n *Node) Text() string {
+	var sb strings.Builder
+	n.visitText(&sb)
+	return sb.String()
+}
+
+func (n *Node) visitText(sb *strings.Builder) {
+	if n.Kind == TextNode {
+		sb.WriteString(n.Value)
+		return
+	}
+	for _, c := range n.Children {
+		c.visitText(sb)
+	}
+}
+
+// ChildElements returns the element children of n, in order. If name is
+// non-empty only elements with that name are returned.
+func (n *Node) ChildElements(name string) []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.Kind == ElementNode && (name == "" || c.Name == name) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// FirstChildElement returns the first element child named name, or nil.
+func (n *Node) FirstChildElement(name string) *Node {
+	for _, c := range n.Children {
+		if c.Kind == ElementNode && c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Descendants visits every node in the subtree rooted at n (excluding n) in
+// document order until fn returns false.
+func (n *Node) Descendants(fn func(*Node) bool) {
+	n.walkChildren(fn)
+}
+
+func (n *Node) walkChildren(fn func(*Node) bool) bool {
+	for _, c := range n.Children {
+		if !fn(c) {
+			return false
+		}
+		if !c.walkChildren(fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Path returns a simple absolute location path for the node, e.g.
+// "/annotation/content[2]". Positional predicates count same-named
+// siblings.
+func (n *Node) Path() string {
+	if n.Parent == nil {
+		return "/" + n.Name
+	}
+	idx, count := 0, 0
+	for _, sib := range n.Parent.Children {
+		if sib.Kind == ElementNode && sib.Name == n.Name {
+			count++
+			if sib == n {
+				idx = count
+			}
+		}
+	}
+	step := n.Name
+	if n.Kind == TextNode {
+		step = "text()"
+	}
+	if count > 1 {
+		return fmt.Sprintf("%s/%s[%d]", n.Parent.Path(), step, idx)
+	}
+	return n.Parent.Path() + "/" + step
+}
+
+// Document returns the document owning this node.
+func (n *Node) Document() *Document { return n.doc }
+
+// Parse reads an XML document from r.
+func Parse(r io.Reader) (*Document, error) {
+	dec := xml.NewDecoder(r)
+	d := &Document{byID: make(map[uint64]*Node)}
+	var stack []*Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmldoc: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n := d.newNode(ElementNode)
+			n.Name = t.Name.Local
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue
+				}
+				n.Attrs = append(n.Attrs, Attr{a.Name.Local, a.Value})
+			}
+			if len(stack) == 0 {
+				if d.Root != nil {
+					return nil, errors.New("xmldoc: multiple root elements")
+				}
+				d.Root = n
+			} else {
+				parent := stack[len(stack)-1]
+				n.Parent = parent
+				parent.Children = append(parent.Children, n)
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, errors.New("xmldoc: unbalanced end element")
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if len(stack) == 0 {
+				continue // whitespace outside the root
+			}
+			text := string(t)
+			if strings.TrimSpace(text) == "" {
+				continue
+			}
+			n := d.newNode(TextNode)
+			n.Value = text
+			parent := stack[len(stack)-1]
+			n.Parent = parent
+			parent.Children = append(parent.Children, n)
+		case xml.Comment:
+			if len(stack) == 0 {
+				continue
+			}
+			n := d.newNode(CommentNode)
+			n.Value = string(t)
+			parent := stack[len(stack)-1]
+			n.Parent = parent
+			parent.Children = append(parent.Children, n)
+		}
+	}
+	if d.Root == nil {
+		return nil, ErrNoRoot
+	}
+	return d, nil
+}
+
+// ParseString parses an XML document from a string.
+func ParseString(s string) (*Document, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// WriteTo serialises the document to w with two-space indentation.
+func (d *Document) WriteTo(w io.Writer) (int64, error) {
+	var sb strings.Builder
+	writeNode(&sb, d.Root, 0)
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// String returns the serialised document.
+func (d *Document) String() string {
+	var sb strings.Builder
+	writeNode(&sb, d.Root, 0)
+	return sb.String()
+}
+
+func writeNode(sb *strings.Builder, n *Node, depth int) {
+	indent := strings.Repeat("  ", depth)
+	switch n.Kind {
+	case TextNode:
+		sb.WriteString(indent)
+		xmlEscape(sb, n.Value)
+		sb.WriteByte('\n')
+	case CommentNode:
+		sb.WriteString(indent)
+		sb.WriteString("<!--")
+		sb.WriteString(n.Value)
+		sb.WriteString("-->\n")
+	case ElementNode:
+		sb.WriteString(indent)
+		if len(n.Children) == 0 {
+			writeOpenTag(sb, n, true)
+			sb.WriteByte('\n')
+			return
+		}
+		// Elements with text children are rendered inline: injecting
+		// indentation inside mixed content would alter the text.
+		if n.hasTextChild() {
+			writeInline(sb, n)
+			sb.WriteByte('\n')
+			return
+		}
+		writeOpenTag(sb, n, false)
+		sb.WriteByte('\n')
+		for _, c := range n.Children {
+			writeNode(sb, c, depth+1)
+		}
+		sb.WriteString(indent)
+		sb.WriteString("</")
+		sb.WriteString(n.Name)
+		sb.WriteString(">\n")
+	}
+}
+
+func (n *Node) hasTextChild() bool {
+	for _, c := range n.Children {
+		if c.Kind == TextNode {
+			return true
+		}
+	}
+	return false
+}
+
+func writeOpenTag(sb *strings.Builder, n *Node, selfClose bool) {
+	sb.WriteByte('<')
+	sb.WriteString(n.Name)
+	for _, a := range n.Attrs {
+		sb.WriteByte(' ')
+		sb.WriteString(a.Name)
+		sb.WriteString(`="`)
+		xmlEscape(sb, a.Value)
+		sb.WriteByte('"')
+	}
+	if selfClose {
+		sb.WriteString("/>")
+	} else {
+		sb.WriteByte('>')
+	}
+}
+
+// writeInline serialises the subtree with no added whitespace.
+func writeInline(sb *strings.Builder, n *Node) {
+	switch n.Kind {
+	case TextNode:
+		xmlEscape(sb, n.Value)
+	case CommentNode:
+		sb.WriteString("<!--")
+		sb.WriteString(n.Value)
+		sb.WriteString("-->")
+	case ElementNode:
+		if len(n.Children) == 0 {
+			writeOpenTag(sb, n, true)
+			return
+		}
+		writeOpenTag(sb, n, false)
+		for _, c := range n.Children {
+			writeInline(sb, c)
+		}
+		sb.WriteString("</")
+		sb.WriteString(n.Name)
+		sb.WriteString(">")
+	}
+}
+
+func xmlEscape(sb *strings.Builder, s string) {
+	for _, r := range s {
+		switch r {
+		case '<':
+			sb.WriteString("&lt;")
+		case '>':
+			sb.WriteString("&gt;")
+		case '&':
+			sb.WriteString("&amp;")
+		case '"':
+			sb.WriteString("&quot;")
+		case '\'':
+			sb.WriteString("&apos;")
+		default:
+			sb.WriteRune(r)
+		}
+	}
+}
+
+// Equal reports whether two documents have the same structure and content,
+// ignoring node IDs.
+func Equal(a, b *Document) bool {
+	return nodeEqual(a.Root, b.Root)
+}
+
+func nodeEqual(a, b *Node) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Kind != b.Kind || a.Name != b.Name || a.Value != b.Value {
+		return false
+	}
+	if len(a.Attrs) != len(b.Attrs) || len(a.Children) != len(b.Children) {
+		return false
+	}
+	as := append([]Attr(nil), a.Attrs...)
+	bs := append([]Attr(nil), b.Attrs...)
+	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
+	sort.Slice(bs, func(i, j int) bool { return bs[i].Name < bs[j].Name })
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	for i := range a.Children {
+		if !nodeEqual(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Keywords returns the lower-cased word tokens appearing in the document's
+// text content and attribute values. Used by the annotation store's keyword
+// index (ablation A6).
+func (d *Document) Keywords() []string {
+	seen := make(map[string]bool)
+	var words []string
+	add := func(s string) {
+		for _, w := range Tokenize(s) {
+			if !seen[w] {
+				seen[w] = true
+				words = append(words, w)
+			}
+		}
+	}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.Kind == TextNode {
+			add(n.Value)
+		}
+		for _, a := range n.Attrs {
+			add(a.Value)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(d.Root)
+	sort.Strings(words)
+	return words
+}
+
+// Tokenize splits s into lower-cased word tokens. Letters, digits, '.', '-'
+// and '_' are word characters (so terms like "protein.TP53" survive as one
+// token); everything else separates tokens.
+func Tokenize(s string) []string {
+	var out []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-', r == '_':
+			cur.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return out
+}

@@ -1,0 +1,587 @@
+package xquery
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"graphitti/internal/xmldoc"
+)
+
+// ValueKind discriminates evaluation results.
+type ValueKind uint8
+
+// The four XPath 1.0 value types.
+const (
+	NodeSetValue ValueKind = iota
+	StringValue
+	NumberValue
+	BooleanValue
+)
+
+// Value is the result of evaluating an expression.
+type Value struct {
+	Kind  ValueKind
+	Nodes []*xmldoc.Node
+	Str   string
+	Num   float64
+	Bool  bool
+}
+
+func nodeSet(ns []*xmldoc.Node) Value { return Value{Kind: NodeSetValue, Nodes: ns} }
+func str(s string) Value              { return Value{Kind: StringValue, Str: s} }
+func num(f float64) Value             { return Value{Kind: NumberValue, Num: f} }
+func boolean(b bool) Value            { return Value{Kind: BooleanValue, Bool: b} }
+
+// AsBool converts the value to a boolean using XPath rules.
+func (v Value) AsBool() bool {
+	switch v.Kind {
+	case NodeSetValue:
+		return len(v.Nodes) > 0
+	case StringValue:
+		return len(v.Str) > 0
+	case NumberValue:
+		return v.Num != 0 && !math.IsNaN(v.Num)
+	default:
+		return v.Bool
+	}
+}
+
+// AsString converts the value to a string using XPath rules (the string
+// value of a node set is the string value of its first node).
+func (v Value) AsString() string {
+	switch v.Kind {
+	case NodeSetValue:
+		if len(v.Nodes) == 0 {
+			return ""
+		}
+		return nodeString(v.Nodes[0])
+	case StringValue:
+		return v.Str
+	case NumberValue:
+		return formatNumber(v.Num)
+	default:
+		if v.Bool {
+			return "true"
+		}
+		return "false"
+	}
+}
+
+// AsNumber converts the value to a number using XPath rules.
+func (v Value) AsNumber() float64 {
+	switch v.Kind {
+	case NodeSetValue, StringValue:
+		s := strings.TrimSpace(v.AsString())
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return math.NaN()
+		}
+		return f
+	case NumberValue:
+		return v.Num
+	default:
+		if v.Bool {
+			return 1
+		}
+		return 0
+	}
+}
+
+func formatNumber(f float64) string {
+	if f == math.Trunc(f) && !math.IsInf(f, 0) && !math.IsNaN(f) {
+		return strconv.FormatInt(int64(f), 10)
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// nodeString is the XPath string-value of a node.
+func nodeString(n *xmldoc.Node) string {
+	switch n.Kind {
+	case xmldoc.TextNode, xmldoc.CommentNode:
+		return n.Value
+	default:
+		return n.Text()
+	}
+}
+
+type evalCtx struct {
+	node *xmldoc.Node
+	pos  int // 1-based position in the current node list
+	size int
+}
+
+// Eval evaluates the query against doc and returns the resulting node set.
+// Non-node-set results produce an error; use EvalValue for those.
+func (q *Query) Eval(doc *xmldoc.Document) ([]*xmldoc.Node, error) {
+	v, err := q.EvalValue(doc)
+	if err != nil {
+		return nil, err
+	}
+	if v.Kind != NodeSetValue {
+		return nil, fmt.Errorf("xquery: %q evaluates to a %s, not a node set", q.src, kindName(v.Kind))
+	}
+	return v.Nodes, nil
+}
+
+// EvalValue evaluates the query against doc and returns the raw value.
+func (q *Query) EvalValue(doc *xmldoc.Document) (Value, error) {
+	if doc == nil || doc.Root == nil {
+		return Value{}, fmt.Errorf("xquery: nil document")
+	}
+	ctx := evalCtx{node: doc.Root, pos: 1, size: 1}
+	return evalExpr(q.expr, ctx)
+}
+
+// EvalBool evaluates the query and converts the result to a boolean.
+func (q *Query) EvalBool(doc *xmldoc.Document) (bool, error) {
+	v, err := q.EvalValue(doc)
+	if err != nil {
+		return false, err
+	}
+	return v.AsBool(), nil
+}
+
+// EvalString evaluates the query and converts the result to a string.
+func (q *Query) EvalString(doc *xmldoc.Document) (string, error) {
+	v, err := q.EvalValue(doc)
+	if err != nil {
+		return "", err
+	}
+	return v.AsString(), nil
+}
+
+func kindName(k ValueKind) string {
+	switch k {
+	case NodeSetValue:
+		return "node-set"
+	case StringValue:
+		return "string"
+	case NumberValue:
+		return "number"
+	default:
+		return "boolean"
+	}
+}
+
+func evalExpr(e Expr, ctx evalCtx) (Value, error) {
+	switch v := e.(type) {
+	case NumberLit:
+		return num(float64(v)), nil
+	case StringLit:
+		return str(string(v)), nil
+	case *BinaryExpr:
+		return evalBinary(v, ctx)
+	case *FuncCall:
+		return evalFunc(v, ctx)
+	case *PathExpr:
+		ns, err := evalPath(v, ctx)
+		if err != nil {
+			return Value{}, err
+		}
+		return nodeSet(ns), nil
+	default:
+		return Value{}, fmt.Errorf("xquery: unknown expression %T", e)
+	}
+}
+
+func evalBinary(b *BinaryExpr, ctx evalCtx) (Value, error) {
+	switch b.Op {
+	case "or":
+		l, err := evalExpr(b.L, ctx)
+		if err != nil {
+			return Value{}, err
+		}
+		if l.AsBool() {
+			return boolean(true), nil
+		}
+		r, err := evalExpr(b.R, ctx)
+		if err != nil {
+			return Value{}, err
+		}
+		return boolean(r.AsBool()), nil
+	case "and":
+		l, err := evalExpr(b.L, ctx)
+		if err != nil {
+			return Value{}, err
+		}
+		if !l.AsBool() {
+			return boolean(false), nil
+		}
+		r, err := evalExpr(b.R, ctx)
+		if err != nil {
+			return Value{}, err
+		}
+		return boolean(r.AsBool()), nil
+	}
+	l, err := evalExpr(b.L, ctx)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := evalExpr(b.R, ctx)
+	if err != nil {
+		return Value{}, err
+	}
+	switch b.Op {
+	case "+", "-":
+		a, c := l.AsNumber(), r.AsNumber()
+		if b.Op == "+" {
+			return num(a + c), nil
+		}
+		return num(a - c), nil
+	case "=", "!=", "<", "<=", ">", ">=":
+		return boolean(compare(b.Op, l, r)), nil
+	default:
+		return Value{}, fmt.Errorf("xquery: unknown operator %q", b.Op)
+	}
+}
+
+// compare implements XPath 1.0 comparison semantics, including the
+// existential semantics of node-set comparisons.
+func compare(op string, l, r Value) bool {
+	if l.Kind == NodeSetValue && r.Kind == NodeSetValue {
+		for _, ln := range l.Nodes {
+			for _, rn := range r.Nodes {
+				if cmpAtoms(op, str(nodeString(ln)), str(nodeString(rn))) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if l.Kind == NodeSetValue {
+		for _, ln := range l.Nodes {
+			if cmpAtoms(op, str(nodeString(ln)), r) {
+				return true
+			}
+		}
+		return false
+	}
+	if r.Kind == NodeSetValue {
+		for _, rn := range r.Nodes {
+			if cmpAtoms(op, l, str(nodeString(rn))) {
+				return true
+			}
+		}
+		return false
+	}
+	return cmpAtoms(op, l, r)
+}
+
+func cmpAtoms(op string, l, r Value) bool {
+	switch op {
+	case "=", "!=":
+		var eq bool
+		switch {
+		case l.Kind == BooleanValue || r.Kind == BooleanValue:
+			eq = l.AsBool() == r.AsBool()
+		case l.Kind == NumberValue || r.Kind == NumberValue:
+			eq = l.AsNumber() == r.AsNumber()
+		default:
+			eq = l.AsString() == r.AsString()
+		}
+		if op == "=" {
+			return eq
+		}
+		return !eq
+	default:
+		a, b := l.AsNumber(), r.AsNumber()
+		switch op {
+		case "<":
+			return a < b
+		case "<=":
+			return a <= b
+		case ">":
+			return a > b
+		default:
+			return a >= b
+		}
+	}
+}
+
+func evalPath(p *PathExpr, ctx evalCtx) ([]*xmldoc.Node, error) {
+	var current []*xmldoc.Node
+	if p.Absolute {
+		root := ctx.node
+		for root.Parent != nil {
+			root = root.Parent
+		}
+		if len(p.Steps) == 0 {
+			return []*xmldoc.Node{root}, nil
+		}
+		// The context for the first absolute step is a virtual document
+		// node whose only child is the root element; model it by running
+		// the first step against the root's "self or children".
+		first := p.Steps[0]
+		var err error
+		current, err = applyStepFromDocument(first, root, ctx)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range p.Steps[1:] {
+			current, err = applyStepAll(s, current, ctx)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return current, nil
+	}
+	current = []*xmldoc.Node{ctx.node}
+	var err error
+	for _, s := range p.Steps {
+		current, err = applyStepAll(s, current, ctx)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return current, nil
+}
+
+// applyStepFromDocument runs the first step of an absolute path, where the
+// conceptual context node is the document: /a matches the root element
+// named a; //a matches any descendant-or-self element named a.
+func applyStepFromDocument(s Step, root *xmldoc.Node, outer evalCtx) ([]*xmldoc.Node, error) {
+	var candidates []*xmldoc.Node
+	switch s.Axis {
+	case AxisChild:
+		candidates = matchTest(s, []*xmldoc.Node{root})
+	case AxisDescendant:
+		all := []*xmldoc.Node{root}
+		root.Descendants(func(n *xmldoc.Node) bool {
+			all = append(all, n)
+			return true
+		})
+		candidates = matchTest(s, all)
+	case AxisAttribute:
+		candidates = nil // the document node has no attributes
+	case AxisSelf, AxisParent:
+		candidates = nil
+	}
+	return applyPreds(s.Preds, candidates, outer)
+}
+
+func applyStepAll(s Step, nodes []*xmldoc.Node, outer evalCtx) ([]*xmldoc.Node, error) {
+	var out []*xmldoc.Node
+	seen := map[*xmldoc.Node]bool{}
+	for _, n := range nodes {
+		res, err := applyStep(s, n, outer)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range res {
+			if !seen[r] {
+				seen[r] = true
+				out = append(out, r)
+			}
+		}
+	}
+	sortDocOrder(out)
+	return out, nil
+}
+
+func applyStep(s Step, n *xmldoc.Node, outer evalCtx) ([]*xmldoc.Node, error) {
+	var candidates []*xmldoc.Node
+	switch s.Axis {
+	case AxisChild:
+		candidates = matchTest(s, n.Children)
+	case AxisDescendant:
+		var all []*xmldoc.Node
+		n.Descendants(func(d *xmldoc.Node) bool {
+			all = append(all, d)
+			return true
+		})
+		candidates = matchTest(s, all)
+	case AxisSelf:
+		candidates = matchTest(s, []*xmldoc.Node{n})
+	case AxisParent:
+		if n.Parent != nil {
+			candidates = matchTest(s, []*xmldoc.Node{n.Parent})
+		}
+	case AxisAttribute:
+		// Attributes are surfaced as synthetic text nodes so that string
+		// conversion and comparison work uniformly.
+		for _, a := range n.Attrs {
+			if s.Kind == TestAny || a.Name == s.Name {
+				candidates = append(candidates, syntheticAttrNode(n, a))
+			}
+		}
+	}
+	return applyPreds(s.Preds, candidates, outer)
+}
+
+// syntheticAttrNode materialises an attribute as a detached text node.
+// Its value is the attribute value. The node is not part of the document
+// tree; Parent points at the owning element so ".." still works.
+func syntheticAttrNode(owner *xmldoc.Node, a xmldoc.Attr) *xmldoc.Node {
+	return &xmldoc.Node{
+		ID:     owner.ID, // attribute results map back to the owning element
+		Kind:   xmldoc.TextNode,
+		Name:   a.Name,
+		Value:  a.Value,
+		Parent: owner,
+	}
+}
+
+func matchTest(s Step, nodes []*xmldoc.Node) []*xmldoc.Node {
+	var out []*xmldoc.Node
+	for _, n := range nodes {
+		switch s.Kind {
+		case TestName:
+			if n.Kind == xmldoc.ElementNode && n.Name == s.Name {
+				out = append(out, n)
+			}
+		case TestAny:
+			if n.Kind == xmldoc.ElementNode {
+				out = append(out, n)
+			}
+		case TestText:
+			if n.Kind == xmldoc.TextNode {
+				out = append(out, n)
+			}
+		case TestNode:
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func applyPreds(preds []Expr, nodes []*xmldoc.Node, outer evalCtx) ([]*xmldoc.Node, error) {
+	cur := nodes
+	for _, pred := range preds {
+		var kept []*xmldoc.Node
+		size := len(cur)
+		for i, n := range cur {
+			v, err := evalExpr(pred, evalCtx{node: n, pos: i + 1, size: size})
+			if err != nil {
+				return nil, err
+			}
+			// A numeric predicate is a position test.
+			if v.Kind == NumberValue {
+				if float64(i+1) == v.Num {
+					kept = append(kept, n)
+				}
+				continue
+			}
+			if v.AsBool() {
+				kept = append(kept, n)
+			}
+		}
+		cur = kept
+	}
+	return cur, nil
+}
+
+// sortDocOrder sorts nodes by their document node ID, which xmldoc assigns
+// in creation order (document order for parsed documents).
+func sortDocOrder(ns []*xmldoc.Node) {
+	sort.SliceStable(ns, func(i, j int) bool { return ns[i].ID < ns[j].ID })
+}
+
+// --- core function library ---
+
+var arity = map[string][2]int{
+	"contains":         {2, 2},
+	"starts-with":      {2, 2},
+	"count":            {1, 1},
+	"position":         {0, 0},
+	"last":             {0, 0},
+	"name":             {0, 1},
+	"not":              {1, 1},
+	"string":           {0, 1},
+	"number":           {0, 1},
+	"true":             {0, 0},
+	"false":            {0, 0},
+	"concat":           {2, 16},
+	"string-length":    {0, 1},
+	"normalize-space":  {0, 1},
+	"substring-before": {2, 2},
+	"substring-after":  {2, 2},
+}
+
+var coreFunctions = arity // presence check shares the table
+
+func evalFunc(f *FuncCall, ctx evalCtx) (Value, error) {
+	argv := make([]Value, len(f.Args))
+	for i, a := range f.Args {
+		v, err := evalExpr(a, ctx)
+		if err != nil {
+			return Value{}, err
+		}
+		argv[i] = v
+	}
+	switch f.Name {
+	case "contains":
+		return boolean(strings.Contains(argv[0].AsString(), argv[1].AsString())), nil
+	case "starts-with":
+		return boolean(strings.HasPrefix(argv[0].AsString(), argv[1].AsString())), nil
+	case "count":
+		if argv[0].Kind != NodeSetValue {
+			return Value{}, fmt.Errorf("xquery: count() requires a node set")
+		}
+		return num(float64(len(argv[0].Nodes))), nil
+	case "position":
+		return num(float64(ctx.pos)), nil
+	case "last":
+		return num(float64(ctx.size)), nil
+	case "name":
+		n := ctx.node
+		if len(argv) == 1 {
+			if argv[0].Kind != NodeSetValue || len(argv[0].Nodes) == 0 {
+				return str(""), nil
+			}
+			n = argv[0].Nodes[0]
+		}
+		return str(n.Name), nil
+	case "not":
+		return boolean(!argv[0].AsBool()), nil
+	case "string":
+		if len(argv) == 0 {
+			return str(nodeString(ctx.node)), nil
+		}
+		return str(argv[0].AsString()), nil
+	case "number":
+		if len(argv) == 0 {
+			return num(Value{Kind: StringValue, Str: nodeString(ctx.node)}.AsNumber()), nil
+		}
+		return num(argv[0].AsNumber()), nil
+	case "true":
+		return boolean(true), nil
+	case "false":
+		return boolean(false), nil
+	case "concat":
+		var sb strings.Builder
+		for _, a := range argv {
+			sb.WriteString(a.AsString())
+		}
+		return str(sb.String()), nil
+	case "string-length":
+		if len(argv) == 0 {
+			return num(float64(len(nodeString(ctx.node)))), nil
+		}
+		return num(float64(len(argv[0].AsString()))), nil
+	case "normalize-space":
+		s := ""
+		if len(argv) == 0 {
+			s = nodeString(ctx.node)
+		} else {
+			s = argv[0].AsString()
+		}
+		return str(strings.Join(strings.Fields(s), " ")), nil
+	case "substring-before":
+		s, sep := argv[0].AsString(), argv[1].AsString()
+		if i := strings.Index(s, sep); i >= 0 {
+			return str(s[:i]), nil
+		}
+		return str(""), nil
+	case "substring-after":
+		s, sep := argv[0].AsString(), argv[1].AsString()
+		if i := strings.Index(s, sep); i >= 0 {
+			return str(s[i+len(sep):]), nil
+		}
+		return str(""), nil
+	default:
+		return Value{}, fmt.Errorf("xquery: unknown function %q", f.Name)
+	}
+}

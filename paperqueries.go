@@ -1,0 +1,311 @@
+package graphitti
+
+import (
+	"fmt"
+	"sort"
+
+	"graphitti/internal/agraph"
+	"graphitti/internal/core"
+)
+
+// This file implements the two queries the paper spells out, as reusable
+// library calls. Both compose the engine's primitives exactly the way the
+// query processor does: per-type sub-queries first, then joins along the
+// a-graph.
+
+// TP53Options parameterises QueryTP53Images (the paper's intro query). The
+// zero value uses the paper's constants.
+type TP53Options struct {
+	// Keyword defaults to "protein.TP53".
+	Keyword string
+	// Ontology and TermName locate the region term; they default to "nif"
+	// and "Deep Cerebellar nuclei".
+	Ontology string
+	TermName string
+	// MinRegions defaults to 2.
+	MinRegions int
+}
+
+func (o *TP53Options) defaults() {
+	if o.Keyword == "" {
+		o.Keyword = "protein.TP53"
+	}
+	if o.Ontology == "" {
+		o.Ontology = "nif"
+	}
+	if o.TermName == "" {
+		o.TermName = "Deep Cerebellar nuclei"
+	}
+	if o.MinRegions == 0 {
+		o.MinRegions = 2
+	}
+}
+
+// TP53Result reports the intro query's answer together with the witnesses.
+type TP53Result struct {
+	// Annotations contain the keyword and have a-graph paths to every
+	// qualifying image.
+	Annotations []*Annotation
+	// QualifyingImages had at least MinRegions regions annotated with the
+	// term.
+	QualifyingImages []string
+	// RegionCounts maps every inspected image to its matching-region
+	// count.
+	RegionCounts map[string]int
+}
+
+// QueryTP53Images implements the paper's §I query: "Find annotations that
+// contain the term 'protein.TP53' and have paths to all mouse brain images
+// having at least 2 regions annotated with ontology term 'Deep Cerebellar
+// nuclei'."
+func QueryTP53Images(s *Store, opts TP53Options) (*TP53Result, error) {
+	opts.defaults()
+
+	// Sub-query 1 (ontology): resolve the term and its CI closure.
+	ont, err := s.Ontology(opts.Ontology)
+	if err != nil {
+		return nil, err
+	}
+	term, ok := ont.TermByName(opts.TermName)
+	if !ok {
+		return nil, fmt.Errorf("graphitti: term %q not in ontology %s", opts.TermName, opts.Ontology)
+	}
+	closure := map[string]bool{term.ID: true}
+	if ci, err := ont.CI(term.ID); err == nil {
+		for _, t := range ci {
+			closure[t] = true
+		}
+	}
+
+	// Sub-query 2 (images x regions): count, per image, the region
+	// referents whose annotations point into the term closure.
+	res := &TP53Result{RegionCounts: make(map[string]int)}
+	for _, imgID := range s.Images() {
+		count := 0
+		// referents marking this image:
+		for _, e := range s.Graph().In(agraph.Object(string(TypeImage), imgID), agraph.LabelMarks) {
+			refID, ok := referentNodeID(e.From)
+			if !ok {
+				continue
+			}
+			ref, err := s.Referent(refID)
+			if err != nil || ref.Kind != core.RegionReferent {
+				continue
+			}
+			// does any annotation of this referent carry the term?
+			tagged := false
+			for _, ann := range s.AnnotationsOfReferent(refID) {
+				for _, tr := range ann.Terms {
+					if tr.Ontology == opts.Ontology && closure[tr.TermID] {
+						tagged = true
+						break
+					}
+				}
+				if tagged {
+					break
+				}
+			}
+			if tagged {
+				count++
+			}
+		}
+		res.RegionCounts[imgID] = count
+		if count >= opts.MinRegions {
+			res.QualifyingImages = append(res.QualifyingImages, imgID)
+		}
+	}
+	sort.Strings(res.QualifyingImages)
+
+	// Sub-query 3 (contents): keyword candidates.
+	candidates := s.SearchKeyword(opts.Keyword, true)
+
+	// Join: keep candidates with a path to every qualifying image.
+	for _, ann := range candidates {
+		hasAll := true
+		for _, imgID := range res.QualifyingImages {
+			if _, err := s.Graph().FindPath(
+				agraph.ContentRoot(ann.ID),
+				agraph.Object(string(TypeImage), imgID)); err != nil {
+				hasAll = false
+				break
+			}
+		}
+		if hasAll {
+			res.Annotations = append(res.Annotations, ann)
+		}
+	}
+	sort.Slice(res.Annotations, func(i, j int) bool { return res.Annotations[i].ID < res.Annotations[j].ID })
+	return res, nil
+}
+
+// Chain is one answer of QueryConsecutiveKeyword: k consecutive disjoint
+// interval referents on one domain, each carrying the keyword, plus the
+// sequences that own them.
+type Chain struct {
+	Domain    string
+	Referents []*Referent
+	// Sequences are the distinct owning sequence IDs, sorted.
+	Sequences []string
+	// Annotations holds one witnessing annotation per link.
+	Annotations []*Annotation
+}
+
+// ConsecutiveOptions parameterises QueryConsecutiveKeyword. The zero value
+// uses the paper's constants (k=4, keyword "protease").
+type ConsecutiveOptions struct {
+	Keyword string
+	K       int
+	// Ontology/ClassTerm optionally restrict to sequences whose
+	// annotations reference the class (the paper's "all proteins
+	// belonging to an ontological class").
+	Ontology  string
+	ClassTerm string
+}
+
+func (o *ConsecutiveOptions) defaults() {
+	if o.Keyword == "" {
+		o.Keyword = "protease"
+	}
+	if o.K == 0 {
+		o.K = 4
+	}
+}
+
+// QueryConsecutiveKeyword implements the paper's §III query-tab query:
+// "find annotated sequences of all proteins belonging to an ontological
+// class, where 4 consecutive non-overlapping intervals in the sequence has
+// annotations having the keyword 'protease' in each of them."
+func QueryConsecutiveKeyword(s *Store, opts ConsecutiveOptions) ([]*Chain, error) {
+	opts.defaults()
+
+	// Sub-query 1 (contents): annotations carrying the keyword, and the
+	// interval referents they annotate, grouped by domain.
+	anns := s.SearchKeyword(opts.Keyword, true)
+	witness := make(map[uint64]*Annotation) // referent -> one annotation
+	perDomain := make(map[string][]*Referent)
+	for _, ann := range anns {
+		if opts.Ontology != "" && !annotationInClass(s, ann, opts.Ontology, opts.ClassTerm) {
+			continue
+		}
+		for _, refID := range ann.ReferentIDs {
+			ref, err := s.Referent(refID)
+			if err != nil || ref.Kind != core.IntervalReferent {
+				continue
+			}
+			if _, dup := witness[refID]; !dup {
+				witness[refID] = ann
+				perDomain[ref.Domain] = append(perDomain[ref.Domain], ref)
+			}
+		}
+	}
+
+	// Sub-query 2 (interval algebra): in each domain, find maximal runs of
+	// K consecutive, pairwise-disjoint marks.
+	var chains []*Chain
+	domains := make([]string, 0, len(perDomain))
+	for d := range perDomain {
+		domains = append(domains, d)
+	}
+	sort.Strings(domains)
+	for _, domain := range domains {
+		refs := perDomain[domain]
+		sort.Slice(refs, func(i, j int) bool {
+			if refs[i].Interval.Lo != refs[j].Interval.Lo {
+				return refs[i].Interval.Lo < refs[j].Interval.Lo
+			}
+			return refs[i].Interval.Hi < refs[j].Interval.Hi
+		})
+		for start := 0; start+opts.K <= len(refs); start++ {
+			run := []*Referent{refs[start]}
+			last := refs[start].Interval
+			for next := start + 1; next < len(refs) && len(run) < opts.K; next++ {
+				iv := refs[next].Interval
+				if iv.Lo >= last.Hi {
+					run = append(run, refs[next])
+					last = iv
+				}
+			}
+			if len(run) == opts.K {
+				chains = append(chains, buildChain(s, domain, run, witness))
+			}
+		}
+	}
+	return dedupChains(chains), nil
+}
+
+func buildChain(s *Store, domain string, run []*Referent, witness map[uint64]*Annotation) *Chain {
+	c := &Chain{Domain: domain}
+	seqSet := make(map[string]bool)
+	for _, r := range run {
+		c.Referents = append(c.Referents, r)
+		seqSet[r.ObjectID] = true
+		if ann := witness[r.ID]; ann != nil {
+			c.Annotations = append(c.Annotations, ann)
+		}
+	}
+	for id := range seqSet {
+		c.Sequences = append(c.Sequences, id)
+	}
+	sort.Strings(c.Sequences)
+	return c
+}
+
+func dedupChains(chains []*Chain) []*Chain {
+	seen := make(map[string]bool)
+	var out []*Chain
+	for _, c := range chains {
+		key := c.Domain
+		for _, r := range c.Referents {
+			key += fmt.Sprintf("|%d", r.ID)
+		}
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func annotationInClass(s *Store, ann *Annotation, ontName, classTerm string) bool {
+	ont, err := s.Ontology(ontName)
+	if err != nil {
+		return false
+	}
+	closure := map[string]bool{classTerm: true}
+	if ci, err := ont.CI(classTerm); err == nil {
+		for _, t := range ci {
+			closure[t] = true
+		}
+	}
+	for _, tr := range ann.Terms {
+		if tr.Ontology == ontName && closure[tr.TermID] {
+			return true
+		}
+	}
+	return false
+}
+
+// referentNodeID parses the referent ID out of an a-graph node ref.
+func referentNodeID(ref agraph.NodeRef) (uint64, bool) {
+	if ref.Kind != agraph.ReferentNode {
+		return 0, false
+	}
+	var id uint64
+	for _, c := range ref.Key {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id, true
+}
+
+// MarkAndAnnotate is a convenience that marks a sequence interval and
+// commits a one-referent annotation in one call; the quickstart uses it.
+func MarkAndAnnotate(s *Store, seqID string, iv Interval, creator, date, body string) (*Annotation, error) {
+	m, err := s.MarkSequenceInterval(seqID, iv)
+	if err != nil {
+		return nil, err
+	}
+	return s.Commit(s.NewAnnotation().Creator(creator).Date(date).Body(body).Refer(m))
+}

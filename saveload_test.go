@@ -1,0 +1,40 @@
+package graphitti
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadFacade(t *testing.T) {
+	s := New()
+	dna, err := NewDNA("NC_1", strings.Repeat("ACGT", 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RegisterSequence(dna); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MarkAndAnnotate(s, "NC_1", Span(10, 50),
+		"gupta", "2008-01-01", "snapshot me"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(s, &buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Stats() != s.Stats() {
+		t.Fatalf("restored stats %+v, want %+v", restored.Stats(), s.Stats())
+	}
+	hits := restored.SearchKeyword("snapshot", true)
+	if len(hits) != 1 {
+		t.Fatalf("restored keyword hits = %d", len(hits))
+	}
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Fatal("bad snapshot accepted")
+	}
+}
