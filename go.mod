@@ -1,0 +1,3 @@
+module graphitti
+
+go 1.24

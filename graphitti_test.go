@@ -76,6 +76,20 @@ func TestQ1AgainstGroundTruth(t *testing.T) {
 	if _, err := QueryTP53Images(study.Store, TP53Options{TermName: "No Such Term"}); err == nil {
 		t.Fatal("ghost term accepted")
 	}
+	// With an unreachable region threshold no image qualifies, and "paths
+	// to all qualifying images" is vacuously true: every keyword
+	// candidate answers.
+	vac, err := QueryTP53Images(study.Store, TP53Options{MinRegions: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vac.QualifyingImages) != 0 {
+		t.Fatalf("qualifying images = %v, want none", vac.QualifyingImages)
+	}
+	if len(vac.Annotations) != len(study.TP53Annotations) {
+		t.Fatalf("vacuous join answers = %d, want all %d keyword candidates",
+			len(vac.Annotations), len(study.TP53Annotations))
+	}
 }
 
 // TestQ2AgainstGroundTruth runs the query-tab query on the influenza study

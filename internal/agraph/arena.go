@@ -1,0 +1,59 @@
+package agraph
+
+// The traversal arena: reusable epoch-stamped visited/parent/component
+// storage indexed by dense node index, plus the BFS frontier. Arenas are
+// pooled per graph, so steady-state traversals (FindPath, Connect,
+// ReachableEach) allocate nothing beyond their results: a fresh
+// map[NodeRef]parentLink per BFS used to dominate both the time and the
+// allocation profile of the path/connect primitives.
+
+// parentLink records how a node was first reached during a traversal.
+type parentLink struct {
+	prev int32
+	via  *Edge
+}
+
+type arena struct {
+	epoch  uint32
+	seen   []uint32     // seen[i] == epoch ⇔ node i visited this traversal
+	parent []parentLink // valid only where seen
+	comp   []int32      // claiming-terminal index (Connect); valid only where seen
+	queue  []int32      // BFS frontier, consumed by index (no pop-front copying)
+}
+
+// arena fetches a pooled arena (or a fresh one).
+func (g *Graph) arena() *arena {
+	if a, ok := g.arenas.Get().(*arena); ok {
+		return a
+	}
+	return &arena{}
+}
+
+// release returns the arena to the pool. The arena may retain *Edge
+// pointers from the last traversal until its next reuse; edges are
+// small and immutable, so this keeps at most one traversal's worth of
+// removed edges alive.
+func (g *Graph) release(a *arena) { g.arenas.Put(a) }
+
+// reset prepares the arena for a traversal over n dense indices.
+func (a *arena) reset(n int) {
+	if len(a.seen) < n {
+		a.seen = make([]uint32, n)
+		a.parent = make([]parentLink, n)
+		a.comp = make([]int32, n)
+		a.epoch = 0
+	}
+	a.epoch++
+	if a.epoch == 0 { // epoch counter wrapped: wipe stamps and restart
+		clear(a.seen)
+		a.epoch = 1
+	}
+	a.queue = a.queue[:0]
+}
+
+func (a *arena) seenAt(i int32) bool { return a.seen[i] == a.epoch }
+
+func (a *arena) mark(i, prev int32, via *Edge) {
+	a.seen[i] = a.epoch
+	a.parent[i] = parentLink{prev: prev, via: via}
+}

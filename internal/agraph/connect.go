@@ -97,16 +97,19 @@ func (g *Graph) ConnectWithStrategy(strategy ConnectStrategy, terminals ...NodeR
 	}
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	for _, t := range distinct {
-		if _, ok := g.adj[t]; !ok {
+	idxs := make([]int32, len(distinct))
+	for i, t := range distinct {
+		ti, ok := g.index[t]
+		if !ok {
 			return nil, fmt.Errorf("%w: %v", ErrNoSuchNode, t)
 		}
+		idxs[i] = ti
 	}
 	switch strategy {
 	case PairwiseBFS:
-		return g.connectPairwiseLocked(distinct)
+		return g.connectPairwiseLocked(distinct, idxs)
 	default:
-		return g.connectExpandingLocked(distinct)
+		return g.connectExpandingLocked(distinct, idxs)
 	}
 }
 
@@ -122,17 +125,17 @@ func dedupRefs(refs []NodeRef) []NodeRef {
 	return out
 }
 
-func (g *Graph) connectPairwiseLocked(terminals []NodeRef) (*Subgraph, error) {
+func (g *Graph) connectPairwiseLocked(terminals []NodeRef, idxs []int32) (*Subgraph, error) {
 	nodes := make(map[NodeRef]bool)
 	edges := make(map[uint64]Edge)
-	src := terminals[0]
-	nodes[src] = true
-	for _, dst := range terminals[1:] {
-		parent, found := g.bfsLocked(src, dst)
-		if !found {
-			return nil, fmt.Errorf("%w: %v to %v", ErrNoPath, src, dst)
+	nodes[terminals[0]] = true
+	ar := g.arena()
+	defer g.release(ar)
+	for k, dst := range idxs[1:] {
+		if !g.bfsLocked(ar, idxs[0], dst, false) {
+			return nil, fmt.Errorf("%w: %v to %v", ErrNoPath, terminals[0], terminals[k+1])
 		}
-		p := buildPath(parent, src, dst)
+		p := g.buildPathLocked(ar, idxs[0], dst)
 		for _, n := range p.Nodes {
 			nodes[n] = true
 		}
@@ -147,45 +150,41 @@ func (g *Graph) connectPairwiseLocked(terminals []NodeRef) (*Subgraph, error) {
 // Each node is claimed by the first frontier to reach it; when an edge
 // joins two different components, the joining paths are added to the result
 // and the components merge. The search stops when all terminals share one
-// component.
-func (g *Graph) connectExpandingLocked(terminals []NodeRef) (*Subgraph, error) {
+// component. All per-node state lives in the pooled arena.
+func (g *Graph) connectExpandingLocked(terminals []NodeRef, idxs []int32) (*Subgraph, error) {
 	// Union-find over terminal indices.
-	comp := make([]int, len(terminals))
+	comp := make([]int32, len(terminals))
 	for i := range comp {
-		comp[i] = i
+		comp[i] = int32(i)
 	}
-	var find func(int) int
-	find = func(x int) int {
+	var find func(int32) int32
+	find = func(x int32) int32 {
 		if comp[x] != x {
 			comp[x] = find(comp[x])
 		}
 		return comp[x]
 	}
-	union := func(a, b int) { comp[find(a)] = find(b) }
 	components := len(terminals)
 
-	owner := make(map[NodeRef]int, len(terminals)*4)
-	parent := make(map[NodeRef]parentLink, len(terminals)*4)
-	queue := make([]NodeRef, 0, len(terminals)*4)
-	for i, t := range terminals {
-		owner[t] = i
-		parent[t] = parentLink{}
-		queue = append(queue, t)
-	}
+	ar := g.arena()
+	defer g.release(ar)
+	ar.reset(len(g.nodes))
 
-	nodes := make(map[NodeRef]bool)
+	nodes := make(map[NodeRef]bool, len(terminals))
 	edges := make(map[uint64]Edge)
-	for _, t := range terminals {
-		nodes[t] = true
+	for i, t := range idxs {
+		ar.mark(t, -1, nil)
+		ar.comp[t] = int32(i)
+		ar.queue = append(ar.queue, t)
+		nodes[terminals[i]] = true
 	}
 
 	// addChain walks the parent links from n back to its terminal, adding
 	// the traversed nodes and edges to the result.
-	addChain := func(n NodeRef) {
-		cur := n
-		for {
-			nodes[cur] = true
-			link := parent[cur]
+	addChain := func(n int32) {
+		for cur := n; ; {
+			nodes[g.nodes[cur].ref] = true
+			link := ar.parent[cur]
 			if link.via == nil {
 				return
 			}
@@ -194,30 +193,35 @@ func (g *Graph) connectExpandingLocked(terminals []NodeRef) (*Subgraph, error) {
 		}
 	}
 
-	for len(queue) > 0 && components > 1 {
-		cur := queue[0]
-		queue = queue[1:]
-		curComp := owner[cur]
-		for _, h := range g.adj[cur] {
-			peer := h.peer
-			if prevOwner, seen := owner[peer]; seen {
-				if find(prevOwner) != find(curComp) {
-					// Frontiers meet: join the two components through
-					// cur -(h.edge)- peer.
-					addChain(cur)
-					addChain(peer)
-					edges[h.edge.ID] = *h.edge
-					union(prevOwner, curComp)
-					components--
-					if components == 1 {
-						break
+	for qi := 0; qi < len(ar.queue) && components > 1; qi++ {
+		cur := ar.queue[qi]
+		curComp := ar.comp[cur]
+		ns := &g.nodes[cur]
+		for _, hs := range [2][]halfRef{ns.out.all, ns.in.all} {
+			for _, h := range hs {
+				if ar.seenAt(h.peer) {
+					a, b := find(ar.comp[h.peer]), find(curComp)
+					if a != b {
+						// Frontiers meet: join the two components through
+						// cur -(h.edge)- peer.
+						addChain(cur)
+						addChain(h.peer)
+						edges[h.edge.ID] = *h.edge
+						comp[a] = b
+						components--
+						if components == 1 {
+							break
+						}
 					}
+					continue
 				}
-				continue
+				ar.mark(h.peer, cur, h.edge)
+				ar.comp[h.peer] = curComp
+				ar.queue = append(ar.queue, h.peer)
 			}
-			owner[peer] = curComp
-			parent[peer] = parentLink{prev: cur, via: h.edge}
-			queue = append(queue, peer)
+			if components == 1 {
+				break
+			}
 		}
 	}
 	if components > 1 {
@@ -231,12 +235,7 @@ func assembleSubgraph(terminals []NodeRef, nodes map[NodeRef]bool, edges map[uin
 	for n := range nodes {
 		s.Nodes = append(s.Nodes, n)
 	}
-	sort.Slice(s.Nodes, func(i, j int) bool {
-		if s.Nodes[i].Kind != s.Nodes[j].Kind {
-			return s.Nodes[i].Kind < s.Nodes[j].Kind
-		}
-		return s.Nodes[i].Key < s.Nodes[j].Key
-	})
+	sortRefs(s.Nodes)
 	for _, e := range edges {
 		s.Edges = append(s.Edges, e)
 	}

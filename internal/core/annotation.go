@@ -362,6 +362,19 @@ func (s *Store) ObjectList() []ObjectHandle {
 	return out
 }
 
+// Annotations returns all committed annotations, sorted by ID, under a
+// single lock acquisition (unlike AnnotationIDs + Annotation per ID).
+func (s *Store) Annotations() []*Annotation {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Annotation, 0, len(s.annotations))
+	for _, a := range s.annotations {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 // AnnotationIDs returns the IDs of all committed annotations, sorted.
 func (s *Store) AnnotationIDs() []uint64 {
 	s.mu.RLock()

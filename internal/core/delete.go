@@ -49,7 +49,7 @@ func (s *Store) collectReferentLocked(refID uint64) {
 		return
 	}
 	refNode := agraph.Referent(refID)
-	if len(s.graph.In(refNode, agraph.LabelAnnotates)) > 0 {
+	if s.graph.InCount(refNode, agraph.LabelAnnotates) > 0 {
 		return // still referenced
 	}
 	switch ref.Kind {

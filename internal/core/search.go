@@ -78,40 +78,41 @@ func (s *Store) annotationIDsLocked() []uint64 {
 // referent <- content.
 func (s *Store) AnnotationsOnObject(typ ObjectType, objectID string) []*Annotation {
 	objNode := agraph.Object(string(typ), objectID)
-	refEdges := s.graph.In(objNode, agraph.LabelMarks)
 	seen := make(map[uint64]bool)
 	var out []*Annotation
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	for _, re := range refEdges {
-		for _, ce := range s.graph.In(re.From, agraph.LabelAnnotates) {
+	s.graph.InEach(objNode, func(re agraph.Edge) bool {
+		s.graph.InEach(re.From, func(ce agraph.Edge) bool {
 			annID, ok := parseContentRef(ce.From)
 			if !ok || seen[annID] {
-				continue
+				return true
 			}
 			seen[annID] = true
 			if ann, exists := s.annotations[annID]; exists {
 				out = append(out, ann)
 			}
-		}
-	}
+			return true
+		}, agraph.LabelAnnotates)
+		return true
+	}, agraph.LabelMarks)
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
 // AnnotationsOfReferent returns the annotations attached to a referent.
 func (s *Store) AnnotationsOfReferent(refID uint64) []*Annotation {
-	edges := s.graph.In(agraph.Referent(refID), agraph.LabelAnnotates)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var out []*Annotation
-	for _, e := range edges {
+	s.graph.InEach(agraph.Referent(refID), func(e agraph.Edge) bool {
 		if annID, ok := parseContentRef(e.From); ok {
 			if ann, exists := s.annotations[annID]; exists {
 				out = append(out, ann)
 			}
 		}
-	}
+		return true
+	}, agraph.LabelAnnotates)
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
@@ -119,19 +120,19 @@ func (s *Store) AnnotationsOfReferent(refID uint64) []*Annotation {
 // AnnotationsWithTerm returns the annotations pointing at the exact
 // ontology term.
 func (s *Store) AnnotationsWithTerm(ontologyName, termID string) []*Annotation {
-	edges := s.graph.In(agraph.Term(ontologyName, termID), agraph.LabelRefersTo)
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var out []*Annotation
 	seen := make(map[uint64]bool)
-	for _, e := range edges {
+	s.graph.InEach(agraph.Term(ontologyName, termID), func(e agraph.Edge) bool {
 		if annID, ok := parseContentRef(e.From); ok && !seen[annID] {
 			seen[annID] = true
 			if ann, exists := s.annotations[annID]; exists {
 				out = append(out, ann)
 			}
 		}
-	}
+		return true
+	}, agraph.LabelRefersTo)
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
@@ -174,35 +175,42 @@ func (s *Store) RelatedAnnotations(annID uint64) ([]*Annotation, error) {
 	content := agraph.ContentRoot(annID)
 	seen := map[uint64]bool{annID: true}
 	var out []*Annotation
+	// One read lock around the whole traversal instead of a lock
+	// round-trip per discovered candidate; the a-graph iterators snapshot
+	// under their own lock and run without holding it, so nesting them
+	// inside s.mu is deadlock-free.
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	add := func(id uint64) {
 		if !seen[id] {
 			seen[id] = true
-			s.mu.RLock()
 			if ann, ok := s.annotations[id]; ok {
 				out = append(out, ann)
 			}
-			s.mu.RUnlock()
 		}
 	}
-	for _, refEdge := range s.graph.Out(content, agraph.LabelAnnotates) {
-		refNode := refEdge.To
-		// Annotations sharing this referent.
-		for _, e := range s.graph.In(refNode, agraph.LabelAnnotates) {
+	addAnnotators := func(refNode agraph.NodeRef) {
+		s.graph.InEach(refNode, func(e agraph.Edge) bool {
 			if id, ok := parseContentRef(e.From); ok {
 				add(id)
 			}
-		}
-		// Annotations marking the same object through other referents.
-		for _, objEdge := range s.graph.Out(refNode, agraph.LabelMarks) {
-			for _, otherRef := range s.graph.In(objEdge.To, agraph.LabelMarks) {
-				for _, e := range s.graph.In(otherRef.From, agraph.LabelAnnotates) {
-					if id, ok := parseContentRef(e.From); ok {
-						add(id)
-					}
-				}
-			}
-		}
+			return true
+		}, agraph.LabelAnnotates)
 	}
+	s.graph.OutEach(content, func(refEdge agraph.Edge) bool {
+		refNode := refEdge.To
+		// Annotations sharing this referent.
+		addAnnotators(refNode)
+		// Annotations marking the same object through other referents.
+		s.graph.OutEach(refNode, func(objEdge agraph.Edge) bool {
+			s.graph.InEach(objEdge.To, func(otherRef agraph.Edge) bool {
+				addAnnotators(otherRef.From)
+				return true
+			}, agraph.LabelMarks)
+			return true
+		}, agraph.LabelMarks)
+		return true
+	}, agraph.LabelAnnotates)
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out, nil
 }
@@ -225,32 +233,37 @@ func (s *Store) CorrelatedData(annID uint64) ([]CorrelatedItem, error) {
 	}
 	content := agraph.ContentRoot(annID)
 	var items []CorrelatedItem
-	for _, refEdge := range s.graph.Out(content, agraph.LabelAnnotates) {
-		for _, objEdge := range s.graph.Out(refEdge.To, agraph.LabelMarks) {
+	s.graph.OutEach(content, func(refEdge agraph.Edge) bool {
+		s.graph.OutEach(refEdge.To, func(objEdge agraph.Edge) bool {
 			items = append(items, CorrelatedItem{
 				Node:        objEdge.To,
 				Label:       agraph.LabelMarks,
 				Description: "object " + objEdge.To.Key,
 			})
-		}
-	}
-	for _, termEdge := range s.graph.Out(content, agraph.LabelRefersTo) {
-		desc := "term " + termEdge.To.Key
-		if parts := strings.SplitN(termEdge.To.Key, "/", 2); len(parts) == 2 {
-			s.mu.RLock()
-			if o, ok := s.ontologies[parts[0]]; ok {
-				if t, ok := o.Term(parts[1]); ok && t.Name != "" {
-					desc = fmt.Sprintf("term %s (%s)", t.Name, termEdge.To.Key)
+			return true
+		}, agraph.LabelMarks)
+		return true
+	}, agraph.LabelAnnotates)
+	func() {
+		s.mu.RLock() // one lock round-trip for the whole term loop
+		defer s.mu.RUnlock()
+		s.graph.OutEach(content, func(termEdge agraph.Edge) bool {
+			desc := "term " + termEdge.To.Key
+			if parts := strings.SplitN(termEdge.To.Key, "/", 2); len(parts) == 2 {
+				if o, ok := s.ontologies[parts[0]]; ok {
+					if t, ok := o.Term(parts[1]); ok && t.Name != "" {
+						desc = fmt.Sprintf("term %s (%s)", t.Name, termEdge.To.Key)
+					}
 				}
 			}
-			s.mu.RUnlock()
-		}
-		items = append(items, CorrelatedItem{
-			Node:        termEdge.To,
-			Label:       agraph.LabelRefersTo,
-			Description: desc,
-		})
-	}
+			items = append(items, CorrelatedItem{
+				Node:        termEdge.To,
+				Label:       agraph.LabelRefersTo,
+				Description: desc,
+			})
+			return true
+		}, agraph.LabelRefersTo)
+	}()
 	related, err := s.RelatedAnnotations(annID)
 	if err != nil {
 		return nil, err
@@ -299,21 +312,8 @@ func (s *Store) ConnectAnnotations(ids ...uint64) (*agraph.Subgraph, error) {
 
 // parseContentRef extracts the annotation ID from a content node ref.
 func parseContentRef(ref agraph.NodeRef) (uint64, bool) {
-	if ref.Kind != agraph.ContentNode {
-		return 0, false
-	}
-	slash := strings.IndexByte(ref.Key, '/')
-	if slash < 0 {
-		return 0, false
-	}
-	var id uint64
-	for _, c := range ref.Key[:slash] {
-		if c < '0' || c > '9' {
-			return 0, false
-		}
-		id = id*10 + uint64(c-'0')
-	}
-	return id, true
+	ann, _, ok := agraph.ContentID(ref)
+	return ann, ok
 }
 
 // ContentFragments evaluates a path expression against one annotation and

@@ -114,11 +114,7 @@ func (s *server) listAnnotations(w http.ResponseWriter, r *http.Request) {
 			out = append(out, viewOf(ann))
 		}
 	} else {
-		for _, id := range s.store.AnnotationIDs() {
-			ann, err := s.store.Annotation(id)
-			if err != nil {
-				continue
-			}
+		for _, ann := range s.store.Annotations() {
 			out = append(out, viewOf(ann))
 		}
 	}

@@ -134,13 +134,7 @@ func (p *Processor) annotationCandidates(v *VarDecl) ([]agraph.NodeRef, error) {
 		}
 	}
 	if !seeded {
-		for _, id := range p.store.AnnotationIDs() {
-			ann, err := p.store.Annotation(id)
-			if err != nil {
-				continue
-			}
-			anns = append(anns, ann)
-		}
+		anns = p.store.Annotations()
 	}
 	var out []agraph.NodeRef
 	for _, ann := range anns {
@@ -448,7 +442,7 @@ func (p *Processor) consistent(q *Query, binding Match, last string) bool {
 		if !okF || !okT {
 			continue
 		}
-		if !hasEdge(g, from, to, agraph.EdgeLabel(e.Label)) {
+		if !g.HasEdgeBetween(from, to, agraph.EdgeLabel(e.Label)) {
 			return false
 		}
 	}
@@ -473,15 +467,6 @@ func (p *Processor) consistent(q *Query, binding Match, last string) bool {
 	return true
 }
 
-func hasEdge(g *agraph.Graph, from, to agraph.NodeRef, label agraph.EdgeLabel) bool {
-	for _, e := range g.Out(from, label) {
-		if e.To == to {
-			return true
-		}
-	}
-	return false
-}
-
 func (p *Processor) checkConstraint(c Constraint, binding Match) bool {
 	if c.Kind == ConstraintDistinct {
 		seen := make(map[agraph.NodeRef]bool, len(c.Vars))
@@ -497,7 +482,7 @@ func (p *Processor) checkConstraint(c Constraint, binding Match) bool {
 	refs := make([]*core.Referent, 0, len(c.Vars))
 	for _, name := range c.Vars {
 		node := binding[name]
-		id, ok := parseReferentNode(node)
+		id, ok := agraph.ReferentID(node)
 		if !ok {
 			return false
 		}
@@ -552,20 +537,6 @@ func (p *Processor) checkConstraint(c Constraint, binding Match) bool {
 	}
 }
 
-func parseReferentNode(ref agraph.NodeRef) (uint64, bool) {
-	if ref.Kind != agraph.ReferentNode {
-		return 0, false
-	}
-	var id uint64
-	for _, c := range ref.Key {
-		if c < '0' || c > '9' {
-			return 0, false
-		}
-		id = id*10 + uint64(c-'0')
-	}
-	return id, true
-}
-
 // collate assembles the selected result form from the raw matches.
 func (p *Processor) collate(q *Query, res *Result) error {
 	switch q.Select {
@@ -597,7 +568,7 @@ func (p *Processor) collate(q *Query, res *Result) error {
 				if v.Class != ClassReferent {
 					continue
 				}
-				if id, ok := parseReferentNode(m[v.Name]); ok && !seen[id] {
+				if id, ok := agraph.ReferentID(m[v.Name]); ok && !seen[id] {
 					seen[id] = true
 					r, err := p.store.Referent(id)
 					if err != nil {
@@ -634,12 +605,13 @@ func (p *Processor) matchSubgraph(q *Query, m Match, g *agraph.Graph) *agraph.Su
 	edgeSet := make(map[uint64]agraph.Edge)
 	for _, e := range q.Edges {
 		from, to := m[e.From], m[e.To]
-		for _, ge := range g.Out(from, agraph.EdgeLabel(e.Label)) {
+		g.OutEach(from, func(ge agraph.Edge) bool {
 			if ge.To == to {
 				edgeSet[ge.ID] = ge
-				break
+				return false
 			}
-		}
+			return true
+		}, agraph.EdgeLabel(e.Label))
 	}
 	sg := &agraph.Subgraph{Terminals: terminals}
 	for n := range nodes {
@@ -689,19 +661,6 @@ func (p *Processor) matchSubgraph(q *Query, m Match, g *agraph.Graph) *agraph.Su
 }
 
 func parseContentNode(ref agraph.NodeRef) (uint64, bool) {
-	if ref.Kind != agraph.ContentNode {
-		return 0, false
-	}
-	slash := strings.IndexByte(ref.Key, '/')
-	if slash < 0 {
-		return 0, false
-	}
-	var id uint64
-	for _, c := range ref.Key[:slash] {
-		if c < '0' || c > '9' {
-			return 0, false
-		}
-		id = id*10 + uint64(c-'0')
-	}
-	return id, true
+	ann, _, ok := agraph.ContentID(ref)
+	return ann, ok
 }

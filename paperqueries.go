@@ -83,32 +83,26 @@ func QueryTP53Images(s *Store, opts TP53Options) (*TP53Result, error) {
 	for _, imgID := range s.Images() {
 		count := 0
 		// referents marking this image:
-		for _, e := range s.Graph().In(agraph.Object(string(TypeImage), imgID), agraph.LabelMarks) {
-			refID, ok := referentNodeID(e.From)
+		s.Graph().InEach(agraph.Object(string(TypeImage), imgID), func(e agraph.Edge) bool {
+			refID, ok := agraph.ReferentID(e.From)
 			if !ok {
-				continue
+				return true
 			}
 			ref, err := s.Referent(refID)
 			if err != nil || ref.Kind != core.RegionReferent {
-				continue
+				return true
 			}
 			// does any annotation of this referent carry the term?
-			tagged := false
 			for _, ann := range s.AnnotationsOfReferent(refID) {
 				for _, tr := range ann.Terms {
 					if tr.Ontology == opts.Ontology && closure[tr.TermID] {
-						tagged = true
-						break
+						count++
+						return true
 					}
 				}
-				if tagged {
-					break
-				}
 			}
-			if tagged {
-				count++
-			}
-		}
+			return true
+		}, agraph.LabelMarks)
 		res.RegionCounts[imgID] = count
 		if count >= opts.MinRegions {
 			res.QualifyingImages = append(res.QualifyingImages, imgID)
@@ -119,23 +113,72 @@ func QueryTP53Images(s *Store, opts TP53Options) (*TP53Result, error) {
 	// Sub-query 3 (contents): keyword candidates.
 	candidates := s.SearchKeyword(opts.Keyword, true)
 
-	// Join: keep candidates with a path to every qualifying image.
-	for _, ann := range candidates {
-		hasAll := true
-		for _, imgID := range res.QualifyingImages {
-			if _, err := s.Graph().FindPath(
-				agraph.ContentRoot(ann.ID),
-				agraph.Object(string(TypeImage), imgID)); err != nil {
-				hasAll = false
-				break
-			}
+	// Join: keep candidates with a path to every qualifying image. A path
+	// exists iff the two nodes share an undirected component, so instead
+	// of one whole-graph BFS per (candidate, image) pair, traverse each
+	// component containing a qualifying image once and record which
+	// annotation roots it holds. Qualifying images discovered during an
+	// earlier image's traversal share its component and skip their own.
+	if len(res.QualifyingImages) == 0 {
+		// No qualifying images: "has paths to all qualifying images" is
+		// vacuously true, so every keyword candidate answers the query.
+		res.Annotations = append(res.Annotations, candidates...)
+	} else if len(candidates) > 0 {
+		imgNodes := make([]agraph.NodeRef, len(res.QualifyingImages))
+		qualifying := make(map[agraph.NodeRef]bool, len(imgNodes))
+		for i, imgID := range res.QualifyingImages {
+			imgNodes[i] = agraph.Object(string(TypeImage), imgID)
+			qualifying[imgNodes[i]] = true
 		}
-		if hasAll {
-			res.Annotations = append(res.Annotations, ann)
+		imgComp := make(map[agraph.NodeRef]int, len(imgNodes))
+		var compAnns []map[uint64]bool
+		for _, node := range imgNodes {
+			if _, done := imgComp[node]; done {
+				continue
+			}
+			anns := make(map[uint64]bool)
+			ci := len(compAnns)
+			err := s.Graph().ReachableEach(node, func(n agraph.NodeRef) bool {
+				switch n.Kind {
+				case agraph.ContentNode:
+					if id, ok := contentRootID(n); ok {
+						anns[id] = true
+					}
+				case agraph.ObjectNode:
+					if qualifying[n] { // other qualifying images share this component
+						imgComp[n] = ci
+					}
+				}
+				return true
+			})
+			if err != nil {
+				continue // image node absent from the graph: nothing reaches it
+			}
+			compAnns = append(compAnns, anns)
+		}
+		for _, ann := range candidates {
+			hasAll := true
+			for _, node := range imgNodes {
+				ci, ok := imgComp[node]
+				if !ok || !compAnns[ci][ann.ID] {
+					hasAll = false
+					break
+				}
+			}
+			if hasAll {
+				res.Annotations = append(res.Annotations, ann)
+			}
 		}
 	}
 	sort.Slice(res.Annotations, func(i, j int) bool { return res.Annotations[i].ID < res.Annotations[j].ID })
 	return res, nil
+}
+
+// contentRootID parses the annotation ID out of a content-root node ref
+// (XML node 1).
+func contentRootID(ref agraph.NodeRef) (uint64, bool) {
+	ann, node, ok := agraph.ContentID(ref)
+	return ann, ok && node == 1
 }
 
 // Chain is one answer of QueryConsecutiveKeyword: k consecutive disjoint
@@ -283,21 +326,6 @@ func annotationInClass(s *Store, ann *Annotation, ontName, classTerm string) boo
 		}
 	}
 	return false
-}
-
-// referentNodeID parses the referent ID out of an a-graph node ref.
-func referentNodeID(ref agraph.NodeRef) (uint64, bool) {
-	if ref.Kind != agraph.ReferentNode {
-		return 0, false
-	}
-	var id uint64
-	for _, c := range ref.Key {
-		if c < '0' || c > '9' {
-			return 0, false
-		}
-		id = id*10 + uint64(c-'0')
-	}
-	return id, true
 }
 
 // MarkAndAnnotate is a convenience that marks a sequence interval and

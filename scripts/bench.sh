@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# bench.sh — run the F/Q/O/A benchmark suites and record the rows as
+# BENCH_<date>.json in the repo root, seeding the performance trajectory
+# across PRs.
+#
+# Usage:
+#   scripts/bench.sh              # default: -benchtime=1s -count=1
+#   BENCHTIME=100ms scripts/bench.sh   # quicker smoke
+#   COUNT=5 scripts/bench.sh           # repetitions for benchstat
+#
+# The raw `go test -bench` output is kept next to the JSON so benchstat
+# can compare runs: benchstat BENCH_a.txt BENCH_b.txt
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1s}"
+COUNT="${COUNT:-1}"
+DATE="$(date +%Y-%m-%d)"
+TXT="BENCH_${DATE}.txt"
+JSON="BENCH_${DATE}.json"
+
+PATTERN='BenchmarkF1AGraphScenario|BenchmarkF2AnnotateWorkflow|BenchmarkF3QueryTab|BenchmarkQ1TP53|BenchmarkQ2Protease|BenchmarkO1SubXOps|BenchmarkO2OntologyOps|BenchmarkO3AGraphPrimitives|BenchmarkA1IndexConsolidation|BenchmarkA2IntervalVsScan|BenchmarkA3RTreeVsScan|BenchmarkA4ConnectStrategies|BenchmarkA5PlannerOrdering|BenchmarkA6ContentIndex|BenchmarkA7BulkLoadVsIncremental'
+
+echo "running benchmark suites (benchtime=${BENCHTIME}, count=${COUNT})…" >&2
+go test -run '^$' -bench "$PATTERN" -benchmem \
+    -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$TXT"
+
+# Convert the standard benchmark lines to JSON:
+#   BenchmarkName/sub=1-8  123  456 ns/op  789 B/op  12 allocs/op
+awk -v date="$DATE" '
+BEGIN { print "["; first = 1 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    nsop = ""; bop = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i + 1) == "ns/op") nsop = $i
+        if ($(i + 1) == "B/op") bop = $i
+        if ($(i + 1) == "allocs/op") allocs = $i
+    }
+    if (nsop == "") next
+    if (!first) printf ",\n"
+    first = 0
+    printf "  {\"date\": \"%s\", \"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", date, name, $2, nsop
+    if (bop != "") printf ", \"bytes_per_op\": %s", bop
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END { print "\n]" }
+' "$TXT" >"$JSON"
+
+echo "wrote $TXT and $JSON" >&2
