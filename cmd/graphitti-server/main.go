@@ -1,11 +1,17 @@
 // Command graphitti-server serves a Graphitti store over HTTP/JSON — the
 // service-shaped equivalent of the paper's demo GUI. By default it loads a
 // generated demonstration study; pass -snapshot to serve a store exported
-// with the persist format (e.g. from GET /api/snapshot).
+// with the persist format (e.g. from GET /api/snapshot), or -data-dir to
+// run durably: every mutation is write-ahead logged and fdatasynced
+// before it is acknowledged, and the directory is replayed on restart.
 //
 //	go run ./cmd/graphitti-server -addr :8080 -study influenza
+//	go run ./cmd/graphitti-server -addr :8080 -data-dir ./data
 //	curl localhost:8080/api/stats
 //	curl -X POST localhost:8080/api/search -d '{"expr":"contains(/annotation/body, \"protease\")"}'
+//
+// In durable mode a -study or -snapshot seeds the directory only when it
+// holds no prior state; an existing directory always wins.
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"os"
 
 	"graphitti"
+	"graphitti/internal/durable"
 	"graphitti/internal/httpapi"
 	"graphitti/internal/persist"
 	"graphitti/internal/workload"
@@ -23,21 +30,69 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	studyName := flag.String("study", "influenza", "demo study: influenza or neuro")
+	studyName := flag.String("study", "influenza", "demo study: influenza or neuro (or empty for none)")
 	anns := flag.Int("anns", 400, "annotation count for the influenza study")
 	images := flag.Int("images", 12, "image count for the neuro study")
 	snapshot := flag.String("snapshot", "", "load the store from a persist snapshot file instead")
+	dataDir := flag.String("data-dir", "", "durable mode: WAL + snapshot directory (created if missing)")
+	compactMiB := flag.Int64("compact-threshold-mib", 0, "durable mode: WAL size triggering compaction (0 = default)")
 	flag.Parse()
 
-	store, err := buildStore(*studyName, *anns, *images, *snapshot)
+	handler, report, err := buildHandler(*dataDir, *studyName, *anns, *images, *snapshot, *compactMiB)
 	if err != nil {
 		log.Fatal(err)
 	}
-	st := store.Stats()
-	fmt.Printf("graphitti-server: %d annotations, %d referents, %d a-graph edges\n",
-		st.Annotations, st.Referents, st.GraphEdges)
+	fmt.Print(report)
 	fmt.Printf("listening on %s\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, httpapi.NewHandler(store)))
+	log.Fatal(http.ListenAndServe(*addr, handler))
+}
+
+func buildHandler(dataDir, study string, anns, images int, snapshot string, compactMiB int64) (http.Handler, string, error) {
+	if dataDir == "" {
+		store, err := buildStore(study, anns, images, snapshot)
+		if err != nil {
+			return nil, "", err
+		}
+		st := store.Stats()
+		report := fmt.Sprintf("graphitti-server: %d annotations, %d referents, %d a-graph edges (in-memory)\n",
+			st.Annotations, st.Referents, st.GraphEdges)
+		return httpapi.NewHandler(store), report, nil
+	}
+
+	d, err := durable.Open(dataDir, durable.Options{CompactThreshold: compactMiB << 20})
+	if err != nil {
+		return nil, "", err
+	}
+	ds := d.Stats()
+	report := fmt.Sprintf("graphitti-server: durable store in %s (seq %d, %d replayed, %d torn bytes truncated)\n",
+		dataDir, ds.Seq, ds.ReplayedRecords, ds.TornBytes)
+	if ds.Seq == 0 && (snapshot != "" || study != "") {
+		// Fresh directory: seed it from the requested study/snapshot and
+		// checkpoint immediately.
+		seed, err := buildStore(study, anns, images, snapshot)
+		if err != nil {
+			return nil, "", err
+		}
+		snap, err := persist.Export(seed)
+		if err != nil {
+			return nil, "", err
+		}
+		if _, err := d.Restore(snap); err != nil {
+			return nil, "", err
+		}
+		report += fmt.Sprintf("seeded empty data dir from %s\n", seedSource(study, snapshot))
+	}
+	st := d.Core().Stats()
+	report += fmt.Sprintf("serving %d annotations, %d referents, %d a-graph edges (durable)\n",
+		st.Annotations, st.Referents, st.GraphEdges)
+	return httpapi.NewDurableHandler(d), report, nil
+}
+
+func seedSource(study, snapshot string) string {
+	if snapshot != "" {
+		return "snapshot " + snapshot
+	}
+	return "study " + study
 }
 
 func buildStore(study string, anns, images int, snapshot string) (*graphitti.Store, error) {
@@ -50,6 +105,8 @@ func buildStore(study string, anns, images int, snapshot string) (*graphitti.Sto
 		return persist.Read(f)
 	}
 	switch study {
+	case "", "none":
+		return graphitti.New(), nil
 	case "influenza":
 		cfg := workload.DefaultInfluenza
 		cfg.Annotations = anns

@@ -119,6 +119,28 @@ func (b *Builder) recordErr(err error) {
 // ontology references, previews the XML, and the annotation "is committed
 // to the annotation storage".
 func (s *Store) Commit(b *Builder) (*Annotation, error) {
+	return s.commit(b, 0, nil)
+}
+
+// CommitWithIDs commits with a pinned annotation ID and pinned referent
+// IDs (one per builder referent; 0 leaves a referent unpinned). Snapshot
+// load and WAL replay use it so a recovered store assigns exactly the IDs
+// the original store assigned, even when deletions left gaps in the
+// sequence. Pinned IDs may not collide with existing objects, and a
+// pinned referent that dedups into an existing shared mark must carry
+// that mark's ID.
+func (s *Store) CommitWithIDs(b *Builder, annID uint64, refIDs []uint64) (*Annotation, error) {
+	if annID == 0 {
+		return nil, fmt.Errorf("core: pinned annotation ID must be non-zero")
+	}
+	if refIDs != nil && len(refIDs) != len(b.refs) {
+		return nil, fmt.Errorf("core: %d pinned referent IDs for %d referents",
+			len(refIDs), len(b.refs))
+	}
+	return s.commit(b, annID, refIDs)
+}
+
+func (s *Store) commit(b *Builder, pinnedAnn uint64, pinnedRefs []uint64) (*Annotation, error) {
 	if b.store != s {
 		return nil, fmt.Errorf("core: builder belongs to a different store")
 	}
@@ -154,16 +176,32 @@ func (s *Store) Commit(b *Builder) (*Annotation, error) {
 		}
 	}
 
-	s.nextAnn++
-	annID := s.nextAnn
+	prevAnn := s.nextAnn
+	var annID uint64
+	if pinnedAnn != 0 {
+		if _, dup := s.annotations[pinnedAnn]; dup {
+			return nil, fmt.Errorf("core: pinned annotation ID %d already committed", pinnedAnn)
+		}
+		annID = pinnedAnn
+		if annID > s.nextAnn {
+			s.nextAnn = annID
+		}
+	} else {
+		s.nextAnn++
+		annID = s.nextAnn
+	}
 
 	// Resolve referents: reuse identical marks, index new ones.
 	refIDs := make([]uint64, 0, len(b.refs))
 	resolved := make([]*Referent, 0, len(b.refs))
-	for _, r := range b.refs {
-		ref, err := s.resolveReferentLocked(r)
+	for i, r := range b.refs {
+		var pin uint64
+		if pinnedRefs != nil {
+			pin = pinnedRefs[i]
+		}
+		ref, err := s.resolveReferentLocked(r, pin)
 		if err != nil {
-			s.nextAnn-- // roll back the ID; nothing else mutated yet
+			s.nextAnn = prevAnn // roll back the ID; nothing else mutated yet
 			return nil, err
 		}
 		refIDs = append(refIDs, ref.ID)
@@ -200,20 +238,35 @@ func (s *Store) Commit(b *Builder) (*Annotation, error) {
 
 // resolveReferentLocked returns the stored referent for r, registering it
 // in the appropriate index when it is new. Identical marks resolve to the
-// same referent.
-func (s *Store) resolveReferentLocked(r *Referent) (*Referent, error) {
+// same referent. A non-zero pin forces the ID assigned to a new referent
+// (replay path); a pinned mark that dedups must agree with the stored ID.
+func (s *Store) resolveReferentLocked(r *Referent, pin uint64) (*Referent, error) {
 	if r.ID != 0 {
 		return s.referents[r.ID], nil
 	}
 	key := markKey(r)
 	if id, ok := s.refByMark[key]; ok {
+		if pin != 0 && pin != id {
+			return nil, fmt.Errorf("core: pinned referent ID %d, but identical mark stored as %d", pin, id)
+		}
 		return s.referents[id], nil
 	}
-	s.nextRef++
+	prevRef := s.nextRef
 	stored := *r
-	stored.ID = s.nextRef
+	if pin != 0 {
+		if _, dup := s.referents[pin]; dup {
+			return nil, fmt.Errorf("core: pinned referent ID %d already used by a different mark", pin)
+		}
+		stored.ID = pin
+		if pin > s.nextRef {
+			s.nextRef = pin
+		}
+	} else {
+		s.nextRef++
+		stored.ID = s.nextRef
+	}
 	if err := s.indexReferentLocked(&stored); err != nil {
-		s.nextRef--
+		s.nextRef = prevRef
 		return nil, err
 	}
 	s.referents[stored.ID] = &stored

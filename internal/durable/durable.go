@@ -1,0 +1,713 @@
+// Package durable wraps core.Store with crash safety: every mutation is
+// encoded as one write-ahead-log record and fdatasynced (group-committed
+// across concurrent writers) before the call returns, so an acknowledged
+// write survives a kill -9.
+//
+// # On-disk layout
+//
+// A data directory holds three files:
+//
+//	graphitti-<seq>.snap  persist snapshot — the checkpoint (absent
+//	                      until the first compaction)
+//	graphitti.wal         write-ahead log of mutations since the checkpoint
+//	MANIFEST.json         {snapshotSeq, snapshot}: which checkpoint file is
+//	                      current and the op sequence it covers — its atomic
+//	                      rename is the compaction commit point
+//
+// Each WAL payload is a JSON op envelope carrying its global sequence
+// number and one persist dump (the same per-entity codec Export/Load use).
+// Open loads the snapshot, replays WAL records with Seq beyond the
+// manifest's snapshotSeq, truncates a torn tail instead of failing, and
+// resumes appending.
+//
+// # Compaction
+//
+// Once the log crosses Options.CompactThreshold bytes, the store writes a
+// fresh snapshot + manifest (tmp file, fdatasync, atomic rename) and
+// rotates to an empty log. A crash at any point between those steps is
+// safe: replay skips records the manifest says the snapshot already
+// covers, so a stale log over a new snapshot only costs skipped records.
+//
+// # Semantics
+//
+// Mutations apply to the in-memory store first (so invalid operations are
+// rejected before they reach the log), then append under the same
+// ordering lock, then wait for durability outside it — group commit. A
+// WAL I/O error is sticky: the in-memory store may be ahead of the log,
+// so every later mutation fails rather than widening the divergence.
+package durable
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"graphitti/internal/biodata/imaging"
+	"graphitti/internal/biodata/interact"
+	"graphitti/internal/biodata/msa"
+	"graphitti/internal/biodata/phylo"
+	"graphitti/internal/biodata/seq"
+	"graphitti/internal/core"
+	"graphitti/internal/interval"
+	"graphitti/internal/ontology"
+	"graphitti/internal/persist"
+	"graphitti/internal/relstore"
+	"graphitti/internal/rtree"
+	"graphitti/internal/wal"
+)
+
+const (
+	snapPattern  = "graphitti-*.snap"
+	logFile      = "graphitti.wal"
+	manifestFile = "MANIFEST.json"
+)
+
+// snapName returns the checkpoint file name for an op sequence.
+func snapName(seq uint64) string { return fmt.Sprintf("graphitti-%016d.snap", seq) }
+
+// maxRecordSize mirrors the WAL's frame bound; checked before a sequence
+// number is consumed so an oversize op cannot leave a seq gap.
+const maxRecordSize = wal.MaxRecordSize
+
+// DefaultCompactThreshold is the log size that triggers compaction when
+// Options.CompactThreshold is zero.
+const DefaultCompactThreshold = 8 << 20
+
+// Options tune a durable store.
+type Options struct {
+	// CompactThreshold is the WAL size in bytes beyond which a mutation
+	// triggers snapshot compaction; 0 means DefaultCompactThreshold, a
+	// negative value disables compaction.
+	CompactThreshold int64
+	// NoSync skips fdatasync on the log — crash safety is lost; for
+	// benchmarks contrasting group commit against raw logging only.
+	NoSync bool
+}
+
+// manifest is the tiny metadata file naming the current checkpoint; its
+// atomic rename is the single commit point of a compaction, so a crash
+// anywhere around it leaves either the old (snapshot, seq) pair or the
+// new one — never a new snapshot with a stale seq.
+type manifest struct {
+	// SnapshotSeq is the last op sequence the snapshot includes; WAL
+	// records at or below it are skipped on replay.
+	SnapshotSeq uint64 `json:"snapshotSeq"`
+	// Snapshot is the checkpoint file name (empty until the first
+	// checkpoint).
+	Snapshot string `json:"snapshot,omitempty"`
+}
+
+// record is the WAL payload: one mutation, tagged with its sequence
+// number. Exactly one dump field is set, matched by Kind.
+type record struct {
+	Seq  uint64      `json:"seq"`
+	Kind core.OpKind `json:"kind"`
+
+	Ontology   *persist.OntologyDump   `json:"ontology,omitempty"`
+	System     *persist.SystemDump     `json:"system,omitempty"`
+	Sequence   *persist.SequenceDump   `json:"sequence,omitempty"`
+	Alignment  *persist.AlignmentDump  `json:"alignment,omitempty"`
+	Tree       *persist.TreeDump       `json:"tree,omitempty"`
+	Graph      *persist.GraphDump      `json:"graph,omitempty"`
+	Image      *persist.ImageDump      `json:"image,omitempty"`
+	Table      *persist.TableDump      `json:"table,omitempty"` // schema only
+	RecTable   string                  `json:"recTable,omitempty"`
+	Row        []persist.ValueDump     `json:"row,omitempty"`
+	Annotation *persist.AnnotationDump `json:"annotation,omitempty"`
+	DeleteID   uint64                  `json:"deleteId,omitempty"`
+}
+
+// Stats describes the durability machinery (the wrapped store's own
+// Stats() remain available via Core()).
+type Stats struct {
+	// Seq is the sequence number of the latest applied mutation.
+	Seq uint64
+	// SnapshotSeq is the op sequence covered by the on-disk checkpoint.
+	SnapshotSeq uint64
+	// Compactions counts snapshot+rotate cycles since open.
+	Compactions uint64
+	// ReplayedRecords is how many WAL records open applied.
+	ReplayedRecords int
+	// SkippedRecords is how many WAL records open skipped because the
+	// checkpoint already covered them.
+	SkippedRecords int
+	// TornBytes is the torn tail truncated at open (0 = clean shutdown).
+	TornBytes int64
+	// LogSize and CompactThreshold describe the live log.
+	LogSize          int64
+	CompactThreshold int64
+	// CompactFailures counts automatic compactions that failed after a
+	// durably committed mutation (the mutation itself succeeded);
+	// LastCompactError is the most recent such failure.
+	CompactFailures  uint64
+	LastCompactError string `json:",omitempty"`
+	// WAL is the group-commit writer's counters.
+	WAL wal.Stats
+}
+
+// Store is a crash-safe core.Store. Reads go straight to Core(); every
+// mutating method logs before acknowledging. All methods are safe for
+// concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	// mu orders mutations: apply and log-enqueue happen under it, the
+	// durability wait does not (group commit).
+	mu     sync.Mutex
+	w      *wal.Writer
+	closed bool
+
+	// core is swapped wholesale by Restore while readers keep calling
+	// Core(), hence the atomic pointer. Mutations still serialize on mu.
+	core atomic.Pointer[core.Store]
+
+	// logErr is sticky: set when a mutation was applied in memory but
+	// could never be logged; all further mutations are refused.
+	logErr error
+
+	seq             uint64
+	snapshotSeq     uint64
+	compactions     uint64
+	compactFailures uint64
+	lastCompactErr  string
+	replayed        int
+	skipped         int
+	tornBytes       int64
+}
+
+// Open loads (or initialises) a durable store in dir, replaying any WAL
+// the previous run left behind. The directory is created if missing.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.CompactThreshold == 0 {
+		opts.CompactThreshold = DefaultCompactThreshold
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, opts: opts}
+
+	var man manifest
+	if data, err := os.ReadFile(filepath.Join(dir, manifestFile)); err == nil {
+		if err := json.Unmarshal(data, &man); err != nil {
+			return nil, fmt.Errorf("durable: corrupt manifest: %w", err)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+	s.snapshotSeq = man.SnapshotSeq
+	s.seq = man.SnapshotSeq
+
+	switch {
+	case man.Snapshot != "":
+		f, err := os.Open(filepath.Join(dir, man.Snapshot))
+		if err != nil {
+			// The manifest committed to a checkpoint; its absence is data
+			// loss, not a fresh directory.
+			return nil, fmt.Errorf("durable: manifest names snapshot %s: %w", man.Snapshot, err)
+		}
+		cs, lerr := persist.Read(f)
+		f.Close()
+		if lerr != nil {
+			return nil, fmt.Errorf("durable: load snapshot: %w", lerr)
+		}
+		s.core.Store(cs)
+	case man.SnapshotSeq != 0:
+		return nil, fmt.Errorf("durable: manifest claims checkpoint at seq %d but names no snapshot", man.SnapshotSeq)
+	default:
+		s.core.Store(core.NewStore())
+	}
+	s.removeStaleSnapshots(man.Snapshot)
+
+	logPath := filepath.Join(dir, logFile)
+	info, err := wal.Scan(logPath, s.replayRecord)
+	switch {
+	case err == nil:
+		s.tornBytes = info.TornBytes
+		s.w, err = wal.OpenAt(logPath, info.ValidSize, wal.Options{NoSync: opts.NoSync})
+		if err != nil {
+			return nil, err
+		}
+	case errors.Is(err, os.ErrNotExist) || errors.Is(err, wal.ErrBadHeader):
+		// No log, or a log whose very header was torn: start a fresh one.
+		// Header-torn logs can hold no durable (acknowledged) records.
+		s.w, err = wal.Create(logPath, wal.Options{NoSync: opts.NoSync})
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, err
+	}
+	return s, nil
+}
+
+// replayRecord applies one scanned WAL payload during Open.
+func (s *Store) replayRecord(payload []byte) error {
+	if len(payload) == 0 {
+		return nil // Sync marker
+	}
+	var rec record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return fmt.Errorf("durable: undecodable WAL record after seq %d: %w", s.seq, err)
+	}
+	if rec.Seq <= s.snapshotSeq {
+		s.skipped++ // checkpoint already covers it (stale log after compaction crash)
+		return nil
+	}
+	if rec.Seq != s.seq+1 {
+		return fmt.Errorf("durable: WAL record seq %d after %d (log out of order)", rec.Seq, s.seq)
+	}
+	if err := apply(s.Core(), &rec); err != nil {
+		return fmt.Errorf("durable: replay op %d (%s): %w", rec.Seq, rec.Kind, err)
+	}
+	s.seq = rec.Seq
+	s.replayed++
+	return nil
+}
+
+// removeStaleSnapshots best-effort deletes checkpoint files a crashed
+// compaction left uncommitted (and the legacy file once a named one
+// exists). Failures are ignored: stale files cost disk, not correctness.
+func (s *Store) removeStaleSnapshots(current string) {
+	if current == "" {
+		return
+	}
+	matches, _ := filepath.Glob(filepath.Join(s.dir, snapPattern))
+	for _, m := range matches {
+		if filepath.Base(m) != current {
+			_ = os.Remove(m)
+		}
+	}
+}
+
+// apply replays one op envelope against a store.
+func apply(cs *core.Store, rec *record) error {
+	switch rec.Kind {
+	case core.OpRegisterOntology:
+		return persist.ApplyOntology(cs, *rec.Ontology)
+	case core.OpRegisterSystem:
+		return persist.ApplySystem(cs, *rec.System)
+	case core.OpRegisterSequence:
+		return persist.ApplySequence(cs, *rec.Sequence)
+	case core.OpRegisterAlignment:
+		return persist.ApplyAlignment(cs, *rec.Alignment)
+	case core.OpRegisterTree:
+		return persist.ApplyTree(cs, *rec.Tree)
+	case core.OpRegisterInteractionGraph:
+		return persist.ApplyGraph(cs, *rec.Graph)
+	case core.OpRegisterImage:
+		return persist.ApplyImage(cs, *rec.Image)
+	case core.OpCreateRecordTable:
+		return persist.ApplyTable(cs, *rec.Table)
+	case core.OpInsertRecord:
+		return persist.ApplyRecord(cs, rec.RecTable, rec.Row)
+	case core.OpCommitAnnotation:
+		return persist.ApplyAnnotation(cs, *rec.Annotation)
+	case core.OpDeleteAnnotation:
+		return cs.DeleteAnnotation(rec.DeleteID)
+	default:
+		return fmt.Errorf("unknown op kind %d", rec.Kind)
+	}
+}
+
+// Core returns the wrapped store for reads and queries. Mutating it
+// directly bypasses the log; use the Store's own mutation methods.
+func (s *Store) Core() *core.Store { return s.core.Load() }
+
+// Dir returns the data directory.
+func (s *Store) Dir() string { return s.dir }
+
+// logApply runs one mutation: applyFn mutates the core store and fills
+// rec's dump field; on success the envelope is sequenced and enqueued
+// while still holding the ordering lock, then the caller waits for the
+// group-committed fdatasync outside it.
+func (s *Store) logApply(rec *record, applyFn func(cs *core.Store) error) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return wal.ErrClosed
+	}
+	// Refuse BEFORE mutating when the log can no longer accept records (a
+	// sticky flush error, a failed rotation that left it closed, or an
+	// earlier unloggable op): applying first would leave reader-visible
+	// state that vanishes on restart.
+	if s.logErr != nil {
+		err := s.logErr
+		s.mu.Unlock()
+		return err
+	}
+	if err := s.w.Err(); err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("durable: log unavailable: %w", err)
+	}
+	if err := applyFn(s.Core()); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	// Encode and size-check BEFORE consuming a sequence number: an op that
+	// cannot be logged (marshal failure, oversize record) must not leave a
+	// gap in the on-disk seq stream — a gap makes replay refuse the whole
+	// log. The apply above already happened, though, so memory is now
+	// ahead of disk; wedge the store like any other log failure rather
+	// than serving state that would silently vanish on restart.
+	rec.Seq = s.seq + 1
+	payload, err := json.Marshal(rec)
+	if err == nil && int64(len(payload)) > maxRecordSize {
+		err = fmt.Errorf("op of %d bytes exceeds max record size %d", len(payload), maxRecordSize)
+	}
+	if err != nil {
+		s.logErr = fmt.Errorf("durable: unloggable op %d: %w", rec.Seq, err)
+		err = s.logErr
+		s.mu.Unlock()
+		return err
+	}
+	s.seq++
+	ack := s.w.AppendAsync(payload)
+	size := s.w.Size()
+	s.mu.Unlock()
+
+	if err := <-ack; err != nil {
+		return fmt.Errorf("durable: log op %d: %w", rec.Seq, err)
+	}
+	// The mutation is durable from here on: a compaction failure is
+	// recorded in Stats (and wedges the log for later mutations if the
+	// writer died), but must not report this op as failed — callers would
+	// retry an already-committed write.
+	if s.opts.CompactThreshold > 0 && size >= s.opts.CompactThreshold {
+		if err := s.compactIfNeeded(); err != nil {
+			s.mu.Lock()
+			s.compactFailures++
+			s.lastCompactErr = err.Error()
+			s.mu.Unlock()
+		}
+	}
+	return nil
+}
+
+// compactIfNeeded re-checks the log size under the lock before
+// compacting: when many concurrent writers cross the threshold together,
+// the first one's compaction empties the log and the rest skip, instead
+// of N back-to-back whole-store exports.
+func (s *Store) compactIfNeeded() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return wal.ErrClosed
+	}
+	if s.w.Size() < s.opts.CompactThreshold {
+		return nil
+	}
+	return s.compactLocked()
+}
+
+// RegisterOntology logs and registers a term graph.
+func (s *Store) RegisterOntology(o *ontology.Ontology) error {
+	d := persist.DumpOntology(o)
+	return s.logApply(&record{Kind: core.OpRegisterOntology, Ontology: &d},
+		func(cs *core.Store) error { return cs.RegisterOntology(o) })
+}
+
+// RegisterCoordinateSystem logs and registers a coordinate system.
+func (s *Store) RegisterCoordinateSystem(cs *imaging.CoordinateSystem) error {
+	d := persist.DumpSystem(cs)
+	return s.logApply(&record{Kind: core.OpRegisterSystem, System: &d},
+		func(c *core.Store) error { return c.RegisterCoordinateSystem(cs) })
+}
+
+// RegisterSequence logs and registers a sequence. The dump is taken after
+// registration: an empty Domain is resolved to the sequence ID there, and
+// the log must carry the resolved value.
+func (s *Store) RegisterSequence(sq *seq.Sequence) error {
+	rec := record{Kind: core.OpRegisterSequence}
+	return s.logApply(&rec, func(c *core.Store) error {
+		if err := c.RegisterSequence(sq); err != nil {
+			return err
+		}
+		d := persist.DumpSequence(sq)
+		rec.Sequence = &d
+		return nil
+	})
+}
+
+// RegisterAlignment logs and registers an alignment.
+func (s *Store) RegisterAlignment(a *msa.Alignment) error {
+	d := persist.DumpAlignment(a)
+	return s.logApply(&record{Kind: core.OpRegisterAlignment, Alignment: &d},
+		func(c *core.Store) error { return c.RegisterAlignment(a) })
+}
+
+// RegisterTree logs and registers a phylogenetic tree.
+func (s *Store) RegisterTree(t *phylo.Tree) error {
+	d := persist.DumpTree(t)
+	return s.logApply(&record{Kind: core.OpRegisterTree, Tree: &d},
+		func(c *core.Store) error { return c.RegisterTree(t) })
+}
+
+// RegisterInteractionGraph logs and registers an interaction graph.
+func (s *Store) RegisterInteractionGraph(g *interact.Graph) error {
+	d := persist.DumpGraph(g)
+	return s.logApply(&record{Kind: core.OpRegisterInteractionGraph, Graph: &d},
+		func(c *core.Store) error { return c.RegisterInteractionGraph(g) })
+}
+
+// RegisterImage logs and registers an image.
+func (s *Store) RegisterImage(im *imaging.Image) error {
+	d := persist.DumpImage(im)
+	return s.logApply(&record{Kind: core.OpRegisterImage, Image: &d},
+		func(c *core.Store) error { return c.RegisterImage(im) })
+}
+
+// CreateRecordTable logs and creates a user record table.
+func (s *Store) CreateRecordTable(schema *relstore.Schema) (*relstore.Table, error) {
+	var tbl *relstore.Table
+	d := persist.DumpSchema(schema)
+	err := s.logApply(&record{Kind: core.OpCreateRecordTable, Table: &d},
+		func(c *core.Store) error {
+			var err error
+			tbl, err = c.CreateRecordTable(schema)
+			return err
+		})
+	return tbl, err
+}
+
+// InsertRecord logs and inserts a row into a user record table.
+func (s *Store) InsertRecord(table string, row relstore.Row) error {
+	return s.logApply(&record{Kind: core.OpInsertRecord, RecTable: table, Row: persist.DumpRow(row)},
+		func(c *core.Store) error { return c.InsertRecord(table, row) })
+}
+
+// NewAnnotation starts an annotation builder on the wrapped store; pass
+// it to Commit.
+func (s *Store) NewAnnotation() *core.Builder { return s.Core().NewAnnotation() }
+
+// Mark constructors delegate to the wrapped store (marks are read-only
+// until committed).
+
+// MarkSequenceInterval marks a sequence span.
+func (s *Store) MarkSequenceInterval(seqID string, local interval.Interval) (*core.Referent, error) {
+	return s.Core().MarkSequenceInterval(seqID, local)
+}
+
+// MarkDomainInterval marks a span of a coordinate domain.
+func (s *Store) MarkDomainInterval(domain string, iv interval.Interval) (*core.Referent, error) {
+	return s.Core().MarkDomainInterval(domain, iv)
+}
+
+// MarkImageRegion marks a rectangular image region.
+func (s *Store) MarkImageRegion(imageID string, local rtree.Rect) (*core.Referent, error) {
+	return s.Core().MarkImageRegion(imageID, local)
+}
+
+// Commit logs and commits an annotation. The committed annotation — with
+// the IDs the in-memory store assigned — is what gets logged, so replay
+// reassigns exactly the same IDs.
+func (s *Store) Commit(b *core.Builder) (*core.Annotation, error) {
+	var ann *core.Annotation
+	rec := record{Kind: core.OpCommitAnnotation}
+	err := s.logApply(&rec, func(c *core.Store) error {
+		var err error
+		ann, err = c.Commit(b)
+		if err != nil {
+			return err
+		}
+		d, err := persist.DumpAnnotation(c, ann)
+		if err != nil {
+			return err
+		}
+		rec.Annotation = &d
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ann, nil
+}
+
+// DeleteAnnotation logs and deletes an annotation.
+func (s *Store) DeleteAnnotation(id uint64) error {
+	return s.logApply(&record{Kind: core.OpDeleteAnnotation, DeleteID: id},
+		func(c *core.Store) error { return c.DeleteAnnotation(id) })
+}
+
+// Compact checkpoints the current state as a snapshot and rotates to an
+// empty log. Called automatically when the log crosses the threshold;
+// callers may also force it (e.g. before backup).
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return wal.ErrClosed
+	}
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	return s.checkpointLocked(s.Core(), s.seq)
+}
+
+// checkpointLocked durably checkpoints cs as the state at op sequence
+// seq: snapshot file, manifest commit, log rotation. It does not touch
+// s.core or s.seq — callers swap those only after it succeeds.
+func (s *Store) checkpointLocked(cs *core.Store, seq uint64) error {
+	// 1. Checkpoint the given state (for compaction, it covers every
+	//    applied op — all enqueued log records — because applies happen
+	//    under mu) into a seq-named file. Until the manifest names it, it
+	//    is invisible.
+	snap, err := persist.Export(cs)
+	if err != nil {
+		return fmt.Errorf("durable: compact export: %w", err)
+	}
+	name := snapName(seq)
+	if err := writeFileSync(filepath.Join(s.dir, name), func(f *os.File) error {
+		return json.NewEncoder(f).Encode(snap)
+	}); err != nil {
+		return fmt.Errorf("durable: compact snapshot: %w", err)
+	}
+	// 2. Commit: the manifest rename atomically switches (snapshot, seq)
+	//    as one pair. A crash before this keeps the old checkpoint and a
+	//    harmless orphan file; a crash after it makes replay skip every
+	//    record the new snapshot covers.
+	if err := writeFileSync(filepath.Join(s.dir, manifestFile), func(f *os.File) error {
+		return json.NewEncoder(f).Encode(manifest{SnapshotSeq: seq, Snapshot: name})
+	}); err != nil {
+		return fmt.Errorf("durable: compact manifest: %w", err)
+	}
+	s.snapshotSeq = seq
+	// 3. Rotate: close the old log (flushing any still-pending appends —
+	//    all of which the snapshot covers) and start an empty one. A crash
+	//    before Create leaves the old log in place; replay then skips all
+	//    of it via the manifest.
+	if err := s.w.Close(); err != nil {
+		return fmt.Errorf("durable: compact close log: %w", err)
+	}
+	w, err := wal.Create(filepath.Join(s.dir, logFile), wal.Options{NoSync: s.opts.NoSync})
+	if err != nil {
+		return fmt.Errorf("durable: compact rotate log: %w", err)
+	}
+	s.w = w
+	s.compactions++
+	s.removeStaleSnapshots(name)
+	return nil
+}
+
+// Restore replaces the store's entire state with snap and checkpoints it
+// immediately (fresh snapshot + empty log). The previous state is gone.
+func (s *Store) Restore(snap *persist.Snapshot) (*core.Store, error) {
+	cs, err := persist.Load(snap)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, wal.ErrClosed
+	}
+	// Checkpoint the restored state BEFORE swapping it in: if the
+	// checkpoint fails, memory still matches disk and the store keeps
+	// serving its previous state. The +1 makes the restore itself an op,
+	// so stale log records can never replay over the restored state.
+	if err := s.checkpointLocked(cs, s.seq+1); err != nil {
+		return nil, err
+	}
+	s.core.Store(cs)
+	s.seq++
+	return cs, nil
+}
+
+// Stats returns durability counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Seq:              s.seq,
+		SnapshotSeq:      s.snapshotSeq,
+		Compactions:      s.compactions,
+		ReplayedRecords:  s.replayed,
+		SkippedRecords:   s.skipped,
+		TornBytes:        s.tornBytes,
+		CompactThreshold: s.opts.CompactThreshold,
+		CompactFailures:  s.compactFailures,
+		LastCompactError: s.lastCompactErr,
+	}
+	if !s.closed {
+		st.WAL = s.w.Stats()
+		st.LogSize = s.w.Size()
+	}
+	return st
+}
+
+// Sync blocks until every acknowledged mutation is on disk (a no-op given
+// mutations already wait, but useful as a barrier around direct WAL use).
+// It retries when a concurrent compaction rotates the writer out from
+// under it — everything the old writer held was flushed by its Close.
+func (s *Store) Sync() error {
+	var last *wal.Writer
+	for {
+		s.mu.Lock()
+		w := s.w
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return wal.ErrClosed
+		}
+		if w == last {
+			// Not a rotation: this writer itself is dead (e.g. a failed
+			// rotation closed it without replacement).
+			return wal.ErrClosed
+		}
+		err := w.Sync()
+		if !errors.Is(err, wal.ErrClosed) {
+			return err
+		}
+		last = w
+	}
+}
+
+// Close flushes and closes the log. The store rejects mutations
+// afterwards; reads through Core() keep working.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.w.Close()
+}
+
+// writeFileSync writes path atomically: tmp file, fill, fdatasync, rename
+// over path, fsync the directory so the rename itself is durable.
+func writeFileSync(path string, fill func(*os.File) error) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := fill(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if d, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}

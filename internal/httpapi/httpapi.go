@@ -10,7 +10,12 @@
 //	                 GET  /api/annotations/{id}/correlated,
 //	                 GET  /api/referents
 //	admin tab:       GET /api/stats, DELETE /api/annotations/{id},
-//	                 GET /api/snapshot
+//	                 GET /api/snapshot, POST /api/restore
+//
+// Served over a durable store (NewDurableHandler), mutations are
+// write-ahead logged before they are acknowledged, /api/stats grows a
+// "durability" section (WAL and compaction counters), and /api/restore
+// checkpoints the restored state immediately.
 package httpapi
 
 import (
@@ -19,17 +24,30 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 
 	"graphitti/internal/core"
+	"graphitti/internal/durable"
 	"graphitti/internal/interval"
 	"graphitti/internal/persist"
 	"graphitti/internal/query"
 	"graphitti/internal/rtree"
 )
 
-// NewHandler returns an http.Handler serving the API for one store.
+// NewHandler returns an http.Handler serving the API for one in-memory
+// store. Writes do not survive a restart; see NewDurableHandler.
 func NewHandler(s *core.Store) http.Handler {
-	api := &server{store: s, proc: query.NewProcessor(s)}
+	return newMux(&server{store: s, proc: query.NewProcessor(s)})
+}
+
+// NewDurableHandler serves a durable store: every mutating endpoint is
+// logged-then-acknowledged through d, reads go to the wrapped store.
+func NewDurableHandler(d *durable.Store) http.Handler {
+	s := d.Core()
+	return newMux(&server{store: s, proc: query.NewProcessor(s), durable: d})
+}
+
+func newMux(api *server) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /api/stats", api.stats)
 	mux.HandleFunc("GET /api/annotations", api.listAnnotations)
@@ -43,12 +61,24 @@ func NewHandler(s *core.Store) http.Handler {
 	mux.HandleFunc("GET /api/referents", api.referents)
 	mux.HandleFunc("GET /api/objects", api.objects)
 	mux.HandleFunc("GET /api/snapshot", api.snapshot)
+	mux.HandleFunc("POST /api/restore", api.restore)
 	return mux
 }
 
 type server struct {
-	store *core.Store
-	proc  *query.Processor
+	// mu guards store/proc, which /api/restore swaps wholesale; handlers
+	// snapshot both via view(). durable is set once and never changes.
+	mu      sync.RWMutex
+	store   *core.Store
+	proc    *query.Processor
+	durable *durable.Store
+}
+
+// view returns the current store and query processor.
+func (s *server) view() (*core.Store, *query.Processor) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.store, s.proc
 }
 
 type errorBody struct {
@@ -79,8 +109,21 @@ func writeErr(w http.ResponseWriter, err error) {
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
 
+// statsView is the /api/stats payload: the store's component sizes plus,
+// in durable mode, the durability counters.
+type statsView struct {
+	core.Stats
+	Durability *durable.Stats `json:"durability,omitempty"`
+}
+
 func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.store.Stats())
+	store, _ := s.view()
+	out := statsView{Stats: store.Stats()}
+	if s.durable != nil {
+		ds := s.durable.Stats()
+		out.Durability = &ds
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // annotationView is the JSON projection of an annotation.
@@ -107,14 +150,15 @@ func viewOf(ann *core.Annotation) annotationView {
 }
 
 func (s *server) listAnnotations(w http.ResponseWriter, r *http.Request) {
+	store, _ := s.view()
 	keyword := r.URL.Query().Get("keyword")
 	var out []annotationView
 	if keyword != "" {
-		for _, ann := range s.store.SearchKeyword(keyword, true) {
+		for _, ann := range store.SearchKeyword(keyword, true) {
 			out = append(out, viewOf(ann))
 		}
 	} else {
-		for _, ann := range s.store.Annotations() {
+		for _, ann := range store.Annotations() {
 			out = append(out, viewOf(ann))
 		}
 	}
@@ -127,7 +171,8 @@ func (s *server) getAnnotation(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	ann, err := s.store.Annotation(id)
+	store, _ := s.view()
+	ann, err := store.Annotation(id)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -141,11 +186,20 @@ func (s *server) deleteAnnotation(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	if err := s.store.DeleteAnnotation(id); err != nil {
+	if err := s.deleteAnnotationOp(id); err != nil {
 		writeErr(w, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// deleteAnnotationOp routes the mutation through the WAL when present.
+func (s *server) deleteAnnotationOp(id uint64) error {
+	if s.durable != nil {
+		return s.durable.DeleteAnnotation(id)
+	}
+	store, _ := s.view()
+	return store.DeleteAnnotation(id)
 }
 
 // markSpec describes one referent in an annotation request.
@@ -182,7 +236,8 @@ func (s *server) createAnnotation(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad JSON: " + err.Error()})
 		return
 	}
-	b := s.store.NewAnnotation().Creator(req.Creator).Date(req.Date).Body(req.Body)
+	store, _ := s.view()
+	b := store.NewAnnotation().Creator(req.Creator).Date(req.Date).Body(req.Body)
 	if req.Title != "" {
 		b.Title(req.Title)
 	}
@@ -190,7 +245,7 @@ func (s *server) createAnnotation(w http.ResponseWriter, r *http.Request) {
 		b.Tag(name, val)
 	}
 	for i, m := range req.Marks {
-		ref, err := s.resolveMark(m)
+		ref, err := resolveMark(store, m)
 		if err != nil {
 			writeErr(w, fmt.Errorf("mark %d: %w", i, err))
 			return
@@ -200,7 +255,7 @@ func (s *server) createAnnotation(w http.ResponseWriter, r *http.Request) {
 	for _, tr := range req.Terms {
 		b.OntologyRef(tr.Ontology, tr.TermID)
 	}
-	ann, err := s.store.Commit(b)
+	ann, err := s.commitOp(store, b)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -208,26 +263,36 @@ func (s *server) createAnnotation(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, viewOf(ann))
 }
 
-func (s *server) resolveMark(m markSpec) (*core.Referent, error) {
+// commitOp routes the commit through the WAL when present.
+func (s *server) commitOp(store *core.Store, b *core.Builder) (*core.Annotation, error) {
+	if s.durable != nil {
+		return s.durable.Commit(b)
+	}
+	return store.Commit(b)
+}
+
+// resolveMark builds a referent from a mark spec (read-only: marks are
+// only registered at commit).
+func resolveMark(store *core.Store, m markSpec) (*core.Referent, error) {
 	switch m.Type {
 	case "interval":
-		return s.store.MarkDomainInterval(m.Domain, interval.Interval{Lo: m.Lo, Hi: m.Hi})
+		return store.MarkDomainInterval(m.Domain, interval.Interval{Lo: m.Lo, Hi: m.Hi})
 	case "sequence":
-		return s.store.MarkSequenceInterval(m.SeqID, interval.Interval{Lo: m.Lo, Hi: m.Hi})
+		return store.MarkSequenceInterval(m.SeqID, interval.Interval{Lo: m.Lo, Hi: m.Hi})
 	case "region":
 		rect, err := rectOf(m.Rect)
 		if err != nil {
 			return nil, err
 		}
-		return s.store.MarkImageRegion(m.ImageID, rect)
+		return store.MarkImageRegion(m.ImageID, rect)
 	case "clade":
-		return s.store.MarkClade(m.ObjectID, m.Keys...)
+		return store.MarkClade(m.ObjectID, m.Keys...)
 	case "subgraph":
-		return s.store.MarkSubgraph(m.ObjectID, m.Keys...)
+		return store.MarkSubgraph(m.ObjectID, m.Keys...)
 	case "block":
-		return s.store.MarkAlignmentBlock(m.ObjectID, m.Keys, interval.Interval{Lo: m.Lo, Hi: m.Hi})
+		return store.MarkAlignmentBlock(m.ObjectID, m.Keys, interval.Interval{Lo: m.Lo, Hi: m.Hi})
 	case "object":
-		return s.store.MarkObject(core.ObjectType(m.ObjectType), m.ObjectID)
+		return store.MarkObject(core.ObjectType(m.ObjectType), m.ObjectID)
 	default:
 		return nil, fmt.Errorf("%w: unknown mark type %q", core.ErrBadMark, m.Type)
 	}
@@ -251,7 +316,8 @@ func (s *server) related(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	rel, err := s.store.RelatedAnnotations(id)
+	store, _ := s.view()
+	rel, err := store.RelatedAnnotations(id)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -269,7 +335,8 @@ func (s *server) correlated(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	items, err := s.store.CorrelatedData(id)
+	store, _ := s.view()
+	items, err := store.CorrelatedData(id)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -300,7 +367,8 @@ func (s *server) search(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad JSON: " + err.Error()})
 		return
 	}
-	anns, err := s.store.SearchContents(req.Expr)
+	store, _ := s.view()
+	anns, err := store.SearchContents(req.Expr)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
@@ -336,9 +404,10 @@ func (s *server) runQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad JSON: " + err.Error()})
 		return
 	}
+	_, proc := s.view()
 	opts := query.DefaultOptions
 	opts.MaxResults = req.MaxResults
-	res, err := s.proc.Execute(req.Query, opts)
+	res, err := proc.Execute(req.Query, opts)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -372,7 +441,8 @@ func (s *server) referents(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "pos parameter required"})
 		return
 	}
-	refs := s.store.ReferentsAt(domain, pos)
+	store, _ := s.view()
+	refs := store.ReferentsAt(domain, pos)
 	out := make([]string, 0, len(refs))
 	for _, ref := range refs {
 		out = append(out, ref.String())
@@ -387,8 +457,9 @@ func (s *server) objects(w http.ResponseWriter, r *http.Request) {
 		Type string `json:"type"`
 		ID   string `json:"id"`
 	}
+	store, _ := s.view()
 	out := []objectView{}
-	for _, h := range s.store.ObjectList() {
+	for _, h := range store.ObjectList() {
 		if typeFilter != "" && string(h.Type) != typeFilter {
 			continue
 		}
@@ -398,11 +469,43 @@ func (s *server) objects(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) snapshot(w http.ResponseWriter, _ *http.Request) {
+	store, _ := s.view()
 	w.Header().Set("Content-Type", "application/json")
-	if err := persist.Write(s.store, w); err != nil {
+	if err := persist.Write(store, w); err != nil {
 		// Headers are gone; best effort.
 		fmt.Fprintf(w, `{"error":%q}`, err.Error())
 	}
+}
+
+// restore loads a persist snapshot (the body is what GET /api/snapshot
+// produces) into a fresh store and swaps it in. In durable mode the
+// restored state is checkpointed (snapshot + empty WAL) before the
+// request is acknowledged; the previous state is discarded either way.
+func (s *server) restore(w http.ResponseWriter, r *http.Request) {
+	snap, err := persist.Decode(r.Body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	// The durable restore and the handler's store swap happen under one
+	// critical section: were they separate, two concurrent restores could
+	// interleave so s.store diverges from durable.Core() permanently.
+	s.mu.Lock()
+	var store *core.Store
+	if s.durable != nil {
+		store, err = s.durable.Restore(snap)
+	} else {
+		store, err = persist.Load(snap)
+	}
+	if err != nil {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	s.store = store
+	s.proc = query.NewProcessor(store)
+	s.mu.Unlock()
+	s.stats(w, r)
 }
 
 func pathID(r *http.Request) (uint64, error) {

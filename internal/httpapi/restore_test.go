@@ -1,0 +1,162 @@
+package httpapi
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"graphitti/internal/core"
+	"graphitti/internal/durable"
+	"graphitti/internal/persist"
+	"graphitti/internal/workload"
+)
+
+// fetch returns a response body, failing the test on transport errors.
+func fetch(t *testing.T, method, url string, body []byte) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+const parityQuery = `{"query":"select contents where { ?a isa annotation ; contains \"protease\" . }"}`
+
+// TestSnapshotRestoreRoundTrip drives the full persistence loop through
+// the HTTP layer: export via GET /api/snapshot, import via POST
+// /api/restore into a server seeded with a different store, and require
+// identical /api/stats and /api/query answers afterwards.
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	src, _ := newTestServer(t)
+
+	// A second server with a different (smaller) study: restore must
+	// replace this state entirely.
+	cfg := workload.DefaultInfluenza
+	cfg.Annotations = 5
+	cfg.Seed = 99
+	other, err := workload.Influenza(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := httptest.NewServer(NewHandler(other.Store))
+	t.Cleanup(dst.Close)
+
+	code, wantStats := fetch(t, "GET", src.URL+"/api/stats", nil)
+	if code != 200 {
+		t.Fatalf("source stats: %d", code)
+	}
+	code, wantQuery := fetch(t, "POST", src.URL+"/api/query", []byte(parityQuery))
+	if code != 200 {
+		t.Fatalf("source query: %d (%s)", code, wantQuery)
+	}
+
+	code, snap := fetch(t, "GET", src.URL+"/api/snapshot", nil)
+	if code != 200 {
+		t.Fatalf("snapshot: %d", code)
+	}
+	if code, body := fetch(t, "POST", dst.URL+"/api/restore", snap); code != 200 {
+		t.Fatalf("restore: %d (%s)", code, body)
+	}
+
+	code, gotStats := fetch(t, "GET", dst.URL+"/api/stats", nil)
+	if code != 200 {
+		t.Fatalf("restored stats: %d", code)
+	}
+	if !reflect.DeepEqual(gotStats, wantStats) {
+		t.Fatalf("stats after restore:\n got %s\nwant %s", gotStats, wantStats)
+	}
+	code, gotQuery := fetch(t, "POST", dst.URL+"/api/query", []byte(parityQuery))
+	if code != 200 {
+		t.Fatalf("restored query: %d", code)
+	}
+	if !reflect.DeepEqual(gotQuery, wantQuery) {
+		t.Fatalf("query after restore:\n got %s\nwant %s", gotQuery, wantQuery)
+	}
+
+	if code, body := fetch(t, "POST", dst.URL+"/api/restore", []byte("{nonsense")); code != 400 {
+		t.Fatalf("bad restore body: %d (%s)", code, body)
+	}
+}
+
+// TestDurableHandler exercises the durable-mode API: mutations are
+// logged, /api/stats exposes durability counters, and a reopened data
+// directory serves the same state.
+func TestDurableHandler(t *testing.T) {
+	dir := t.TempDir()
+	d, err := durable.Open(dir, durable.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewDurableHandler(d))
+
+	// Seed via the restore endpoint, then mutate via the API.
+	study, err := workload.Influenza(workload.InfluenzaConfig{
+		Seed: 3, Segments: 4, SeqsPerSeg: 2, SeqLen: 400, Annotations: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := persist.Write(study.Store, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := fetch(t, "POST", ts.URL+"/api/restore", buf.Bytes()); code != 200 {
+		t.Fatalf("restore into durable: %d (%s)", code, body)
+	}
+
+	var stats struct {
+		core.Stats
+		Durability *durable.Stats `json:"durability"`
+	}
+	if code := getJSON(t, ts.URL+"/api/stats", &stats); code != 200 {
+		t.Fatal("stats failed")
+	}
+	if stats.Durability == nil {
+		t.Fatal("durable stats missing from /api/stats")
+	}
+	if stats.Durability.SnapshotSeq == 0 {
+		t.Fatalf("restore did not checkpoint: %+v", stats.Durability)
+	}
+
+	// A mutation through the API must reach the log.
+	seqID := study.SequenceIDs[0]
+	code := postJSON(t, ts.URL+"/api/annotations", map[string]interface{}{
+		"creator": "api-user", "date": "2026-07-29", "body": "durable via http",
+		"marks": []map[string]interface{}{
+			{"type": "sequence", "seqId": seqID, "lo": 1, "hi": 20},
+		},
+	}, nil)
+	if code != 201 {
+		t.Fatalf("create annotation: %d", code)
+	}
+	preStats := d.Core().Stats()
+	ts.Close()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := durable.Open(dir, durable.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if got := d2.Core().Stats(); got != preStats {
+		t.Fatalf("reopened store differs:\n got %+v\nwant %+v", got, preStats)
+	}
+	if got := d2.Core().SearchKeyword("durable", true); len(got) != 1 {
+		t.Fatalf("API-committed annotation did not survive reopen (found %d)", len(got))
+	}
+}

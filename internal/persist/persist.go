@@ -6,9 +6,18 @@
 // image. Load replays the snapshot through the normal registration and
 // commit pipeline, so every index (interval trees, R-trees, keyword index,
 // a-graph) is rebuilt consistently and all invariants re-checked.
-// Annotation and referent IDs are reassigned densely in commit order;
-// identical marks re-deduplicate into shared referents exactly as they did
-// originally.
+//
+// Since format version 2, snapshots preserve annotation and referent IDs
+// and the store's ID counters, so a loaded store is ID-for-ID identical to
+// the exported one — the property the durable layer (internal/durable)
+// relies on when it uses snapshots as write-ahead-log checkpoints.
+// Version-1 snapshots (no IDs) still load; their IDs are reassigned
+// densely in commit order as before.
+//
+// The per-entity Dump*/Apply* pairs in this package are the single codec
+// for store mutations: Export/Load compose them over whole stores, and the
+// WAL in internal/durable encodes one Dump per logged operation and
+// replays it with the matching Apply.
 package persist
 
 import (
@@ -30,8 +39,9 @@ import (
 	"graphitti/internal/rtree"
 )
 
-// Version identifies the snapshot format.
-const Version = 1
+// Version identifies the snapshot format. Version 2 added ID preservation
+// (annotation/referent IDs and the store counters).
+const Version = 2
 
 // Snapshot is the portable representation of a store.
 type Snapshot struct {
@@ -45,6 +55,11 @@ type Snapshot struct {
 	Images       []ImageDump      `json:"images,omitempty"`
 	RecordTables []TableDump      `json:"recordTables,omitempty"`
 	Annotations  []AnnotationDump `json:"annotations,omitempty"`
+	// NextAnn/NextRef are the store's ID counters at export time (v2).
+	// They can run ahead of the highest live ID when annotations or
+	// referents were deleted.
+	NextAnn uint64 `json:"nextAnn,omitempty"`
+	NextRef uint64 `json:"nextRef,omitempty"`
 }
 
 // OntologyDump serialises a term graph.
@@ -160,8 +175,10 @@ type ValueDump struct {
 	Bytes []byte  `json:"bytes,omitempty"`
 }
 
-// AnnotationDump serialises an annotation for replay.
+// AnnotationDump serialises an annotation for replay. ID is present since
+// format v2; zero means "assign the next free ID" (v1 snapshots).
 type AnnotationDump struct {
+	ID        uint64              `json:"id,omitempty"`
 	DC        map[string][]string `json:"dc"`
 	Body      string              `json:"body,omitempty"`
 	Tags      []TagDump           `json:"tags,omitempty"`
@@ -181,8 +198,10 @@ type TermRefDump struct {
 	Term     string `json:"term"`
 }
 
-// ReferentDump serialises a mark.
+// ReferentDump serialises a mark. ID is present since format v2; shared
+// referents repeat the same ID in every annotation that holds them.
 type ReferentDump struct {
+	ID         uint64        `json:"id,omitempty"`
 	Kind       uint8         `json:"kind"`
 	ObjectType string        `json:"objectType"`
 	ObjectID   string        `json:"objectId"`
@@ -194,7 +213,9 @@ type ReferentDump struct {
 	Keys       []string      `json:"keys,omitempty"`
 }
 
-// Export captures the store as a snapshot.
+// Export captures the store as a snapshot. It takes no store-wide lock;
+// concurrent mutations may land between sections, so a live export is a
+// consistent-enough backup, not a point-in-time one.
 func Export(s *core.Store) (*Snapshot, error) {
 	snap := &Snapshot{Version: Version}
 
@@ -203,62 +224,49 @@ func Export(s *core.Store) (*Snapshot, error) {
 		if err != nil {
 			return nil, err
 		}
-		snap.Ontologies = append(snap.Ontologies, dumpOntology(o))
+		snap.Ontologies = append(snap.Ontologies, DumpOntology(o))
 	}
 	for _, name := range s.CoordinateSystems() {
 		cs, err := s.CoordinateSystem(name)
 		if err != nil {
 			return nil, err
 		}
-		snap.Systems = append(snap.Systems, SystemDump{
-			Name: cs.Name, Dims: cs.Dims,
-			Bounds: [2][3]float64{cs.Bounds.Min, cs.Bounds.Max},
-		})
+		snap.Systems = append(snap.Systems, DumpSystem(cs))
 	}
 	for _, id := range s.SequenceIDs() {
 		sq, _, err := s.Sequence(id)
 		if err != nil {
 			return nil, err
 		}
-		snap.Sequences = append(snap.Sequences, SequenceDump{
-			ID: sq.ID, Kind: uint8(sq.Kind), Description: sq.Description,
-			Domain: sq.Domain, Offset: sq.Offset, Residues: sq.Residues,
-		})
+		snap.Sequences = append(snap.Sequences, DumpSequence(sq))
 	}
 	for _, id := range s.AlignmentIDs() {
 		a, err := s.Alignment(id)
 		if err != nil {
 			return nil, err
 		}
-		snap.Alignments = append(snap.Alignments, AlignmentDump{
-			ID: a.ID, RowIDs: a.RowIDs, Rows: a.Rows,
-		})
+		snap.Alignments = append(snap.Alignments, DumpAlignment(a))
 	}
 	for _, id := range s.TreeIDs() {
 		t, err := s.Tree(id)
 		if err != nil {
 			return nil, err
 		}
-		snap.Trees = append(snap.Trees, TreeDump{ID: t.ID, Newick: t.Newick()})
+		snap.Trees = append(snap.Trees, DumpTree(t))
 	}
 	for _, id := range s.InteractionGraphIDs() {
 		g, err := s.InteractionGraph(id)
 		if err != nil {
 			return nil, err
 		}
-		snap.Graphs = append(snap.Graphs, dumpGraph(g))
+		snap.Graphs = append(snap.Graphs, DumpGraph(g))
 	}
 	for _, id := range s.Images() {
 		im, err := s.Image(id)
 		if err != nil {
 			return nil, err
 		}
-		snap.Images = append(snap.Images, ImageDump{
-			ID: im.ID, System: im.System, Modality: im.Modality,
-			Subject: im.Subject, Dims: im.Local.Dims,
-			Local: [2][3]float64{im.Local.Min, im.Local.Max},
-			Scale: im.Reg.Scale, Offset: im.Reg.Offset,
-		})
+		snap.Images = append(snap.Images, DumpImage(im))
 	}
 	for _, name := range s.RecordTables() {
 		td, err := dumpTable(s, name)
@@ -272,12 +280,17 @@ func Export(s *core.Store) (*Snapshot, error) {
 		if err != nil {
 			return nil, err
 		}
-		ad, err := dumpAnnotation(s, ann)
+		ad, err := DumpAnnotation(s, ann)
 		if err != nil {
 			return nil, err
 		}
 		snap.Annotations = append(snap.Annotations, ad)
 	}
+	// Counters are captured last: running AHEAD of the dumped annotations
+	// (a commit landed mid-export) only wastes IDs on load, while counters
+	// BEHIND a dumped annotation would make the snapshot unloadable
+	// (RestoreIDCounters refuses to move counters backwards).
+	snap.NextAnn, snap.NextRef = s.IDCounters()
 	return snap, nil
 }
 
@@ -292,7 +305,8 @@ func Write(s *core.Store, w io.Writer) error {
 	return enc.Encode(snap)
 }
 
-func dumpOntology(o *ontology.Ontology) OntologyDump {
+// DumpOntology serialises a term graph.
+func DumpOntology(o *ontology.Ontology) OntologyDump {
 	d := OntologyDump{Name: o.Name()}
 	for _, id := range o.Terms() {
 		t, _ := o.Term(id)
@@ -314,7 +328,34 @@ func dumpOntology(o *ontology.Ontology) OntologyDump {
 	return d
 }
 
-func dumpGraph(g *interact.Graph) GraphDump {
+// DumpSystem serialises a coordinate system.
+func DumpSystem(cs *imaging.CoordinateSystem) SystemDump {
+	return SystemDump{
+		Name: cs.Name, Dims: cs.Dims,
+		Bounds: [2][3]float64{cs.Bounds.Min, cs.Bounds.Max},
+	}
+}
+
+// DumpSequence serialises a sequence.
+func DumpSequence(sq *seq.Sequence) SequenceDump {
+	return SequenceDump{
+		ID: sq.ID, Kind: uint8(sq.Kind), Description: sq.Description,
+		Domain: sq.Domain, Offset: sq.Offset, Residues: sq.Residues,
+	}
+}
+
+// DumpAlignment serialises an alignment.
+func DumpAlignment(a *msa.Alignment) AlignmentDump {
+	return AlignmentDump{ID: a.ID, RowIDs: a.RowIDs, Rows: a.Rows}
+}
+
+// DumpTree serialises a phylogenetic tree.
+func DumpTree(t *phylo.Tree) TreeDump {
+	return TreeDump{ID: t.ID, Newick: t.Newick()}
+}
+
+// DumpGraph serialises an interaction graph.
+func DumpGraph(g *interact.Graph) GraphDump {
 	d := GraphDump{ID: g.ID}
 	for _, id := range g.Molecules() {
 		m, _ := g.Molecule(id)
@@ -330,18 +371,43 @@ func dumpGraph(g *interact.Graph) GraphDump {
 	return d
 }
 
-func dumpTable(s *core.Store, name string) (TableDump, error) {
-	tbl, err := s.Rel().Table(name)
-	if err != nil {
-		return TableDump{}, err
+// DumpImage serialises a registered image.
+func DumpImage(im *imaging.Image) ImageDump {
+	return ImageDump{
+		ID: im.ID, System: im.System, Modality: im.Modality,
+		Subject: im.Subject, Dims: im.Local.Dims,
+		Local: [2][3]float64{im.Local.Min, im.Local.Max},
+		Scale: im.Reg.Scale, Offset: im.Reg.Offset,
 	}
-	schema := tbl.Schema()
+}
+
+// DumpSchema serialises a record-table schema (no rows).
+func DumpSchema(schema *relstore.Schema) TableDump {
 	td := TableDump{Name: schema.Name, Key: schema.Key}
 	for _, c := range schema.Columns {
 		td.Columns = append(td.Columns, ColumnDump{
 			Name: c.Name, Type: uint8(c.Type), NotNull: c.NotNull,
 		})
 	}
+	return td
+}
+
+// DumpRow serialises one record row.
+func DumpRow(r relstore.Row) []ValueDump {
+	vr := make([]ValueDump, len(r))
+	for i, v := range r {
+		vr[i] = dumpValue(v)
+	}
+	return vr
+}
+
+func dumpTable(s *core.Store, name string) (TableDump, error) {
+	tbl, err := s.Rel().Table(name)
+	if err != nil {
+		return TableDump{}, err
+	}
+	schema := tbl.Schema()
+	td := DumpSchema(schema)
 	var rows []relstore.Row
 	tbl.Scan(func(r relstore.Row) bool {
 		rows = append(rows, r.Clone())
@@ -358,11 +424,7 @@ func dumpTable(s *core.Store, name string) (TableDump, error) {
 		return false
 	})
 	for _, r := range rows {
-		vr := make([]ValueDump, len(r))
-		for i, v := range r {
-			vr[i] = dumpValue(v)
-		}
-		td.Rows = append(td.Rows, vr)
+		td.Rows = append(td.Rows, DumpRow(r))
 	}
 	return td, nil
 }
@@ -385,7 +447,8 @@ func dumpValue(v relstore.Value) ValueDump {
 	}
 }
 
-func restoreValue(d ValueDump) (relstore.Value, error) {
+// RestoreValue rebuilds a typed cell from its dump.
+func RestoreValue(d ValueDump) (relstore.Value, error) {
 	switch d.T {
 	case "null":
 		return relstore.Null, nil
@@ -404,8 +467,10 @@ func restoreValue(d ValueDump) (relstore.Value, error) {
 	}
 }
 
-func dumpAnnotation(s *core.Store, ann *core.Annotation) (AnnotationDump, error) {
-	d := AnnotationDump{DC: map[string][]string{}}
+// DumpAnnotation serialises an annotation, including its ID and the IDs of
+// its referents (format v2).
+func DumpAnnotation(s *core.Store, ann *core.Annotation) (AnnotationDump, error) {
+	d := AnnotationDump{ID: ann.ID, DC: map[string][]string{}}
 	for _, e := range ann.DC.Elements() {
 		d.DC[string(e)] = ann.DC.Get(e)
 	}
@@ -424,6 +489,7 @@ func dumpAnnotation(s *core.Store, ann *core.Annotation) (AnnotationDump, error)
 			return d, err
 		}
 		rd := ReferentDump{
+			ID:         ref.ID,
 			Kind:       uint8(ref.Kind),
 			ObjectType: string(ref.ObjectType),
 			ObjectID:   ref.ObjectID,
@@ -444,175 +510,255 @@ func dumpAnnotation(s *core.Store, ann *core.Annotation) (AnnotationDump, error)
 	return d, nil
 }
 
+// ApplyOntology rebuilds and registers a dumped ontology.
+func ApplyOntology(s *core.Store, od OntologyDump) error {
+	o := ontology.New(od.Name)
+	for _, td := range od.Terms {
+		t, err := o.AddTerm(td.ID, td.Name)
+		if err != nil {
+			return fmt.Errorf("persist: ontology %s: %w", od.Name, err)
+		}
+		t.Def = td.Def
+		t.Synonyms = td.Synonyms
+	}
+	for _, ed := range od.Edges {
+		if err := o.AddEdge(ed.From, ed.To, ed.Rel, ontology.Quantifier(ed.Quant)); err != nil {
+			return fmt.Errorf("persist: ontology %s: %w", od.Name, err)
+		}
+	}
+	return s.RegisterOntology(o)
+}
+
+// ApplySystem rebuilds and registers a dumped coordinate system.
+func ApplySystem(s *core.Store, sd SystemDump) error {
+	cs, err := imaging.NewCoordinateSystem(sd.Name, rtree.Rect{
+		Min: sd.Bounds[0], Max: sd.Bounds[1], Dims: sd.Dims,
+	})
+	if err != nil {
+		return fmt.Errorf("persist: system %s: %w", sd.Name, err)
+	}
+	return s.RegisterCoordinateSystem(cs)
+}
+
+// ApplySequence rebuilds and registers a dumped sequence.
+func ApplySequence(s *core.Store, qd SequenceDump) error {
+	sq, err := seq.New(qd.ID, seq.Kind(qd.Kind), qd.Residues)
+	if err != nil {
+		return fmt.Errorf("persist: sequence %s: %w", qd.ID, err)
+	}
+	sq.Description = qd.Description
+	sq.Domain = qd.Domain
+	sq.Offset = qd.Offset
+	return s.RegisterSequence(sq)
+}
+
+// ApplyAlignment rebuilds and registers a dumped alignment.
+func ApplyAlignment(s *core.Store, ad AlignmentDump) error {
+	a, err := msa.New(ad.ID, ad.RowIDs, ad.Rows)
+	if err != nil {
+		return fmt.Errorf("persist: alignment %s: %w", ad.ID, err)
+	}
+	return s.RegisterAlignment(a)
+}
+
+// ApplyTree rebuilds and registers a dumped phylogenetic tree.
+func ApplyTree(s *core.Store, td TreeDump) error {
+	t, err := phylo.ParseNewick(td.ID, td.Newick)
+	if err != nil {
+		return fmt.Errorf("persist: tree %s: %w", td.ID, err)
+	}
+	return s.RegisterTree(t)
+}
+
+// ApplyGraph rebuilds and registers a dumped interaction graph.
+func ApplyGraph(s *core.Store, gd GraphDump) error {
+	g := interact.NewGraph(gd.ID)
+	for _, md := range gd.Molecules {
+		if _, err := g.AddMolecule(md.ID, md.Name, interact.MoleculeType(md.Type)); err != nil {
+			return fmt.Errorf("persist: graph %s: %w", gd.ID, err)
+		}
+	}
+	for _, ed := range gd.Interactions {
+		if err := g.AddInteraction(ed.A, ed.B, ed.Kind, ed.Score); err != nil {
+			return fmt.Errorf("persist: graph %s: %w", gd.ID, err)
+		}
+	}
+	return s.RegisterInteractionGraph(g)
+}
+
+// ApplyImage rebuilds and registers a dumped image.
+func ApplyImage(s *core.Store, id ImageDump) error {
+	reg := imaging.Registration{Scale: id.Scale, Offset: id.Offset}
+	im, err := imaging.NewImage(id.ID, id.System, rtree.Rect{
+		Min: id.Local[0], Max: id.Local[1], Dims: id.Dims,
+	}, reg)
+	if err != nil {
+		return fmt.Errorf("persist: image %s: %w", id.ID, err)
+	}
+	im.Modality = id.Modality
+	im.Subject = id.Subject
+	return s.RegisterImage(im)
+}
+
+// ApplyTable creates a dumped record table and inserts its rows.
+func ApplyTable(s *core.Store, td TableDump) error {
+	cols := make([]relstore.Column, len(td.Columns))
+	for i, cd := range td.Columns {
+		cols[i] = relstore.Column{Name: cd.Name, Type: relstore.Type(cd.Type), NotNull: cd.NotNull}
+	}
+	schema, err := relstore.NewSchema(td.Name, td.Key, cols...)
+	if err != nil {
+		return fmt.Errorf("persist: table %s: %w", td.Name, err)
+	}
+	if _, err := s.CreateRecordTable(schema); err != nil {
+		return err
+	}
+	for _, rd := range td.Rows {
+		if err := ApplyRecord(s, td.Name, rd); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ApplyRecord inserts one dumped row into a record table.
+func ApplyRecord(s *core.Store, table string, rd []ValueDump) error {
+	row := make(relstore.Row, len(rd))
+	for i, vd := range rd {
+		v, err := RestoreValue(vd)
+		if err != nil {
+			return err
+		}
+		row[i] = v
+	}
+	if err := s.InsertRecord(table, row); err != nil {
+		return fmt.Errorf("persist: table %s: %w", table, err)
+	}
+	return nil
+}
+
+// ApplyAnnotation rebuilds and commits a dumped annotation. When the dump
+// carries IDs (v2), the annotation and its referents are committed with
+// exactly those IDs; otherwise the store assigns the next free ones.
+func ApplyAnnotation(s *core.Store, ad AnnotationDump) error {
+	b := s.NewAnnotation()
+	elems := make([]string, 0, len(ad.DC))
+	for e := range ad.DC {
+		elems = append(elems, e)
+	}
+	sort.Strings(elems)
+	for _, e := range elems {
+		b.DCElement(dublincore.Element(e), ad.DC[e]...)
+	}
+	if ad.Body != "" {
+		b.Body(ad.Body)
+	}
+	for _, tg := range ad.Tags {
+		b.Tag(tg.Name, tg.Value)
+	}
+	refIDs := make([]uint64, 0, len(ad.Referents))
+	for _, rd := range ad.Referents {
+		ref := &core.Referent{
+			Kind:       core.ReferentKind(rd.Kind),
+			ObjectType: core.ObjectType(rd.ObjectType),
+			ObjectID:   rd.ObjectID,
+			Domain:     rd.Domain,
+			Interval:   interval.Interval{Lo: rd.Lo, Hi: rd.Hi},
+			Keys:       rd.Keys,
+		}
+		if ref.Kind == core.RegionReferent {
+			ref.Region = rtree.Rect{Min: rd.Rect[0], Max: rd.Rect[1], Dims: rd.RectDims}
+		}
+		b.Refer(ref)
+		refIDs = append(refIDs, rd.ID)
+	}
+	for _, tr := range ad.Terms {
+		b.OntologyRef(tr.Ontology, tr.Term)
+	}
+	var err error
+	if ad.ID != 0 {
+		_, err = s.CommitWithIDs(b, ad.ID, refIDs)
+	} else {
+		_, err = s.Commit(b)
+	}
+	return err
+}
+
 // Load rebuilds a store from a snapshot by replaying registrations and
 // commits through the normal pipeline.
 func Load(snap *Snapshot) (*core.Store, error) {
-	if snap.Version != Version {
-		return nil, fmt.Errorf("persist: snapshot version %d, want %d", snap.Version, Version)
+	if snap.Version < 1 || snap.Version > Version {
+		return nil, fmt.Errorf("persist: snapshot version %d, want 1..%d", snap.Version, Version)
 	}
 	s := core.NewStore()
 	for _, od := range snap.Ontologies {
-		o := ontology.New(od.Name)
-		for _, td := range od.Terms {
-			t, err := o.AddTerm(td.ID, td.Name)
-			if err != nil {
-				return nil, fmt.Errorf("persist: ontology %s: %w", od.Name, err)
-			}
-			t.Def = td.Def
-			t.Synonyms = td.Synonyms
-		}
-		for _, ed := range od.Edges {
-			if err := o.AddEdge(ed.From, ed.To, ed.Rel, ontology.Quantifier(ed.Quant)); err != nil {
-				return nil, fmt.Errorf("persist: ontology %s: %w", od.Name, err)
-			}
-		}
-		if err := s.RegisterOntology(o); err != nil {
+		if err := ApplyOntology(s, od); err != nil {
 			return nil, err
 		}
 	}
 	for _, sd := range snap.Systems {
-		cs, err := imaging.NewCoordinateSystem(sd.Name, rtree.Rect{
-			Min: sd.Bounds[0], Max: sd.Bounds[1], Dims: sd.Dims,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("persist: system %s: %w", sd.Name, err)
-		}
-		if err := s.RegisterCoordinateSystem(cs); err != nil {
+		if err := ApplySystem(s, sd); err != nil {
 			return nil, err
 		}
 	}
 	for _, qd := range snap.Sequences {
-		sq, err := seq.New(qd.ID, seq.Kind(qd.Kind), qd.Residues)
-		if err != nil {
-			return nil, fmt.Errorf("persist: sequence %s: %w", qd.ID, err)
-		}
-		sq.Description = qd.Description
-		sq.Domain = qd.Domain
-		sq.Offset = qd.Offset
-		if err := s.RegisterSequence(sq); err != nil {
+		if err := ApplySequence(s, qd); err != nil {
 			return nil, err
 		}
 	}
 	for _, ad := range snap.Alignments {
-		a, err := msa.New(ad.ID, ad.RowIDs, ad.Rows)
-		if err != nil {
-			return nil, fmt.Errorf("persist: alignment %s: %w", ad.ID, err)
-		}
-		if err := s.RegisterAlignment(a); err != nil {
+		if err := ApplyAlignment(s, ad); err != nil {
 			return nil, err
 		}
 	}
 	for _, td := range snap.Trees {
-		t, err := phylo.ParseNewick(td.ID, td.Newick)
-		if err != nil {
-			return nil, fmt.Errorf("persist: tree %s: %w", td.ID, err)
-		}
-		if err := s.RegisterTree(t); err != nil {
+		if err := ApplyTree(s, td); err != nil {
 			return nil, err
 		}
 	}
 	for _, gd := range snap.Graphs {
-		g := interact.NewGraph(gd.ID)
-		for _, md := range gd.Molecules {
-			if _, err := g.AddMolecule(md.ID, md.Name, interact.MoleculeType(md.Type)); err != nil {
-				return nil, fmt.Errorf("persist: graph %s: %w", gd.ID, err)
-			}
-		}
-		for _, ed := range gd.Interactions {
-			if err := g.AddInteraction(ed.A, ed.B, ed.Kind, ed.Score); err != nil {
-				return nil, fmt.Errorf("persist: graph %s: %w", gd.ID, err)
-			}
-		}
-		if err := s.RegisterInteractionGraph(g); err != nil {
+		if err := ApplyGraph(s, gd); err != nil {
 			return nil, err
 		}
 	}
 	for _, id := range snap.Images {
-		reg := imaging.Registration{Scale: id.Scale, Offset: id.Offset}
-		im, err := imaging.NewImage(id.ID, id.System, rtree.Rect{
-			Min: id.Local[0], Max: id.Local[1], Dims: id.Dims,
-		}, reg)
-		if err != nil {
-			return nil, fmt.Errorf("persist: image %s: %w", id.ID, err)
-		}
-		im.Modality = id.Modality
-		im.Subject = id.Subject
-		if err := s.RegisterImage(im); err != nil {
+		if err := ApplyImage(s, id); err != nil {
 			return nil, err
 		}
 	}
 	for _, td := range snap.RecordTables {
-		cols := make([]relstore.Column, len(td.Columns))
-		for i, cd := range td.Columns {
-			cols[i] = relstore.Column{Name: cd.Name, Type: relstore.Type(cd.Type), NotNull: cd.NotNull}
-		}
-		schema, err := relstore.NewSchema(td.Name, td.Key, cols...)
-		if err != nil {
-			return nil, fmt.Errorf("persist: table %s: %w", td.Name, err)
-		}
-		if _, err := s.CreateRecordTable(schema); err != nil {
+		if err := ApplyTable(s, td); err != nil {
 			return nil, err
-		}
-		for _, rd := range td.Rows {
-			row := make(relstore.Row, len(rd))
-			for i, vd := range rd {
-				v, err := restoreValue(vd)
-				if err != nil {
-					return nil, err
-				}
-				row[i] = v
-			}
-			if err := s.InsertRecord(td.Name, row); err != nil {
-				return nil, fmt.Errorf("persist: table %s: %w", td.Name, err)
-			}
 		}
 	}
 	for i, ad := range snap.Annotations {
-		b := s.NewAnnotation()
-		elems := make([]string, 0, len(ad.DC))
-		for e := range ad.DC {
-			elems = append(elems, e)
-		}
-		sort.Strings(elems)
-		for _, e := range elems {
-			b.DCElement(dublincore.Element(e), ad.DC[e]...)
-		}
-		if ad.Body != "" {
-			b.Body(ad.Body)
-		}
-		for _, tg := range ad.Tags {
-			b.Tag(tg.Name, tg.Value)
-		}
-		for _, rd := range ad.Referents {
-			ref := &core.Referent{
-				Kind:       core.ReferentKind(rd.Kind),
-				ObjectType: core.ObjectType(rd.ObjectType),
-				ObjectID:   rd.ObjectID,
-				Domain:     rd.Domain,
-				Interval:   interval.Interval{Lo: rd.Lo, Hi: rd.Hi},
-				Keys:       rd.Keys,
-			}
-			if ref.Kind == core.RegionReferent {
-				ref.Region = rtree.Rect{Min: rd.Rect[0], Max: rd.Rect[1], Dims: rd.RectDims}
-			}
-			b.Refer(ref)
-		}
-		for _, tr := range ad.Terms {
-			b.OntologyRef(tr.Ontology, tr.Term)
-		}
-		if _, err := s.Commit(b); err != nil {
+		if err := ApplyAnnotation(s, ad); err != nil {
 			return nil, fmt.Errorf("persist: annotation %d: %w", i, err)
+		}
+	}
+	if snap.NextAnn != 0 || snap.NextRef != 0 {
+		if err := s.RestoreIDCounters(snap.NextAnn, snap.NextRef); err != nil {
+			return nil, err
 		}
 	}
 	return s, nil
 }
 
-// Read loads a snapshot from JSON and rebuilds the store.
-func Read(r io.Reader) (*core.Store, error) {
+// Decode parses a snapshot from JSON without loading it into a store.
+func Decode(r io.Reader) (*Snapshot, error) {
 	var snap Snapshot
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&snap); err != nil {
 		return nil, fmt.Errorf("persist: decode: %w", err)
 	}
-	return Load(&snap)
+	return &snap, nil
+}
+
+// Read loads a snapshot from JSON and rebuilds the store.
+func Read(r io.Reader) (*core.Store, error) {
+	snap, err := Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	return Load(snap)
 }

@@ -1,0 +1,15 @@
+//go:build linux
+
+package wal
+
+import (
+	"os"
+	"syscall"
+)
+
+// fdatasync flushes file data (and the size metadata needed to read it
+// back) without forcing unrelated metadata out — one syscall cheaper than
+// fsync on the group-commit hot path.
+func fdatasync(f *os.File) error {
+	return syscall.Fdatasync(int(f.Fd()))
+}

@@ -1,0 +1,94 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// RecoveryInfo reports what a Scan found.
+type RecoveryInfo struct {
+	// Records is the number of valid records scanned.
+	Records int
+	// ValidSize is the byte offset just past the last valid record —
+	// the offset to hand OpenAt so appending resumes over the torn tail.
+	ValidSize int64
+	// TornBytes is how many trailing bytes were invalid (0 for a clean
+	// shutdown).
+	TornBytes int64
+	// TornReason describes the first invalid frame when TornBytes > 0.
+	TornReason string
+}
+
+// Scan reads a log front to back, calling fn for each valid record
+// payload. It stops — without error — at the first torn or corrupt frame,
+// reporting the valid prefix in RecoveryInfo; fn's error aborts the scan
+// and is returned as is. The payload slice is reused across calls.
+func Scan(path string, fn func(payload []byte) error) (RecoveryInfo, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return RecoveryInfo{}, err
+	}
+	defer f.Close()
+
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		// Even the header is incomplete: nothing recoverable.
+		return RecoveryInfo{}, fmt.Errorf("%w: %v", ErrBadHeader, err)
+	}
+	if hdr != Magic {
+		return RecoveryInfo{}, fmt.Errorf("%w: got % x", ErrBadHeader, hdr)
+	}
+
+	info := RecoveryInfo{ValidSize: HeaderSize}
+	var frame [frameHeaderSize]byte
+	var payload []byte
+	for {
+		n, err := io.ReadFull(f, frame[:])
+		if err == io.EOF {
+			break // clean end
+		}
+		if err != nil {
+			info.TornBytes = int64(n)
+			info.TornReason = "partial frame header"
+			break
+		}
+		length := binary.LittleEndian.Uint32(frame[0:4])
+		sum := binary.LittleEndian.Uint32(frame[4:8])
+		if length > MaxRecordSize {
+			info.TornBytes = frameHeaderSize
+			info.TornReason = fmt.Sprintf("frame length %d exceeds max %d", length, MaxRecordSize)
+			break
+		}
+		if cap(payload) < int(length) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		n, err = io.ReadFull(f, payload)
+		if err != nil {
+			info.TornBytes = int64(frameHeaderSize + n)
+			info.TornReason = "partial payload"
+			break
+		}
+		if crc32.Checksum(payload, castagnoli) != sum {
+			info.TornBytes = int64(frameHeaderSize) + int64(length)
+			info.TornReason = "checksum mismatch"
+			break
+		}
+		if fn != nil {
+			if err := fn(payload); err != nil {
+				return info, err
+			}
+		}
+		info.Records++
+		info.ValidSize += int64(frameHeaderSize) + int64(length)
+	}
+	// Anything between ValidSize and EOF is torn tail, whether the loop
+	// classified it or only read part of it.
+	if end, err := f.Seek(0, io.SeekEnd); err == nil && end > info.ValidSize {
+		info.TornBytes = end - info.ValidSize
+	}
+	return info, nil
+}

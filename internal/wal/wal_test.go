@@ -1,0 +1,301 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func testLog(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "test.wal")
+}
+
+// scanAll collects every valid payload.
+func scanAll(t *testing.T, path string) ([][]byte, RecoveryInfo) {
+	t.Helper()
+	var got [][]byte
+	info, err := Scan(path, func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	return got, info
+}
+
+func TestAppendScanRoundTrip(t *testing.T) {
+	path := testLog(t)
+	w, err := Create(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 100; i++ {
+		p := []byte(fmt.Sprintf("record-%03d-%s", i, bytes.Repeat([]byte{byte(i)}, i%17)))
+		want = append(want, p)
+		if err := w.Append(p); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, info := scanAll(t, path)
+	if len(got) != len(want) {
+		t.Fatalf("scanned %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d: got %q want %q", i, got[i], want[i])
+		}
+	}
+	if info.TornBytes != 0 {
+		t.Fatalf("clean log reported %d torn bytes (%s)", info.TornBytes, info.TornReason)
+	}
+	fi, _ := os.Stat(path)
+	if info.ValidSize != fi.Size() {
+		t.Fatalf("ValidSize %d != file size %d", info.ValidSize, fi.Size())
+	}
+}
+
+func TestEmptyPayloadRecord(t *testing.T) {
+	path := testLog(t)
+	w, err := Create(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(nil); err != nil { // Sync() uses this form
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := scanAll(t, path)
+	if len(got) != 2 || len(got[0]) != 0 || string(got[1]) != "x" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+// TestTornTailEveryOffset truncates a valid log at every possible byte
+// length and checks Scan always recovers the longest intact prefix.
+func TestTornTailEveryOffset(t *testing.T) {
+	path := testLog(t)
+	w, err := Create(path, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payloads [][]byte
+	var boundaries []int64 // ValidSize after records 0..i
+	off := int64(HeaderSize)
+	for i := 0; i < 8; i++ {
+		p := bytes.Repeat([]byte{'a' + byte(i)}, 5+3*i)
+		payloads = append(payloads, p)
+		if err := w.Append(p); err != nil {
+			t.Fatal(err)
+		}
+		off += int64(frameHeaderSize + len(p))
+		boundaries = append(boundaries, off)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := int64(HeaderSize); cut <= int64(len(full)); cut++ {
+		torn := filepath.Join(t.TempDir(), "torn.wal")
+		if err := os.WriteFile(torn, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		wantRecords := 0
+		wantValid := int64(HeaderSize)
+		for i, b := range boundaries {
+			if b <= cut {
+				wantRecords = i + 1
+				wantValid = b
+			}
+		}
+		got, info := scanAll(t, torn)
+		if len(got) != wantRecords || info.ValidSize != wantValid {
+			t.Fatalf("cut=%d: got %d records valid=%d, want %d records valid=%d (%s)",
+				cut, len(got), info.ValidSize, wantRecords, wantValid, info.TornReason)
+		}
+		if info.TornBytes != cut-wantValid {
+			t.Fatalf("cut=%d: torn=%d want %d", cut, info.TornBytes, cut-wantValid)
+		}
+		for i := 0; i < wantRecords; i++ {
+			if !bytes.Equal(got[i], payloads[i]) {
+				t.Fatalf("cut=%d: record %d mismatch", cut, i)
+			}
+		}
+	}
+}
+
+func TestCorruptChecksumStopsScan(t *testing.T) {
+	path := testLog(t)
+	w, err := Create(path, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte of the second record.
+	recLen := int64(frameHeaderSize + len("rec-0"))
+	data[HeaderSize+recLen+frameHeaderSize] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, info := scanAll(t, path)
+	if len(got) != 1 || string(got[0]) != "rec-0" {
+		t.Fatalf("got %q, want only rec-0", got)
+	}
+	if info.TornReason != "checksum mismatch" {
+		t.Fatalf("reason = %q", info.TornReason)
+	}
+}
+
+func TestBadHeader(t *testing.T) {
+	path := testLog(t)
+	if err := os.WriteFile(path, []byte("not a wal file"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Scan(path, nil); err == nil {
+		t.Fatal("Scan accepted a non-WAL file")
+	}
+}
+
+func TestOpenAtTruncatesAndResumes(t *testing.T) {
+	path := testLog(t)
+	w, err := Create(path, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := w.Append([]byte(fmt.Sprintf("first-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn tail.
+	fi, _ := os.Stat(path)
+	if err := os.Truncate(path, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	_, info := scanAll(t, path)
+	if info.Records != 3 || info.TornBytes == 0 {
+		t.Fatalf("expected 3 intact records and a torn tail, got %+v", info)
+	}
+	w2, err := OpenAt(path, info.ValidSize, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Append([]byte("resumed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, info := scanAll(t, path)
+	if len(got) != 4 || string(got[3]) != "resumed" {
+		t.Fatalf("after resume got %q", got)
+	}
+	if info.TornBytes != 0 {
+		t.Fatalf("resumed log still torn: %+v", info)
+	}
+}
+
+func TestConcurrentAppendsGroupCommit(t *testing.T) {
+	path := testLog(t)
+	w, err := Create(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := w.Append([]byte(fmt.Sprintf("w%02d-%03d", g, i))); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := w.Stats()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != writers*perWriter {
+		t.Fatalf("stats.Records = %d, want %d", st.Records, writers*perWriter)
+	}
+	if st.Flushes == 0 || st.Flushes > st.Records {
+		t.Fatalf("implausible flush count %d for %d records", st.Flushes, st.Records)
+	}
+	got, info := scanAll(t, path)
+	if len(got) != writers*perWriter || info.TornBytes != 0 {
+		t.Fatalf("scanned %d records torn=%d", len(got), info.TornBytes)
+	}
+	seen := make(map[string]bool, len(got))
+	for _, p := range got {
+		seen[string(p)] = true
+	}
+	if len(seen) != writers*perWriter {
+		t.Fatalf("duplicate or missing records: %d unique", len(seen))
+	}
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	path := testLog(t)
+	w, err := Create(path, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]byte("late")); err != ErrClosed {
+		t.Fatalf("append after close: %v, want ErrClosed", err)
+	}
+}
+
+func TestOversizeRecordRejected(t *testing.T) {
+	path := testLog(t)
+	w, err := Create(path, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	huge := make([]byte, MaxRecordSize+1)
+	if err := w.Append(huge); err == nil {
+		t.Fatal("oversize record accepted")
+	}
+}

@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"graphitti/internal/core"
+	"graphitti/internal/persist"
+)
+
+// TestRecoveryScenarioDeterministic applies the same generated stream to
+// two stores and a regenerated stream to a third; all three must be
+// byte-identical snapshots — the property the crash harness depends on.
+func TestRecoveryScenarioDeterministic(t *testing.T) {
+	cfg := RecoveryConfig{Seed: 7, Images: 6, Ops: 150}
+	ops := RecoveryScenario(cfg)
+	if len(ops) != cfg.Ops {
+		t.Fatalf("generated %d ops, want %d", len(ops), cfg.Ops)
+	}
+	for i, op := range ops {
+		if op.Seq != i+1 {
+			t.Fatalf("op %d has Seq %d", i, op.Seq)
+		}
+	}
+
+	stores := make([]*core.Store, 3)
+	for i := range stores {
+		stores[i] = core.NewStore()
+	}
+	if err := ApplyOps(stores[0], ops); err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyOps(stores[1], ops); err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyOps(stores[2], RecoveryScenario(cfg)); err != nil {
+		t.Fatal(err)
+	}
+
+	base, err := persist.Export(stores[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 3; i++ {
+		snap, err := persist.Export(stores[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, snap) {
+			t.Fatalf("store %d diverged from store 0", i)
+		}
+	}
+}
+
+// TestRecoveryScenarioCoversOpKinds checks the default stream exercises
+// every mutation kind the WAL can log.
+func TestRecoveryScenarioCoversOpKinds(t *testing.T) {
+	ops := RecoveryScenario(DefaultRecovery)
+	prefixes := []string{
+		"register-ontology", "register-system", "register-image",
+		"create-record-table", "commit-region", "commit-tp53",
+		"insert-record", "register-sequence", "commit-interval",
+		"delete-annotation",
+	}
+	for _, p := range prefixes {
+		found := false
+		for _, op := range ops {
+			if len(op.Name) >= len(p) && op.Name[:len(p)] == p {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("scenario has no %q op", p)
+		}
+	}
+	// Prefixes applied to a store must always be valid (no op depends on
+	// a later one).
+	s := core.NewStore()
+	for _, op := range ops[:100] {
+		if err := op.Apply(s); err != nil {
+			t.Fatalf("op %d (%s): %v", op.Seq, op.Name, err)
+		}
+	}
+}

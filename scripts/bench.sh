@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
-# bench.sh — run the F/Q/O/A benchmark suites and record the rows as
+# bench.sh — run the F/Q/O/A/W benchmark suites and record the rows as
 # BENCH_<date>.json in the repo root, seeding the performance trajectory
 # across PRs.
 #
 # Usage:
-#   scripts/bench.sh              # default: -benchtime=1s -count=1
-#   BENCHTIME=100ms scripts/bench.sh   # quicker smoke
-#   COUNT=5 scripts/bench.sh           # repetitions for benchstat
+#   scripts/bench.sh                     # default: -benchtime=1s -count=1
+#   scripts/bench.sh --check BASE.json   # also compare medians against a
+#                                        # committed baseline and exit 1 on
+#                                        # a >REGRESSION_FACTOR regression
+#                                        # in the guard benchmarks
+#   BENCHTIME=100ms scripts/bench.sh     # quicker smoke
+#   COUNT=5 scripts/bench.sh             # repetitions for benchstat/medians
 #
 # The raw `go test -bench` output is kept next to the JSON so benchstat
 # can compare runs: benchstat BENCH_a.txt BENCH_b.txt
@@ -14,13 +18,30 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+BASELINE=""
+if [ "${1:-}" = "--check" ]; then
+    BASELINE="${2:?usage: bench.sh --check BASELINE.json}"
+    [ -f "$BASELINE" ] || { echo "baseline $BASELINE not found" >&2; exit 2; }
+fi
+
 BENCHTIME="${BENCHTIME:-1s}"
 COUNT="${COUNT:-1}"
+# Guard benchmarks for --check: the paper queries and graph primitives
+# whose regressions previous PRs fought hardest for.
+GUARDS="${GUARDS:-BenchmarkQ1TP53|BenchmarkO3AGraphPrimitives|BenchmarkF1AGraphScenario}"
+REGRESSION_FACTOR="${REGRESSION_FACTOR:-2.0}"
 DATE="$(date +%Y-%m-%d)"
 TXT="BENCH_${DATE}.txt"
 JSON="BENCH_${DATE}.json"
+# In check mode the current run must never clobber the baseline it is
+# being compared against (same-day runs would otherwise compare the file
+# to itself and pass vacuously), so it writes to BENCH_current.*.
+if [ -n "$BASELINE" ]; then
+    TXT="BENCH_current.txt"
+    JSON="BENCH_current.json"
+fi
 
-PATTERN='BenchmarkF1AGraphScenario|BenchmarkF2AnnotateWorkflow|BenchmarkF3QueryTab|BenchmarkQ1TP53|BenchmarkQ2Protease|BenchmarkO1SubXOps|BenchmarkO2OntologyOps|BenchmarkO3AGraphPrimitives|BenchmarkA1IndexConsolidation|BenchmarkA2IntervalVsScan|BenchmarkA3RTreeVsScan|BenchmarkA4ConnectStrategies|BenchmarkA5PlannerOrdering|BenchmarkA6ContentIndex|BenchmarkA7BulkLoadVsIncremental'
+PATTERN='BenchmarkF1AGraphScenario|BenchmarkF2AnnotateWorkflow|BenchmarkF3QueryTab|BenchmarkQ1TP53|BenchmarkQ2Protease|BenchmarkO1SubXOps|BenchmarkO2OntologyOps|BenchmarkO3AGraphPrimitives|BenchmarkA1IndexConsolidation|BenchmarkA2IntervalVsScan|BenchmarkA3RTreeVsScan|BenchmarkA4ConnectStrategies|BenchmarkA5PlannerOrdering|BenchmarkA6ContentIndex|BenchmarkA7BulkLoadVsIncremental|BenchmarkW1DurableCommit'
 
 echo "running benchmark suites (benchtime=${BENCHTIME}, count=${COUNT})…" >&2
 go test -run '^$' -bench "$PATTERN" -benchmem \
@@ -50,3 +71,60 @@ END { print "\n]" }
 ' "$TXT" >"$JSON"
 
 echo "wrote $TXT and $JSON" >&2
+
+[ -z "$BASELINE" ] && exit 0
+
+# --check: compare per-benchmark ns/op medians for the guard suites. The
+# JSON rows are the one-object-per-line format this script itself emits,
+# so a constrained awk parse is safe.
+echo "checking guard benchmarks (${GUARDS}) against ${BASELINE} (limit ${REGRESSION_FACTOR}x)…" >&2
+awk -v guards="$GUARDS" -v factor="$REGRESSION_FACTOR" -v base="$BASELINE" -v cur="$JSON" '
+function medianof(arr, n,    i, tmp, t, j) {
+    # insertion-sort the n values, return the median
+    for (i = 2; i <= n; i++) {
+        t = arr[i]
+        for (j = i - 1; j >= 1 && arr[j] > t; j--) arr[j + 1] = arr[j]
+        arr[j + 1] = t
+    }
+    if (n % 2) return arr[(n + 1) / 2]
+    return (arr[n / 2] + arr[n / 2 + 1]) / 2
+}
+function collect(file, vals, counts,    line, name, ns, m) {
+    while ((getline line < file) > 0) {
+        if (match(line, /"name": "[^"]+"/)) {
+            name = substr(line, RSTART + 9, RLENGTH - 10)
+            if (match(line, /"ns_per_op": [0-9.]+/)) {
+                ns = substr(line, RSTART + 13, RLENGTH - 13) + 0
+                counts[name]++
+                vals[name, counts[name]] = ns
+            }
+        }
+    }
+    close(file)
+}
+BEGIN {
+    split("", bvals); split("", bcounts)
+    split("", cvals); split("", ccounts)
+    collect(base, bvals, bcounts)
+    collect(cur, cvals, ccounts)
+    bad = 0; checked = 0
+    for (name in ccounts) {
+        root = name; sub(/\/.*/, "", root)
+        if (root !~ "^(" guards ")$") continue
+        if (!(name in bcounts)) continue  # new sub-benchmark: no baseline
+        n = ccounts[name]; for (i = 1; i <= n; i++) a[i] = cvals[name, i]
+        curmed = medianof(a, n)
+        n = bcounts[name]; for (i = 1; i <= n; i++) a[i] = bvals[name, i]
+        basemed = medianof(a, n)
+        if (basemed <= 0) continue
+        checked++
+        ratio = curmed / basemed
+        status = "ok"
+        if (ratio > factor) { status = "REGRESSION"; bad++ }
+        printf "%-70s %12.0f -> %12.0f ns/op  %5.2fx  %s\n", name, basemed, curmed, ratio, status
+    }
+    if (checked == 0) { print "no guard benchmarks matched between baseline and current run" > "/dev/stderr"; exit 2 }
+    if (bad > 0) { printf "%d guard benchmark(s) regressed beyond %sx\n", bad, factor > "/dev/stderr"; exit 1 }
+    print "all guard benchmarks within " factor "x of baseline"
+}
+'
