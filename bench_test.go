@@ -10,8 +10,10 @@ package graphitti
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"graphitti/internal/agraph"
 	"graphitti/internal/core"
@@ -685,6 +687,214 @@ func BenchmarkA7BulkLoadVsIncremental(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- SearchContents: parallel collection scan vs worker count ---
+
+// BenchmarkSearchContentsParallel measures the XQuery collection scan as
+// the worker pool grows (SearchContents fans out across GOMAXPROCS over a
+// pinned immutable view; results are byte-identical to the serial scan).
+func BenchmarkSearchContentsParallel(b *testing.B) {
+	study := fluStudy(b, 5000)
+	const expr = `contains(/annotation/body, "protease")`
+	serial, err := study.Store.SearchContents(expr)
+	if err != nil || len(serial) == 0 {
+		b.Fatalf("bad fixture: %d hits, err %v", len(serial), err)
+	}
+	maxProcs := runtime.GOMAXPROCS(0)
+	procsList := []int{1, 2, 4, maxProcs}
+	seen := map[int]bool{}
+	for _, procs := range procsList {
+		if procs < 1 || procs > maxProcs || seen[procs] {
+			continue
+		}
+		seen[procs] = true
+		b.Run(fmt.Sprintf("procs=%d/anns=5000", procs), func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got, err := study.Store.SearchContents(expr)
+				if err != nil || len(got) != len(serial) {
+					b.Fatalf("wrong answer: %d hits, err %v", len(got), err)
+				}
+			}
+		})
+	}
+}
+
+// --- W2: mixed read/write contention ---
+
+// contentionWriters starts n goroutines that keep the store under write
+// load (commit one annotation, delete the previous one, so the store size
+// stays steady) until stop closes. commit must create one annotation and
+// return its ID. Writers are paced (~1k ops/sec each) so the measured
+// read latency reflects reader/writer interference, not raw CPU
+// oversubscription — unpaced, a single-core runner turns this into a
+// noisy fair-share scheduling benchmark.
+func contentionWriters(b *testing.B, n int, stop <-chan struct{}, wg *sync.WaitGroup,
+	commit func(w, i int) (uint64, error), del func(id uint64) error) {
+	b.Helper()
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var prev uint64
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				time.Sleep(time.Millisecond)
+				id, err := commit(w, i)
+				if err != nil {
+					b.Errorf("writer %d: %v", w, err)
+					return
+				}
+				if prev != 0 {
+					if err := del(prev); err != nil {
+						b.Errorf("writer %d: delete: %v", w, err)
+						return
+					}
+				}
+				prev = id
+			}
+		}(w)
+	}
+}
+
+// BenchmarkW2MixedReadWrite measures read latency with 8 concurrent
+// writers churning commits and deletions — the regression gate for the
+// snapshot-isolated read path (under the old global RWMutex, every one of
+// these reads serialized against the writers).
+func BenchmarkW2MixedReadWrite(b *testing.B) {
+	const writers = 8
+
+	fluWriter := func(s *core.Store, domain string) (func(w, i int) (uint64, error), func(id uint64) error) {
+		return func(w, i int) (uint64, error) {
+				m, err := s.MarkDomainInterval(domain, interval.Interval{Lo: int64(i % 1500), Hi: int64(i%1500 + 20)})
+				if err != nil {
+					return 0, err
+				}
+				ann, err := s.Commit(s.NewAnnotation().Creator(fmt.Sprintf("w%d", w)).
+					Date("2008-01-01").Body(fmt.Sprintf("contention note %d", i)).Refer(m))
+				if err != nil {
+					return 0, err
+				}
+				return ann.ID, nil
+			}, func(id uint64) error {
+				return s.DeleteAnnotation(id)
+			}
+	}
+
+	b.Run(fmt.Sprintf("SearchContents/anns=1000/writers=%d", writers), func(b *testing.B) {
+		cfg := workload.DefaultInfluenza
+		cfg.Annotations = 1000
+		study, err := workload.Influenza(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		commit, del := fluWriter(study.Store, study.Segments[0])
+		contentionWriters(b, writers, stop, &wg, commit, del)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := study.Store.SearchContents(`contains(/annotation/body, "protease")`); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		close(stop)
+		wg.Wait()
+	})
+
+	b.Run(fmt.Sprintf("Q2Protease/anns=1000/writers=%d", writers), func(b *testing.B) {
+		cfg := workload.DefaultInfluenza
+		cfg.Annotations = 1000
+		study, err := workload.Influenza(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		commit, del := fluWriter(study.Store, study.Segments[0])
+		contentionWriters(b, writers, stop, &wg, commit, del)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := QueryConsecutiveKeyword(study.Store, ConsecutiveOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		close(stop)
+		wg.Wait()
+	})
+
+	b.Run(fmt.Sprintf("Q1TP53/images=48/writers=%d", writers), func(b *testing.B) {
+		cfg := workload.DefaultNeuro
+		cfg.Images = 48
+		cfg.NoiseAnnotations = 48 * 5
+		study, err := workload.Neuroscience(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		commit := func(w, i int) (uint64, error) {
+			x := float64((w*97 + i) % 900)
+			m, err := study.Store.MarkImageRegion(study.ImageIDs[i%len(study.ImageIDs)],
+				rtree.Rect2D(x, x, x+15, x+15))
+			if err != nil {
+				return 0, err
+			}
+			ann, err := study.Store.Commit(study.Store.NewAnnotation().Creator(fmt.Sprintf("w%d", w)).
+				Date("2008-01-01").Body(fmt.Sprintf("region churn %d", i)).Refer(m))
+			if err != nil {
+				return 0, err
+			}
+			return ann.ID, nil
+		}
+		contentionWriters(b, writers, stop, &wg, commit, study.Store.DeleteAnnotation)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := QueryTP53Images(study.Store, TP53Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		close(stop)
+		wg.Wait()
+	})
+
+	b.Run(fmt.Sprintf("A4Related/anns=1000/writers=%d", writers), func(b *testing.B) {
+		cfg := workload.DefaultInfluenza
+		cfg.Annotations = 1000
+		study, err := workload.Influenza(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids := study.AnnotationIDs
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		commit, del := fluWriter(study.Store, study.Segments[0])
+		contentionWriters(b, writers, stop, &wg, commit, del)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := study.Store.RelatedAnnotations(ids[i%len(ids)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		close(stop)
+		wg.Wait()
+	})
 }
 
 // --- A6: content keyword index vs document scan ---

@@ -36,9 +36,11 @@ func main() {
 	snapshot := flag.String("snapshot", "", "load the store from a persist snapshot file instead")
 	dataDir := flag.String("data-dir", "", "durable mode: WAL + snapshot directory (created if missing)")
 	compactMiB := flag.Int64("compact-threshold-mib", 0, "durable mode: WAL size triggering compaction (0 = default)")
+	queryTimeout := flag.Duration("query-timeout", 0, "per-request limit for /api/search and /api/query (0 = none); timed-out requests get a 408 JSON error")
 	flag.Parse()
 
-	handler, report, err := buildHandler(*dataDir, *studyName, *anns, *images, *snapshot, *compactMiB)
+	opts := httpapi.Options{QueryTimeout: *queryTimeout}
+	handler, report, err := buildHandler(*dataDir, *studyName, *anns, *images, *snapshot, *compactMiB, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,7 +49,7 @@ func main() {
 	log.Fatal(http.ListenAndServe(*addr, handler))
 }
 
-func buildHandler(dataDir, study string, anns, images int, snapshot string, compactMiB int64) (http.Handler, string, error) {
+func buildHandler(dataDir, study string, anns, images int, snapshot string, compactMiB int64, opts httpapi.Options) (http.Handler, string, error) {
 	if dataDir == "" {
 		store, err := buildStore(study, anns, images, snapshot)
 		if err != nil {
@@ -56,7 +58,7 @@ func buildHandler(dataDir, study string, anns, images int, snapshot string, comp
 		st := store.Stats()
 		report := fmt.Sprintf("graphitti-server: %d annotations, %d referents, %d a-graph edges (in-memory)\n",
 			st.Annotations, st.Referents, st.GraphEdges)
-		return httpapi.NewHandler(store), report, nil
+		return httpapi.NewHandlerWithOptions(store, opts), report, nil
 	}
 
 	d, err := durable.Open(dataDir, durable.Options{CompactThreshold: compactMiB << 20})
@@ -85,7 +87,7 @@ func buildHandler(dataDir, study string, anns, images int, snapshot string, comp
 	st := d.Core().Stats()
 	report += fmt.Sprintf("serving %d annotations, %d referents, %d a-graph edges (durable)\n",
 		st.Annotations, st.Referents, st.GraphEdges)
-	return httpapi.NewDurableHandler(d), report, nil
+	return httpapi.NewDurableHandlerWithOptions(d, opts), report, nil
 }
 
 func seedSource(study, snapshot string) string {

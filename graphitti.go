@@ -52,6 +52,10 @@ import (
 type (
 	// Store is the annotation management system.
 	Store = core.Store
+	// View is an immutable snapshot of a store: Store.View() pins one,
+	// and every read method runs lock-free against it. Pin a view when
+	// several reads must observe the same consistent state.
+	View = core.View
 	// Annotation is a committed linker object.
 	Annotation = core.Annotation
 	// Builder assembles an annotation for Commit.

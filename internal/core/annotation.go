@@ -117,7 +117,9 @@ func (b *Builder) recordErr(err error) {
 // its referents in the sub-structure indexes, and wires the a-graph. It
 // implements the paper's commit flow: the user assembles referents and
 // ontology references, previews the XML, and the annotation "is committed
-// to the annotation storage".
+// to the annotation storage". The new state becomes visible to readers
+// atomically, as one published view — a concurrent reader sees either the
+// whole annotation or none of it.
 func (s *Store) Commit(b *Builder) (*Annotation, error) {
 	return s.commit(b, 0, nil)
 }
@@ -154,12 +156,13 @@ func (s *Store) commit(b *Builder, pinnedAnn uint64, pinnedRefs []uint64) (*Anno
 		return nil, ErrEmptyAnnotation
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.w.Lock()
+	defer s.w.Unlock()
+	v := s.v.Load()
 
 	// Validate ontology references before mutating anything.
 	for _, tr := range b.terms {
-		o, ok := s.ontologies[tr.Ontology]
+		o, ok := v.ontologies[tr.Ontology]
 		if !ok {
 			return nil, fmt.Errorf("%w: %s", ErrNoSuchOntology, tr.Ontology)
 		}
@@ -169,43 +172,104 @@ func (s *Store) commit(b *Builder, pinnedAnn uint64, pinnedRefs []uint64) (*Anno
 	}
 	// Validate pre-committed referents.
 	for _, r := range b.refs {
-		if r.ID != 0 {
-			if _, ok := s.referents[r.ID]; !ok {
-				return nil, fmt.Errorf("%w: %d", ErrNoSuchReferent, r.ID)
-			}
+		if r.ID != 0 && v.referents.get(r.ID) == nil {
+			return nil, fmt.Errorf("%w: %d", ErrNoSuchReferent, r.ID)
 		}
 	}
 
-	prevAnn := s.nextAnn
+	nextAnn := v.nextAnn
 	var annID uint64
 	if pinnedAnn != 0 {
-		if _, dup := s.annotations[pinnedAnn]; dup {
+		if v.annotations.get(pinnedAnn) != nil {
 			return nil, fmt.Errorf("core: pinned annotation ID %d already committed", pinnedAnn)
 		}
 		annID = pinnedAnn
-		if annID > s.nextAnn {
-			s.nextAnn = annID
+		if annID > nextAnn {
+			nextAnn = annID
 		}
 	} else {
-		s.nextAnn++
-		annID = s.nextAnn
+		nextAnn++
+		annID = nextAnn
 	}
 
-	// Resolve referents: reuse identical marks, index new ones.
+	// Resolve referents against the pinned view plus this commit's own
+	// pending marks: reuse identical marks, assign IDs to new ones.
+	// Nothing is mutated yet — resolution errors leave the store exactly
+	// as it was.
+	nextRef := v.nextRef
 	refIDs := make([]uint64, 0, len(b.refs))
 	resolved := make([]*Referent, 0, len(b.refs))
+	var newRefs []*Referent
+	var newKeys []string
+	pendingByKey := make(map[string]*Referent)
+	pendingByID := make(map[uint64]bool)
 	for i, r := range b.refs {
 		var pin uint64
 		if pinnedRefs != nil {
 			pin = pinnedRefs[i]
 		}
-		ref, err := s.resolveReferentLocked(r, pin)
-		if err != nil {
-			s.nextAnn = prevAnn // roll back the ID; nothing else mutated yet
+		if r.ID != 0 {
+			stored := v.referents.get(r.ID)
+			resolved = append(resolved, stored)
+			refIDs = append(refIDs, stored.ID)
+			continue
+		}
+		key := markKey(r)
+		if p, ok := pendingByKey[key]; ok {
+			if pin != 0 && pin != p.ID {
+				return nil, fmt.Errorf("core: pinned referent ID %d, but identical mark stored as %d", pin, p.ID)
+			}
+			resolved = append(resolved, p)
+			refIDs = append(refIDs, p.ID)
+			continue
+		}
+		if id, ok := v.refByMark.get(key); ok {
+			if pin != 0 && pin != id {
+				return nil, fmt.Errorf("core: pinned referent ID %d, but identical mark stored as %d", pin, id)
+			}
+			stored := v.referents.get(id)
+			resolved = append(resolved, stored)
+			refIDs = append(refIDs, id)
+			continue
+		}
+		stored := *r
+		if pin != 0 {
+			if v.referents.get(pin) != nil || pendingByID[pin] {
+				return nil, fmt.Errorf("core: pinned referent ID %d already used by a different mark", pin)
+			}
+			stored.ID = pin
+			if pin > nextRef {
+				nextRef = pin
+			}
+		} else {
+			nextRef++
+			stored.ID = nextRef
+		}
+		pendingByKey[key] = &stored
+		pendingByID[stored.ID] = true
+		newRefs = append(newRefs, &stored)
+		newKeys = append(newKeys, key)
+		resolved = append(resolved, &stored)
+		refIDs = append(refIDs, stored.ID)
+	}
+
+	// Index the new referents in the writer-owned spatial trees. The
+	// trees are path-copying, so a failure is rolled back by deleting the
+	// entries inserted so far — views already published are untouched.
+	touchedDomains, touchedSystems := map[string]bool{}, map[string]bool{}
+	for i, ref := range newRefs {
+		if err := s.indexReferent(ref); err != nil {
+			for _, done := range newRefs[:i] {
+				s.unindexReferent(done)
+			}
 			return nil, err
 		}
-		refIDs = append(refIDs, ref.ID)
-		resolved = append(resolved, ref)
+		switch ref.Kind {
+		case IntervalReferent:
+			touchedDomains[ref.Domain] = true
+		case RegionReferent:
+			touchedSystems[ref.Domain] = true
+		}
 	}
 
 	doc := buildContentDoc(annID, &b.dc, b.body, b.tags, resolved, b.terms)
@@ -216,65 +280,54 @@ func (s *Store) commit(b *Builder, pinnedAnn uint64, pinnedRefs []uint64) (*Anno
 		ReferentIDs: refIDs,
 		Terms:       append([]TermRef(nil), b.terms...),
 	}
-	s.annotations[annID] = ann
 
-	// a-graph wiring: content -> referent -> object; content -> term.
+	// a-graph wiring: referent -> object for new marks, then content ->
+	// referent and content -> term. The graph is a shared handle with its
+	// own synchronization; it is fully wired before the view publishes,
+	// so a reader of the new view always finds the complete join index.
+	for _, ref := range newRefs {
+		s.graph.AddEdge(agraph.Referent(ref.ID),
+			agraph.Object(string(ref.ObjectType), ref.ObjectID), agraph.LabelMarks)
+	}
 	contentNode := agraph.ContentRoot(annID)
 	s.graph.AddNode(contentNode)
 	for _, ref := range resolved {
-		refNode := agraph.Referent(ref.ID)
-		s.graph.AddEdge(contentNode, refNode, agraph.LabelAnnotates)
+		s.graph.AddEdge(contentNode, agraph.Referent(ref.ID), agraph.LabelAnnotates)
 	}
 	for _, tr := range b.terms {
 		s.graph.AddEdge(contentNode, agraph.Term(tr.Ontology, tr.TermID), agraph.LabelRefersTo)
 	}
 
-	// Keyword index over the content document (ablation A6).
+	// Build and publish the successor view.
+	nv := v.clone()
+	nv.annotations = v.annotations.with(annID, ann)
+	nv.nextAnn, nv.nextRef = nextAnn, nextRef
+	if len(newRefs) > 0 {
+		refTable := v.referents
+		rbm := v.refByMark.edit()
+		for i, ref := range newRefs {
+			refTable = refTable.with(ref.ID, ref)
+			rbm.set(newKeys[i], ref.ID)
+		}
+		nv.referents = refTable
+		nv.refByMark = rbm.done()
+		if len(touchedDomains) > 0 {
+			nv.itrees = s.snapshotITrees(v, touchedDomains)
+		}
+		if len(touchedSystems) > 0 {
+			nv.rtrees = s.snapshotRTrees(v, touchedSystems)
+		}
+	}
+	// Keyword index over the content document (ablation A6). IDs ascend
+	// across the writer chain, so each posting list stays sorted.
+	kw := v.keywordIdx.edit()
 	for _, word := range doc.Keywords() {
-		s.keywordIdx[word] = append(s.keywordIdx[word], annID)
+		ids, _ := kw.get(word)
+		kw.set(word, appendSortedID(ids, annID))
 	}
+	nv.keywordIdx = kw.done()
+	s.publish(nv)
 	return ann, nil
-}
-
-// resolveReferentLocked returns the stored referent for r, registering it
-// in the appropriate index when it is new. Identical marks resolve to the
-// same referent. A non-zero pin forces the ID assigned to a new referent
-// (replay path); a pinned mark that dedups must agree with the stored ID.
-func (s *Store) resolveReferentLocked(r *Referent, pin uint64) (*Referent, error) {
-	if r.ID != 0 {
-		return s.referents[r.ID], nil
-	}
-	key := markKey(r)
-	if id, ok := s.refByMark[key]; ok {
-		if pin != 0 && pin != id {
-			return nil, fmt.Errorf("core: pinned referent ID %d, but identical mark stored as %d", pin, id)
-		}
-		return s.referents[id], nil
-	}
-	prevRef := s.nextRef
-	stored := *r
-	if pin != 0 {
-		if _, dup := s.referents[pin]; dup {
-			return nil, fmt.Errorf("core: pinned referent ID %d already used by a different mark", pin)
-		}
-		stored.ID = pin
-		if pin > s.nextRef {
-			s.nextRef = pin
-		}
-	} else {
-		s.nextRef++
-		stored.ID = s.nextRef
-	}
-	if err := s.indexReferentLocked(&stored); err != nil {
-		s.nextRef = prevRef
-		return nil, err
-	}
-	s.referents[stored.ID] = &stored
-	s.refByMark[key] = stored.ID
-	// a-graph: referent -> object.
-	s.graph.AddEdge(agraph.Referent(stored.ID),
-		agraph.Object(string(stored.ObjectType), stored.ObjectID), agraph.LabelMarks)
-	return &stored, nil
 }
 
 func buildContentDoc(annID uint64, dc *dublincore.Record, body string,
@@ -342,37 +395,16 @@ func joinKeys(keys []string) string {
 
 // Annotation returns a committed annotation by ID.
 func (s *Store) Annotation(id uint64) (*Annotation, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	a, ok := s.annotations[id]
-	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrNoSuchAnnotation, id)
-	}
-	return a, nil
+	return s.View().Annotation(id)
 }
 
 // Referent returns a committed referent by ID.
 func (s *Store) Referent(id uint64) (*Referent, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	r, ok := s.referents[id]
-	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrNoSuchReferent, id)
-	}
-	return r, nil
+	return s.View().Referent(id)
 }
 
 // Referents returns all committed referents, sorted by ID.
-func (s *Store) Referents() []*Referent {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]*Referent, 0, len(s.referents))
-	for _, r := range s.referents {
-		out = append(out, r)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
-}
+func (s *Store) Referents() []*Referent { return s.View().Referents() }
 
 // ObjectHandle identifies a registered data object.
 type ObjectHandle struct {
@@ -382,60 +414,10 @@ type ObjectHandle struct {
 
 // ObjectList returns every registered data object (sequences, alignments,
 // trees, interaction graphs, images, record rows), sorted by (type, id).
-func (s *Store) ObjectList() []ObjectHandle {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var out []ObjectHandle
-	for id, typ := range s.seqType {
-		out = append(out, ObjectHandle{typ, id})
-	}
-	for id := range s.alignments {
-		out = append(out, ObjectHandle{TypeAlignment, id})
-	}
-	for id := range s.trees {
-		out = append(out, ObjectHandle{TypeTree, id})
-	}
-	for id := range s.igraphs {
-		out = append(out, ObjectHandle{TypeInteraction, id})
-	}
-	for id := range s.images {
-		out = append(out, ObjectHandle{TypeImage, id})
-	}
-	// Record tables are objects themselves: record-set referents mark the
-	// table, with the selected row keys carried in the referent.
-	for table := range s.recordTables {
-		out = append(out, ObjectHandle{TypeRecord, table})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Type != out[j].Type {
-			return out[i].Type < out[j].Type
-		}
-		return out[i].ID < out[j].ID
-	})
-	return out
-}
+func (s *Store) ObjectList() []ObjectHandle { return s.View().ObjectList() }
 
-// Annotations returns all committed annotations, sorted by ID, under a
-// single lock acquisition (unlike AnnotationIDs + Annotation per ID).
-func (s *Store) Annotations() []*Annotation {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]*Annotation, 0, len(s.annotations))
-	for _, a := range s.annotations {
-		out = append(out, a)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
-}
+// Annotations returns all committed annotations, sorted by ID.
+func (s *Store) Annotations() []*Annotation { return s.View().Annotations() }
 
 // AnnotationIDs returns the IDs of all committed annotations, sorted.
-func (s *Store) AnnotationIDs() []uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]uint64, 0, len(s.annotations))
-	for id := range s.annotations {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
+func (s *Store) AnnotationIDs() []uint64 { return s.View().AnnotationIDs() }

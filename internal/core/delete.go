@@ -1,8 +1,6 @@
 package core
 
 import (
-	"fmt"
-
 	"graphitti/internal/agraph"
 )
 
@@ -10,73 +8,74 @@ import (
 // its keyword index entries, and its a-graph edges. Referents that no
 // other annotation references are garbage-collected from the sub-structure
 // indexes (the paper's admin tab owns this lifecycle; deletion must not
-// orphan index entries).
+// orphan index entries). Like Commit, the removal is published as one new
+// view: a pinned reader's table and keyword-index reads keep seeing the
+// annotation, complete, until it re-pins. The a-graph is a shared handle,
+// so the content node disappears from the join index immediately — a
+// pinned view's graph joins may stop finding an annotation its tables
+// still hold (they never surface one its tables lack; see the View
+// contract in view.go).
 func (s *Store) DeleteAnnotation(id uint64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ann, ok := s.annotations[id]
-	if !ok {
-		return fmt.Errorf("%w: %d", ErrNoSuchAnnotation, id)
+	s.w.Lock()
+	defer s.w.Unlock()
+	v := s.v.Load()
+	ann := v.annotations.get(id)
+	if ann == nil {
+		return errNoSuchAnnotation(id)
 	}
 
-	// Keyword index entries.
+	nv := v.clone()
+
+	// Keyword index entries: fresh (never shared) posting slices.
+	kw := v.keywordIdx.edit()
 	for _, word := range ann.Content.Keywords() {
-		s.keywordIdx[word] = removeID(s.keywordIdx[word], id)
-		if len(s.keywordIdx[word]) == 0 {
-			delete(s.keywordIdx, word)
+		ids, _ := kw.get(word)
+		if pruned := withoutID(ids, id); len(pruned) == 0 {
+			kw.delete(word)
+		} else {
+			kw.set(word, pruned)
 		}
 	}
+	nv.keywordIdx = kw.done()
 
 	// a-graph: drop the content node (and its annotates/refersTo edges).
 	contentNode := agraph.ContentRoot(id)
 	_ = s.graph.RemoveNode(contentNode) // node exists for every commit
 
-	delete(s.annotations, id)
+	nv.annotations = v.annotations.without(id)
 
 	// Garbage-collect now-unreferenced referents.
+	refTable := v.referents
+	rbm := v.refByMark.edit()
+	touchedDomains, touchedSystems := map[string]bool{}, map[string]bool{}
 	for _, refID := range ann.ReferentIDs {
-		s.collectReferentLocked(refID)
+		ref := refTable.get(refID)
+		if ref == nil {
+			continue
+		}
+		refNode := agraph.Referent(refID)
+		if s.graph.InCount(refNode, agraph.LabelAnnotates) > 0 {
+			continue // still referenced
+		}
+		s.unindexReferent(ref)
+		switch ref.Kind {
+		case IntervalReferent:
+			touchedDomains[ref.Domain] = true
+		case RegionReferent:
+			touchedSystems[ref.Domain] = true
+		}
+		rbm.delete(markKey(ref))
+		refTable = refTable.without(refID)
+		_ = s.graph.RemoveNode(refNode)
 	}
+	nv.referents = refTable
+	nv.refByMark = rbm.done()
+	if len(touchedDomains) > 0 {
+		nv.itrees = s.snapshotITrees(v, touchedDomains)
+	}
+	if len(touchedSystems) > 0 {
+		nv.rtrees = s.snapshotRTrees(v, touchedSystems)
+	}
+	s.publish(nv)
 	return nil
-}
-
-// collectReferentLocked removes a referent when no annotation references
-// it any more: its spatial index entry, its mark-dedup entry, and its
-// a-graph node.
-func (s *Store) collectReferentLocked(refID uint64) {
-	ref, ok := s.referents[refID]
-	if !ok {
-		return
-	}
-	refNode := agraph.Referent(refID)
-	if s.graph.InCount(refNode, agraph.LabelAnnotates) > 0 {
-		return // still referenced
-	}
-	switch ref.Kind {
-	case IntervalReferent:
-		if tree, ok := s.itrees[ref.Domain]; ok {
-			tree.Delete(refID)
-			if tree.Len() == 0 {
-				delete(s.itrees, ref.Domain)
-			}
-		}
-	case RegionReferent:
-		if tree, ok := s.rtrees[ref.Domain]; ok {
-			tree.Delete(refID)
-			// Per-system R-trees persist even when empty: the coordinate
-			// system stays registered.
-		}
-	}
-	delete(s.refByMark, markKey(ref))
-	delete(s.referents, refID)
-	_ = s.graph.RemoveNode(refNode)
-}
-
-func removeID(ids []uint64, id uint64) []uint64 {
-	for i, x := range ids {
-		if x == id {
-			return append(ids[:i], ids[i+1:]...)
-		}
-	}
-	return ids
 }

@@ -9,11 +9,12 @@ import (
 	"graphitti/internal/subx"
 )
 
-// indexReferentLocked inserts a freshly-assigned referent into the
+// indexReferent inserts a freshly-assigned referent into the writer-owned
 // sub-structure index for its domain, creating per-domain trees on demand.
 // Structural marks (clades, subgraphs, blocks, record sets, whole objects)
 // need no spatial index; they are found through refByMark and the a-graph.
-func (s *Store) indexReferentLocked(r *Referent) error {
+// Caller holds w.
+func (s *Store) indexReferent(r *Referent) error {
 	switch r.Kind {
 	case IntervalReferent:
 		tree, ok := s.itrees[r.Domain]
@@ -33,92 +34,171 @@ func (s *Store) indexReferentLocked(r *Referent) error {
 	}
 }
 
+// unindexReferent reverses indexReferent (commit rollback and referent
+// garbage collection). Caller holds w.
+func (s *Store) unindexReferent(r *Referent) {
+	switch r.Kind {
+	case IntervalReferent:
+		if tree, ok := s.itrees[r.Domain]; ok {
+			tree.Delete(r.ID)
+			if tree.Len() == 0 {
+				delete(s.itrees, r.Domain)
+			}
+		}
+	case RegionReferent:
+		if tree, ok := s.rtrees[r.Domain]; ok {
+			tree.Delete(r.ID)
+			// Per-system R-trees persist even when empty: the coordinate
+			// system stays registered.
+		}
+	}
+}
+
+// snapshotITrees rebuilds the published interval-snapshot map: untouched
+// domains keep their existing snapshots; touched domains get fresh ones
+// (including dropping domains whose tree emptied). Caller holds w.
+func (s *Store) snapshotITrees(v *View, touched map[string]bool) map[string]interval.Snapshot[string] {
+	out := make(map[string]interval.Snapshot[string], len(s.itrees))
+	for d, snap := range v.itrees {
+		if !touched[d] {
+			out[d] = snap
+		}
+	}
+	for d := range touched {
+		if tree, ok := s.itrees[d]; ok {
+			out[d] = tree.Snapshot()
+		}
+	}
+	return out
+}
+
+// snapshotRTrees is snapshotITrees for the per-system R-trees. Caller
+// holds w.
+func (s *Store) snapshotRTrees(v *View, touched map[string]bool) map[string]rtree.Snapshot[string] {
+	out := make(map[string]rtree.Snapshot[string], len(s.rtrees))
+	for d, snap := range v.rtrees {
+		if !touched[d] {
+			out[d] = snap
+		}
+	}
+	for d := range touched {
+		if tree, ok := s.rtrees[d]; ok {
+			out[d] = tree.Snapshot()
+		}
+	}
+	return out
+}
+
 // ReferentsOverlapping returns the committed referents whose mark overlaps
 // the given mark, using the per-domain indexes for interval and region
 // marks and a filtered scan for structural marks. Results are sorted by
 // referent ID.
-func (s *Store) ReferentsOverlapping(m subx.Mark) []*Referent {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+func (v *View) ReferentsOverlapping(m subx.Mark) []*Referent {
 	var out []*Referent
 	switch mark := m.(type) {
 	case subx.IntervalMark:
-		if tree, ok := s.itrees[mark.Domain]; ok {
-			for _, e := range tree.Overlapping(mark.IV) {
-				out = append(out, s.referents[e.ID])
+		if snap, ok := v.itrees[mark.Domain]; ok {
+			for _, e := range snap.Overlapping(mark.IV) {
+				out = append(out, v.referents.get(e.ID))
 			}
 		}
 	case subx.RegionMark:
-		if tree, ok := s.rtrees[mark.System]; ok {
-			for _, e := range tree.Search(mark.R) {
-				out = append(out, s.referents[e.ID])
+		if snap, ok := v.rtrees[mark.System]; ok {
+			for _, e := range snap.Search(mark.R) {
+				out = append(out, v.referents.get(e.ID))
 			}
 		}
 	default:
-		for _, r := range s.referents {
+		v.referents.each(func(_ uint64, r *Referent) bool {
 			if subx.IfOverlap(r.Mark(), m) {
 				out = append(out, r)
 			}
-		}
+			return true
+		})
+		return out // each() already yields ascending IDs
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
+// ReferentsOverlapping returns the committed referents overlapping the
+// given mark (see View.ReferentsOverlapping).
+func (s *Store) ReferentsOverlapping(m subx.Mark) []*Referent {
+	return s.View().ReferentsOverlapping(m)
+}
+
 // ReferentsAt returns the interval referents containing the given point of
 // a coordinate domain (a stab query).
-func (s *Store) ReferentsAt(domain string, pos int64) []*Referent {
-	return s.ReferentsOverlapping(subx.IntervalMark{
+func (v *View) ReferentsAt(domain string, pos int64) []*Referent {
+	return v.ReferentsOverlapping(subx.IntervalMark{
 		Domain: domain,
 		IV:     interval.Interval{Lo: pos, Hi: pos + 1},
 	})
 }
 
+// ReferentsAt returns the interval referents containing the given point.
+func (s *Store) ReferentsAt(domain string, pos int64) []*Referent {
+	return s.View().ReferentsAt(domain, pos)
+}
+
+// RegionsOverlapping returns the region referents overlapping a rectangle
+// of a coordinate system.
+func (v *View) RegionsOverlapping(system string, r rtree.Rect) []*Referent {
+	return v.ReferentsOverlapping(subx.RegionMark{System: system, R: r})
+}
+
 // RegionsOverlapping returns the region referents overlapping a rectangle
 // of a coordinate system.
 func (s *Store) RegionsOverlapping(system string, r rtree.Rect) []*Referent {
-	return s.ReferentsOverlapping(subx.RegionMark{System: system, R: r})
+	return s.View().RegionsOverlapping(system, r)
 }
 
 // NextReferent implements the SUB_X next operator on an interval referent:
 // the first interval referent that starts at or after the end of r in the
 // same domain. ok is false when none follows or r is not an interval mark.
-func (s *Store) NextReferent(r *Referent) (*Referent, bool) {
+func (v *View) NextReferent(r *Referent) (*Referent, bool) {
 	if r == nil || r.Kind != IntervalReferent {
 		return nil, false
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	tree, ok := s.itrees[r.Domain]
+	snap, ok := v.itrees[r.Domain]
 	if !ok {
 		return nil, false
 	}
-	e, ok := tree.Next(r.Interval)
+	e, ok := snap.Next(r.Interval)
 	if !ok {
 		return nil, false
 	}
-	return s.referents[e.ID], true
+	return v.referents.get(e.ID), true
+}
+
+// NextReferent implements the SUB_X next operator on an interval referent.
+func (s *Store) NextReferent(r *Referent) (*Referent, bool) {
+	return s.View().NextReferent(r)
 }
 
 // IntervalDomains returns the names of coordinate domains that currently
 // have an interval tree, sorted (diagnostics for ablation A1).
-func (s *Store) IntervalDomains() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.itrees))
-	for d := range s.itrees {
+func (v *View) IntervalDomains() []string {
+	out := make([]string, 0, len(v.itrees))
+	for d := range v.itrees {
 		out = append(out, d)
 	}
 	sort.Strings(out)
 	return out
 }
 
+// IntervalDomains returns the domains that currently have interval trees.
+func (s *Store) IntervalDomains() []string { return s.View().IntervalDomains() }
+
 // IntervalTreeSize returns the number of entries in one domain's tree.
-func (s *Store) IntervalTreeSize(domain string) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if tree, ok := s.itrees[domain]; ok {
-		return tree.Len()
+func (v *View) IntervalTreeSize(domain string) int {
+	if snap, ok := v.itrees[domain]; ok {
+		return snap.Len()
 	}
 	return 0
+}
+
+// IntervalTreeSize returns the number of entries in one domain's tree.
+func (s *Store) IntervalTreeSize(domain string) int {
+	return s.View().IntervalTreeSize(domain)
 }

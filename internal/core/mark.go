@@ -14,14 +14,15 @@ import (
 // markers ("the central panel has a number of menus for marking the
 // substructures of different structures"): each validates a user-supplied
 // mark against the owning data object and normalises it into the shared
-// coordinate space, producing an uncommitted Referent.
+// coordinate space, producing an uncommitted Referent. Marks are read-only
+// — they run against a pinned view and are re-validated at commit.
 
 // MarkSequenceInterval marks the local (sequence-relative, 0-based,
 // half-open) interval of a registered sequence. The mark is normalised
 // into the sequence's coordinate domain, so marks on different sequences
 // of the same chromosome land in the same interval tree.
-func (s *Store) MarkSequenceInterval(seqID string, local interval.Interval) (*Referent, error) {
-	sq, typ, err := s.Sequence(seqID)
+func (v *View) MarkSequenceInterval(seqID string, local interval.Interval) (*Referent, error) {
+	sq, typ, err := v.Sequence(seqID)
 	if err != nil {
 		return nil, err
 	}
@@ -38,27 +39,27 @@ func (s *Store) MarkSequenceInterval(seqID string, local interval.Interval) (*Re
 	}, nil
 }
 
+// MarkSequenceInterval marks a local interval of a registered sequence.
+func (s *Store) MarkSequenceInterval(seqID string, local interval.Interval) (*Referent, error) {
+	return s.View().MarkSequenceInterval(seqID, local)
+}
+
 // MarkDomainInterval marks an interval directly in a coordinate domain
 // (e.g. whole-chromosome coordinates), without naming a specific sequence.
 // The domain must be owned by at least one registered sequence.
-func (s *Store) MarkDomainInterval(domain string, iv interval.Interval) (*Referent, error) {
+func (v *View) MarkDomainInterval(domain string, iv interval.Interval) (*Referent, error) {
 	if !iv.Valid() {
 		return nil, fmt.Errorf("%w: %v", ErrBadMark, iv)
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var owner string
 	var typ ObjectType
-	ids := make([]string, 0, len(s.seqs))
-	for id := range s.seqs {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	for _, id := range ids {
-		sq := s.seqs[id]
+	// seqIDs is maintained sorted, so the first covering owner is
+	// deterministic without a per-call sort.
+	for _, id := range v.seqIDs {
+		sq := v.seqs[id]
 		if sq.Domain == domain && sq.Span().Overlaps(iv) {
 			owner = id
-			typ = s.seqType[id]
+			typ = v.seqType[id]
 			break
 		}
 	}
@@ -74,10 +75,15 @@ func (s *Store) MarkDomainInterval(domain string, iv interval.Interval) (*Refere
 	}, nil
 }
 
+// MarkDomainInterval marks an interval directly in a coordinate domain.
+func (s *Store) MarkDomainInterval(domain string, iv interval.Interval) (*Referent, error) {
+	return s.View().MarkDomainInterval(domain, iv)
+}
+
 // MarkImageRegion marks a rectangle in image-local coordinates; the mark
 // is registered into the image's shared coordinate system.
-func (s *Store) MarkImageRegion(imageID string, local rtree.Rect) (*Referent, error) {
-	im, err := s.Image(imageID)
+func (v *View) MarkImageRegion(imageID string, local rtree.Rect) (*Referent, error) {
+	im, err := v.Image(imageID)
 	if err != nil {
 		return nil, err
 	}
@@ -94,10 +100,15 @@ func (s *Store) MarkImageRegion(imageID string, local rtree.Rect) (*Referent, er
 	}, nil
 }
 
+// MarkImageRegion marks a rectangle in image-local coordinates.
+func (s *Store) MarkImageRegion(imageID string, local rtree.Rect) (*Referent, error) {
+	return s.View().MarkImageRegion(imageID, local)
+}
+
 // MarkClade marks the clade of a registered tree spanned by the given
 // leaves (the full subtree under their lowest common ancestor).
-func (s *Store) MarkClade(treeID string, leaves ...string) (*Referent, error) {
-	t, err := s.Tree(treeID)
+func (v *View) MarkClade(treeID string, leaves ...string) (*Referent, error) {
+	t, err := v.Tree(treeID)
 	if err != nil {
 		return nil, err
 	}
@@ -114,10 +125,15 @@ func (s *Store) MarkClade(treeID string, leaves ...string) (*Referent, error) {
 	}, nil
 }
 
+// MarkClade marks the clade of a registered tree spanned by the leaves.
+func (s *Store) MarkClade(treeID string, leaves ...string) (*Referent, error) {
+	return s.View().MarkClade(treeID, leaves...)
+}
+
 // MarkSubgraph marks the subgraph of a registered interaction graph
 // induced by the given molecules.
-func (s *Store) MarkSubgraph(graphID string, molecules ...string) (*Referent, error) {
-	g, err := s.InteractionGraph(graphID)
+func (v *View) MarkSubgraph(graphID string, molecules ...string) (*Referent, error) {
+	g, err := v.InteractionGraph(graphID)
 	if err != nil {
 		return nil, err
 	}
@@ -134,10 +150,15 @@ func (s *Store) MarkSubgraph(graphID string, molecules ...string) (*Referent, er
 	}, nil
 }
 
+// MarkSubgraph marks an induced subgraph of an interaction graph.
+func (s *Store) MarkSubgraph(graphID string, molecules ...string) (*Referent, error) {
+	return s.View().MarkSubgraph(graphID, molecules...)
+}
+
 // MarkAlignmentBlock marks a block of a registered alignment: the given
 // rows crossed with the column interval.
-func (s *Store) MarkAlignmentBlock(alnID string, rows []string, cols interval.Interval) (*Referent, error) {
-	a, err := s.Alignment(alnID)
+func (v *View) MarkAlignmentBlock(alnID string, rows []string, cols interval.Interval) (*Referent, error) {
+	a, err := v.Alignment(alnID)
 	if err != nil {
 		return nil, err
 	}
@@ -157,19 +178,21 @@ func (s *Store) MarkAlignmentBlock(alnID string, rows []string, cols interval.In
 	}, nil
 }
 
+// MarkAlignmentBlock marks a block of a registered alignment.
+func (s *Store) MarkAlignmentBlock(alnID string, rows []string, cols interval.Interval) (*Referent, error) {
+	return s.View().MarkAlignmentBlock(alnID, rows, cols)
+}
+
 // MarkRecords marks a set of rows of a user record table by primary key
 // (the demo's "block set markers for relational records").
-func (s *Store) MarkRecords(table string, keys ...relstore.Value) (*Referent, error) {
-	s.mu.RLock()
-	isRecord := s.recordTables[table]
-	s.mu.RUnlock()
-	if !isRecord {
+func (v *View) MarkRecords(table string, keys ...relstore.Value) (*Referent, error) {
+	if !v.recordTables[table] {
 		return nil, fmt.Errorf("%w: record table %s", ErrNoSuchObject, table)
 	}
 	if len(keys) == 0 {
 		return nil, fmt.Errorf("%w: no record keys", ErrBadMark)
 	}
-	tbl, err := s.rel.Table(table)
+	tbl, err := v.rel.Table(table)
 	if err != nil {
 		return nil, err
 	}
@@ -190,25 +213,28 @@ func (s *Store) MarkRecords(table string, keys ...relstore.Value) (*Referent, er
 	}, nil
 }
 
+// MarkRecords marks a set of rows of a user record table by primary key.
+func (s *Store) MarkRecords(table string, keys ...relstore.Value) (*Referent, error) {
+	return s.View().MarkRecords(table, keys...)
+}
+
 // MarkObject marks a whole registered data object.
-func (s *Store) MarkObject(typ ObjectType, objectID string) (*Referent, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+func (v *View) MarkObject(typ ObjectType, objectID string) (*Referent, error) {
 	ok := false
 	switch typ {
 	case TypeDNA, TypeRNA, TypeProtein:
-		_, present := s.seqs[objectID]
-		ok = present && s.seqType[objectID] == typ
+		_, present := v.seqs[objectID]
+		ok = present && v.seqType[objectID] == typ
 	case TypeAlignment:
-		_, ok = s.alignments[objectID]
+		_, ok = v.alignments[objectID]
 	case TypeTree:
-		_, ok = s.trees[objectID]
+		_, ok = v.trees[objectID]
 	case TypeInteraction:
-		_, ok = s.igraphs[objectID]
+		_, ok = v.igraphs[objectID]
 	case TypeImage:
-		_, ok = s.images[objectID]
+		_, ok = v.images[objectID]
 	default:
-		ok = s.recordTables[string(typ)]
+		ok = v.recordTables[string(typ)]
 	}
 	if !ok {
 		return nil, fmt.Errorf("%w: %s/%s", ErrNoSuchObject, typ, objectID)
@@ -220,6 +246,11 @@ func (s *Store) MarkObject(typ ObjectType, objectID string) (*Referent, error) {
 		Domain:     string(typ),
 		Keys:       []string{objectID},
 	}, nil
+}
+
+// MarkObject marks a whole registered data object.
+func (s *Store) MarkObject(typ ObjectType, objectID string) (*Referent, error) {
+	return s.View().MarkObject(typ, objectID)
 }
 
 // markKey canonicalises a referent's identity so that identical marks made

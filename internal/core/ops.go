@@ -73,21 +73,24 @@ func (k OpKind) String() string {
 // required for the durable layer's replay determinism when IDs outlive
 // their annotations (deleted annotations leave gaps).
 func (s *Store) IDCounters() (nextAnn, nextRef uint64) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.nextAnn, s.nextRef
+	return s.View().IDCounters()
 }
 
 // RestoreIDCounters sets the ID counters after a snapshot load. Counters
 // may only move forward: lowering them would re-issue IDs that earlier
 // annotations (possibly deleted ones recorded in a log) already used.
+// Like every mutation, the change commits through the writer and
+// publishes a new view.
 func (s *Store) RestoreIDCounters(nextAnn, nextRef uint64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if nextAnn < s.nextAnn || nextRef < s.nextRef {
+	s.w.Lock()
+	defer s.w.Unlock()
+	v := s.v.Load()
+	if nextAnn < v.nextAnn || nextRef < v.nextRef {
 		return fmt.Errorf("core: ID counters (%d, %d) behind live counters (%d, %d)",
-			nextAnn, nextRef, s.nextAnn, s.nextRef)
+			nextAnn, nextRef, v.nextAnn, v.nextRef)
 	}
-	s.nextAnn, s.nextRef = nextAnn, nextRef
+	nv := v.clone()
+	nv.nextAnn, nv.nextRef = nextAnn, nextRef
+	s.publish(nv)
 	return nil
 }

@@ -2,8 +2,8 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"sync"
+	"sync/atomic"
 
 	"graphitti/internal/agraph"
 	"graphitti/internal/biodata/imaging"
@@ -22,39 +22,30 @@ import (
 // R-trees of marked sub-structures, the registered ontologies, the
 // annotation content collection, and the a-graph joining them.
 //
-// All methods are safe for concurrent use.
+// The store is split into a serialized writer and an immutable,
+// atomically published read view (see View): mutations take the writer
+// mutex, apply, and publish a successor snapshot; reads pin the current
+// view with a single atomic load and run lock-free against it. There is
+// no reader/writer contention — a slow collection scan never delays a
+// commit, and a burst of commits never delays a scan.
+//
+// All methods are safe for concurrent use. The Store's read methods are
+// per-call conveniences that pin a fresh view each time; callers needing
+// several reads against one consistent snapshot should pin View() once.
 type Store struct {
-	mu    sync.RWMutex
 	rel   *relstore.Store
 	graph *agraph.Graph
 
-	ontologies map[string]*ontology.Ontology
-	systems    map[string]*imaging.CoordinateSystem
+	// w serializes mutations. Readers never take it.
+	w sync.Mutex
+	v atomic.Pointer[View]
 
-	// Sub-structure indexes: one interval tree per 1-D domain, one R-tree
-	// per coordinate system ("simple techniques are used to keep the
-	// number of the index structures small").
+	// Writer-owned mutable spatial indexes ("simple techniques are used
+	// to keep the number of the index structures small"). Both trees are
+	// path-copying, so the immutable snapshots published into views share
+	// structure with these without observing later mutation. Guarded by w.
 	itrees map[string]*interval.Tree[string]
 	rtrees map[string]*rtree.Tree[string]
-
-	// In-memory structured views of registered objects (raw/native forms
-	// also live in the relational tables).
-	seqs       map[string]*seq.Sequence
-	seqType    map[string]ObjectType
-	alignments map[string]*msa.Alignment
-	trees      map[string]*phylo.Tree
-	igraphs    map[string]*interact.Graph
-	images     map[string]*imaging.Image
-
-	recordTables map[string]bool
-
-	annotations map[uint64]*Annotation
-	referents   map[uint64]*Referent
-	refByMark   map[string]uint64   // canonical mark -> shared referent ID
-	keywordIdx  map[string][]uint64 // keyword -> sorted annotation IDs
-
-	nextAnn uint64
-	nextRef uint64
 }
 
 var (
@@ -107,23 +98,10 @@ func seqSchemaFor(t ObjectType) *relstore.Schema {
 // of the demonstration studies pre-created.
 func NewStore() *Store {
 	s := &Store{
-		rel:          relstore.NewStore(),
-		graph:        agraph.New(),
-		ontologies:   make(map[string]*ontology.Ontology),
-		systems:      make(map[string]*imaging.CoordinateSystem),
-		itrees:       make(map[string]*interval.Tree[string]),
-		rtrees:       make(map[string]*rtree.Tree[string]),
-		seqs:         make(map[string]*seq.Sequence),
-		seqType:      make(map[string]ObjectType),
-		alignments:   make(map[string]*msa.Alignment),
-		trees:        make(map[string]*phylo.Tree),
-		igraphs:      make(map[string]*interact.Graph),
-		images:       make(map[string]*imaging.Image),
-		recordTables: make(map[string]bool),
-		annotations:  make(map[uint64]*Annotation),
-		referents:    make(map[uint64]*Referent),
-		refByMark:    make(map[string]uint64),
-		keywordIdx:   make(map[string][]uint64),
+		rel:    relstore.NewStore(),
+		graph:  agraph.New(),
+		itrees: make(map[string]*interval.Tree[string]),
+		rtrees: make(map[string]*rtree.Tree[string]),
 	}
 	for _, t := range []ObjectType{TypeDNA, TypeRNA, TypeProtein} {
 		if _, err := s.rel.CreateTable(seqSchemaFor(t)); err != nil {
@@ -135,8 +113,17 @@ func NewStore() *Store {
 			panic(err)
 		}
 	}
+	s.v.Store(emptyView(s.rel, s.graph))
 	return s
 }
+
+// View pins the current read snapshot: one atomic load, no locks. The
+// returned view is immutable; hold it for as many reads as need to be
+// mutually consistent.
+func (s *Store) View() *View { return s.v.Load() }
+
+// publish installs nv as the current view. Caller holds w.
+func (s *Store) publish(nv *View) { s.v.Store(nv) }
 
 // Rel exposes the underlying relational store (read-mostly; used by the
 // admin workflow and the record-table API).
@@ -147,64 +134,52 @@ func (s *Store) Graph() *agraph.Graph { return s.graph }
 
 // RegisterOntology makes an ontology available for annotation references.
 func (s *Store) RegisterOntology(o *ontology.Ontology) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.ontologies[o.Name()]; dup {
+	s.w.Lock()
+	defer s.w.Unlock()
+	v := s.v.Load()
+	if _, dup := v.ontologies[o.Name()]; dup {
 		return fmt.Errorf("%w: ontology %s", ErrDuplicate, o.Name())
 	}
-	s.ontologies[o.Name()] = o
+	nv := v.clone()
+	nv.ontologies = mapWith(v.ontologies, o.Name(), o)
+	nv.ontNames = insertSortedStr(v.ontNames, o.Name())
+	s.publish(nv)
 	return nil
 }
 
 // Ontology returns a registered ontology.
 func (s *Store) Ontology(name string) (*ontology.Ontology, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	o, ok := s.ontologies[name]
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNoSuchOntology, name)
-	}
-	return o, nil
+	return s.View().Ontology(name)
 }
 
 // Ontologies returns the names of registered ontologies, sorted.
-func (s *Store) Ontologies() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.ontologies))
-	for name := range s.ontologies {
-		out = append(out, name)
-	}
-	sort.Strings(out)
-	return out
-}
+func (s *Store) Ontologies() []string { return s.View().Ontologies() }
 
 // RegisterCoordinateSystem makes a shared spatial reference available for
 // image registration.
 func (s *Store) RegisterCoordinateSystem(cs *imaging.CoordinateSystem) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.systems[cs.Name]; dup {
+	s.w.Lock()
+	defer s.w.Unlock()
+	v := s.v.Load()
+	if _, dup := v.systems[cs.Name]; dup {
 		return fmt.Errorf("%w: coordinate system %s", ErrDuplicate, cs.Name)
 	}
-	s.systems[cs.Name] = cs
 	tr, err := rtree.NewTree[string](cs.Dims)
 	if err != nil {
 		return err
 	}
 	s.rtrees[cs.Name] = tr
+	nv := v.clone()
+	nv.systems = mapWith(v.systems, cs.Name, cs)
+	nv.sysNames = insertSortedStr(v.sysNames, cs.Name)
+	nv.rtrees = mapWith(v.rtrees, cs.Name, tr.Snapshot())
+	s.publish(nv)
 	return nil
 }
 
 // CoordinateSystem returns a registered coordinate system.
 func (s *Store) CoordinateSystem(name string) (*imaging.CoordinateSystem, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	cs, ok := s.systems[name]
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNoSuchSystem, name)
-	}
-	return cs, nil
+	return s.View().CoordinateSystem(name)
 }
 
 func seqObjectType(k seq.Kind) ObjectType {
@@ -221,9 +196,10 @@ func seqObjectType(k seq.Kind) ObjectType {
 // RegisterSequence registers a DNA/RNA/protein sequence. A sequence with
 // an empty Domain becomes its own coordinate domain.
 func (s *Store) RegisterSequence(sq *seq.Sequence) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.seqs[sq.ID]; dup {
+	s.w.Lock()
+	defer s.w.Unlock()
+	v := s.v.Load()
+	if _, dup := v.seqs[sq.ID]; dup {
 		return fmt.Errorf("%w: sequence %s", ErrDuplicate, sq.ID)
 	}
 	if sq.Domain == "" {
@@ -246,28 +222,27 @@ func (s *Store) RegisterSequence(sq *seq.Sequence) error {
 	if err := tbl.Insert(row); err != nil {
 		return err
 	}
-	s.seqs[sq.ID] = sq
-	s.seqType[sq.ID] = typ
 	s.graph.AddNode(agraph.Object(string(typ), sq.ID))
+	nv := v.clone()
+	nv.seqs = mapWith(v.seqs, sq.ID, sq)
+	nv.seqType = mapWith(v.seqType, sq.ID, typ)
+	nv.seqIDs = insertSortedStr(v.seqIDs, sq.ID)
+	nv.objects = insertSortedObject(v.objects, ObjectHandle{typ, sq.ID})
+	s.publish(nv)
 	return nil
 }
 
 // Sequence returns a registered sequence and its object type.
 func (s *Store) Sequence(id string) (*seq.Sequence, ObjectType, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	sq, ok := s.seqs[id]
-	if !ok {
-		return nil, "", fmt.Errorf("%w: sequence %s", ErrNoSuchObject, id)
-	}
-	return sq, s.seqType[id], nil
+	return s.View().Sequence(id)
 }
 
 // RegisterAlignment registers a multiple sequence alignment.
 func (s *Store) RegisterAlignment(a *msa.Alignment) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.alignments[a.ID]; dup {
+	s.w.Lock()
+	defer s.w.Unlock()
+	v := s.v.Load()
+	if _, dup := v.alignments[a.ID]; dup {
 		return fmt.Errorf("%w: alignment %s", ErrDuplicate, a.ID)
 	}
 	tbl, err := s.rel.Table(string(TypeAlignment))
@@ -296,27 +271,26 @@ func (s *Store) RegisterAlignment(a *msa.Alignment) error {
 	if err := tbl.Insert(row); err != nil {
 		return err
 	}
-	s.alignments[a.ID] = a
 	s.graph.AddNode(agraph.Object(string(TypeAlignment), a.ID))
+	nv := v.clone()
+	nv.alignments = mapWith(v.alignments, a.ID, a)
+	nv.alnIDs = insertSortedStr(v.alnIDs, a.ID)
+	nv.objects = insertSortedObject(v.objects, ObjectHandle{TypeAlignment, a.ID})
+	s.publish(nv)
 	return nil
 }
 
 // Alignment returns a registered alignment.
 func (s *Store) Alignment(id string) (*msa.Alignment, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	a, ok := s.alignments[id]
-	if !ok {
-		return nil, fmt.Errorf("%w: alignment %s", ErrNoSuchObject, id)
-	}
-	return a, nil
+	return s.View().Alignment(id)
 }
 
 // RegisterTree registers a phylogenetic tree.
 func (s *Store) RegisterTree(t *phylo.Tree) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.trees[t.ID]; dup {
+	s.w.Lock()
+	defer s.w.Unlock()
+	v := s.v.Load()
+	if _, dup := v.trees[t.ID]; dup {
 		return fmt.Errorf("%w: tree %s", ErrDuplicate, t.ID)
 	}
 	tbl, err := s.rel.Table(string(TypeTree))
@@ -329,27 +303,26 @@ func (s *Store) RegisterTree(t *phylo.Tree) error {
 	if err := tbl.Insert(row); err != nil {
 		return err
 	}
-	s.trees[t.ID] = t
 	s.graph.AddNode(agraph.Object(string(TypeTree), t.ID))
+	nv := v.clone()
+	nv.trees = mapWith(v.trees, t.ID, t)
+	nv.treeIDs = insertSortedStr(v.treeIDs, t.ID)
+	nv.objects = insertSortedObject(v.objects, ObjectHandle{TypeTree, t.ID})
+	s.publish(nv)
 	return nil
 }
 
 // Tree returns a registered phylogenetic tree.
 func (s *Store) Tree(id string) (*phylo.Tree, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	t, ok := s.trees[id]
-	if !ok {
-		return nil, fmt.Errorf("%w: tree %s", ErrNoSuchObject, id)
-	}
-	return t, nil
+	return s.View().Tree(id)
 }
 
 // RegisterInteractionGraph registers a molecular interaction graph.
 func (s *Store) RegisterInteractionGraph(g *interact.Graph) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.igraphs[g.ID]; dup {
+	s.w.Lock()
+	defer s.w.Unlock()
+	v := s.v.Load()
+	if _, dup := v.igraphs[g.ID]; dup {
 		return fmt.Errorf("%w: interaction graph %s", ErrDuplicate, g.ID)
 	}
 	tbl, err := s.rel.Table(string(TypeInteraction))
@@ -362,31 +335,30 @@ func (s *Store) RegisterInteractionGraph(g *interact.Graph) error {
 	if err := tbl.Insert(row); err != nil {
 		return err
 	}
-	s.igraphs[g.ID] = g
 	s.graph.AddNode(agraph.Object(string(TypeInteraction), g.ID))
+	nv := v.clone()
+	nv.igraphs = mapWith(v.igraphs, g.ID, g)
+	nv.igraphIDs = insertSortedStr(v.igraphIDs, g.ID)
+	nv.objects = insertSortedObject(v.objects, ObjectHandle{TypeInteraction, g.ID})
+	s.publish(nv)
 	return nil
 }
 
 // InteractionGraph returns a registered interaction graph.
 func (s *Store) InteractionGraph(id string) (*interact.Graph, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	g, ok := s.igraphs[id]
-	if !ok {
-		return nil, fmt.Errorf("%w: interaction graph %s", ErrNoSuchObject, id)
-	}
-	return g, nil
+	return s.View().InteractionGraph(id)
 }
 
 // RegisterImage registers an image; its coordinate system must have been
 // registered first.
 func (s *Store) RegisterImage(im *imaging.Image) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.images[im.ID]; dup {
+	s.w.Lock()
+	defer s.w.Unlock()
+	v := s.v.Load()
+	if _, dup := v.images[im.ID]; dup {
 		return fmt.Errorf("%w: image %s", ErrDuplicate, im.ID)
 	}
-	if _, ok := s.systems[im.System]; !ok {
+	if _, ok := v.systems[im.System]; !ok {
 		return fmt.Errorf("%w: %s (register it before image %s)", ErrNoSuchSystem, im.System, im.ID)
 	}
 	tbl, err := s.rel.Table(string(TypeImage))
@@ -403,138 +375,74 @@ func (s *Store) RegisterImage(im *imaging.Image) error {
 	if err := tbl.Insert(row); err != nil {
 		return err
 	}
-	s.images[im.ID] = im
 	s.graph.AddNode(agraph.Object(string(TypeImage), im.ID))
+	nv := v.clone()
+	nv.images = mapWith(v.images, im.ID, im)
+	nv.imageIDs = insertSortedStr(v.imageIDs, im.ID)
+	nv.objects = insertSortedObject(v.objects, ObjectHandle{TypeImage, im.ID})
+	s.publish(nv)
 	return nil
 }
 
 // Image returns a registered image.
 func (s *Store) Image(id string) (*imaging.Image, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	im, ok := s.images[id]
-	if !ok {
-		return nil, fmt.Errorf("%w: image %s", ErrNoSuchObject, id)
-	}
-	return im, nil
+	return s.View().Image(id)
 }
 
 // Images returns the IDs of all registered images, sorted.
-func (s *Store) Images() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.images))
-	for id := range s.images {
-		out = append(out, id)
-	}
-	sort.Strings(out)
-	return out
-}
+func (s *Store) Images() []string { return s.View().Images() }
 
 // SequenceIDs returns the IDs of all registered sequences, sorted.
-func (s *Store) SequenceIDs() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.seqs))
-	for id := range s.seqs {
-		out = append(out, id)
-	}
-	sort.Strings(out)
-	return out
-}
+func (s *Store) SequenceIDs() []string { return s.View().SequenceIDs() }
 
 // AlignmentIDs returns the IDs of all registered alignments, sorted.
-func (s *Store) AlignmentIDs() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.alignments))
-	for id := range s.alignments {
-		out = append(out, id)
-	}
-	sort.Strings(out)
-	return out
-}
+func (s *Store) AlignmentIDs() []string { return s.View().AlignmentIDs() }
 
 // TreeIDs returns the IDs of all registered phylogenetic trees, sorted.
-func (s *Store) TreeIDs() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.trees))
-	for id := range s.trees {
-		out = append(out, id)
-	}
-	sort.Strings(out)
-	return out
-}
+func (s *Store) TreeIDs() []string { return s.View().TreeIDs() }
 
 // InteractionGraphIDs returns the IDs of all registered interaction
 // graphs, sorted.
-func (s *Store) InteractionGraphIDs() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.igraphs))
-	for id := range s.igraphs {
-		out = append(out, id)
-	}
-	sort.Strings(out)
-	return out
-}
+func (s *Store) InteractionGraphIDs() []string { return s.View().InteractionGraphIDs() }
 
 // CoordinateSystems returns the names of all registered coordinate
 // systems, sorted.
-func (s *Store) CoordinateSystems() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.systems))
-	for name := range s.systems {
-		out = append(out, name)
-	}
-	sort.Strings(out)
-	return out
-}
+func (s *Store) CoordinateSystems() []string { return s.View().CoordinateSystems() }
 
 // RecordTables returns the names of all user record tables, sorted.
-func (s *Store) RecordTables() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.recordTables))
-	for name := range s.recordTables {
-		out = append(out, name)
-	}
-	sort.Strings(out)
-	return out
-}
+func (s *Store) RecordTables() []string { return s.View().RecordTables() }
 
 // CreateRecordTable creates a user-defined relational table whose rows can
 // be annotated as record-set referents (the demo's "relational records").
 func (s *Store) CreateRecordTable(schema *relstore.Schema) (*relstore.Table, error) {
+	s.w.Lock()
+	defer s.w.Unlock()
 	tbl, err := s.rel.CreateTable(schema)
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	s.recordTables[schema.Name] = true
-	s.mu.Unlock()
+	v := s.v.Load()
+	nv := v.clone()
+	nv.recordTables = mapWith(v.recordTables, schema.Name, true)
+	nv.recTableNames = insertSortedStr(v.recTableNames, schema.Name)
+	nv.objects = insertSortedObject(v.objects, ObjectHandle{TypeRecord, schema.Name})
+	s.publish(nv)
 	return tbl, nil
 }
 
 // InsertRecord inserts a row into a user record table and registers the
-// row as an annotatable object.
+// row as an annotatable object. The relational store carries its own
+// synchronization; no view changes.
 func (s *Store) InsertRecord(table string, row relstore.Row) error {
-	s.mu.RLock()
-	isRecord := s.recordTables[table]
-	s.mu.RUnlock()
-	if !isRecord {
+	v := s.View()
+	if !v.recordTables[table] {
 		return fmt.Errorf("%w: record table %s", ErrNoSuchObject, table)
 	}
 	tbl, err := s.rel.Table(table)
 	if err != nil {
 		return err
 	}
-	if err := tbl.Insert(row); err != nil {
-		return err
-	}
-	return nil
+	return tbl.Insert(row)
 }
 
 // Stats summarises the store for the admin workflow.
@@ -555,22 +463,4 @@ type Stats struct {
 }
 
 // Stats returns current component sizes.
-func (s *Store) Stats() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return Stats{
-		Annotations:       len(s.annotations),
-		Referents:         len(s.referents),
-		Sequences:         len(s.seqs),
-		Alignments:        len(s.alignments),
-		Trees:             len(s.trees),
-		InteractionGraphs: len(s.igraphs),
-		Images:            len(s.images),
-		Ontologies:        len(s.ontologies),
-		IntervalTrees:     len(s.itrees),
-		RTrees:            len(s.rtrees),
-		GraphNodes:        s.graph.NodeCount(),
-		GraphEdges:        s.graph.EdgeCount(),
-		Keywords:          len(s.keywordIdx),
-	}
-}
+func (s *Store) Stats() Stats { return s.View().Stats() }

@@ -1,0 +1,313 @@
+// The snapshot-isolated read path. A View is an immutable, atomically
+// published image of the store: every read runs lock-free against a
+// pinned view, so a slow collection scan never blocks writers and a
+// burst of commits never stalls readers — the paper's multi-user setting
+// ("heavy traffic from millions of users") with the anomaly-free
+// semantics snapshot isolation gives annotation systems.
+//
+// What a view guarantees:
+//
+//   - Immutability: nothing reachable from a View changes after Publish.
+//     Maps are copy-on-write (sharded for the high-churn keyword and
+//     mark-dedup indexes, chunked ID tables for annotations/referents),
+//     and the interval/R-trees are path-copying, so a view's snapshots
+//     share structure with the live trees without observing mutation.
+//   - Annotation atomicity: an annotation is visible in a view with all
+//     of its referents, its complete keyword postings and its content
+//     document, or not at all — never half-applied.
+//   - The a-graph and relational store are shared handles with their own
+//     fine-grained synchronization (the a-graph iterates over
+//     copy-on-write adjacency snapshots). Graph joins filter through the
+//     pinned view's tables, so they never surface an annotation the view
+//     does not contain. The converse is not guaranteed: a deletion
+//     committed after a view was pinned removes join edges from the
+//     shared graph immediately, so the pinned view's graph joins can
+//     miss annotations its tables still hold. Isolation is exact for
+//     table, spatial-index and keyword-index reads; graph-backed reads
+//     are bounded between the pinned snapshot and the latest state.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"graphitti/internal/agraph"
+	"graphitti/internal/biodata/imaging"
+	"graphitti/internal/biodata/interact"
+	"graphitti/internal/biodata/msa"
+	"graphitti/internal/biodata/phylo"
+	"graphitti/internal/biodata/seq"
+	"graphitti/internal/interval"
+	"graphitti/internal/ontology"
+	"graphitti/internal/relstore"
+	"graphitti/internal/rtree"
+)
+
+// View is an immutable snapshot of the store, published atomically by the
+// serialized writer. All methods are safe for concurrent use by any
+// number of readers and never block on (or observe) concurrent writers.
+type View struct {
+	rel   *relstore.Store
+	graph *agraph.Graph
+
+	ontologies map[string]*ontology.Ontology
+	ontNames   []string // sorted
+	systems    map[string]*imaging.CoordinateSystem
+	sysNames   []string // sorted
+
+	// Immutable snapshots of the per-domain interval trees and per-system
+	// R-trees (the writer owns the mutable trees; path-copying makes these
+	// O(1) to take and safe to share).
+	itrees map[string]interval.Snapshot[string]
+	rtrees map[string]rtree.Snapshot[string]
+
+	seqs       map[string]*seq.Sequence
+	seqType    map[string]ObjectType
+	seqIDs     []string // sorted
+	alignments map[string]*msa.Alignment
+	alnIDs     []string // sorted
+	trees      map[string]*phylo.Tree
+	treeIDs    []string // sorted
+	igraphs    map[string]*interact.Graph
+	igraphIDs  []string // sorted
+	images     map[string]*imaging.Image
+	imageIDs   []string // sorted
+
+	recordTables  map[string]bool
+	recTableNames []string // sorted
+
+	// objects is the (type, id)-sorted list of every registered data
+	// object, maintained at registration time so ObjectList never sorts.
+	objects []ObjectHandle
+
+	annotations idtable[Annotation]
+	referents   idtable[Referent]
+	refByMark   smap[uint64]   // canonical mark -> shared referent ID
+	keywordIdx  smap[[]uint64] // keyword -> sorted annotation IDs
+
+	nextAnn, nextRef uint64
+}
+
+// emptyView returns the view of a fresh store.
+func emptyView(rel *relstore.Store, graph *agraph.Graph) *View {
+	return &View{
+		rel:          rel,
+		graph:        graph,
+		ontologies:   map[string]*ontology.Ontology{},
+		systems:      map[string]*imaging.CoordinateSystem{},
+		itrees:       map[string]interval.Snapshot[string]{},
+		rtrees:       map[string]rtree.Snapshot[string]{},
+		seqs:         map[string]*seq.Sequence{},
+		seqType:      map[string]ObjectType{},
+		alignments:   map[string]*msa.Alignment{},
+		trees:        map[string]*phylo.Tree{},
+		igraphs:      map[string]*interact.Graph{},
+		images:       map[string]*imaging.Image{},
+		recordTables: map[string]bool{},
+	}
+}
+
+// clone returns a shallow successor view for the writer to specialize:
+// every field still shares structure with v until the writer replaces it.
+func (v *View) clone() *View {
+	nv := *v
+	return &nv
+}
+
+// Rel exposes the underlying relational store handle.
+func (v *View) Rel() *relstore.Store { return v.rel }
+
+// Graph exposes the a-graph handle for path/connect queries.
+func (v *View) Graph() *agraph.Graph { return v.graph }
+
+// Ontology returns a registered ontology.
+func (v *View) Ontology(name string) (*ontology.Ontology, error) {
+	o, ok := v.ontologies[name]
+	if !ok {
+		return nil, errNoSuchOntology(name)
+	}
+	return o, nil
+}
+
+// Ontologies returns the names of registered ontologies, sorted.
+func (v *View) Ontologies() []string { return copyStrings(v.ontNames) }
+
+// CoordinateSystem returns a registered coordinate system.
+func (v *View) CoordinateSystem(name string) (*imaging.CoordinateSystem, error) {
+	cs, ok := v.systems[name]
+	if !ok {
+		return nil, errNoSuchSystem(name)
+	}
+	return cs, nil
+}
+
+// CoordinateSystems returns the names of all registered coordinate
+// systems, sorted.
+func (v *View) CoordinateSystems() []string { return copyStrings(v.sysNames) }
+
+// Sequence returns a registered sequence and its object type.
+func (v *View) Sequence(id string) (*seq.Sequence, ObjectType, error) {
+	sq, ok := v.seqs[id]
+	if !ok {
+		return nil, "", errNoSuchObject("sequence", id)
+	}
+	return sq, v.seqType[id], nil
+}
+
+// Alignment returns a registered alignment.
+func (v *View) Alignment(id string) (*msa.Alignment, error) {
+	a, ok := v.alignments[id]
+	if !ok {
+		return nil, errNoSuchObject("alignment", id)
+	}
+	return a, nil
+}
+
+// Tree returns a registered phylogenetic tree.
+func (v *View) Tree(id string) (*phylo.Tree, error) {
+	t, ok := v.trees[id]
+	if !ok {
+		return nil, errNoSuchObject("tree", id)
+	}
+	return t, nil
+}
+
+// InteractionGraph returns a registered interaction graph.
+func (v *View) InteractionGraph(id string) (*interact.Graph, error) {
+	g, ok := v.igraphs[id]
+	if !ok {
+		return nil, errNoSuchObject("interaction graph", id)
+	}
+	return g, nil
+}
+
+// Image returns a registered image.
+func (v *View) Image(id string) (*imaging.Image, error) {
+	im, ok := v.images[id]
+	if !ok {
+		return nil, errNoSuchObject("image", id)
+	}
+	return im, nil
+}
+
+// Images returns the IDs of all registered images, sorted.
+func (v *View) Images() []string { return copyStrings(v.imageIDs) }
+
+// SequenceIDs returns the IDs of all registered sequences, sorted.
+func (v *View) SequenceIDs() []string { return copyStrings(v.seqIDs) }
+
+// AlignmentIDs returns the IDs of all registered alignments, sorted.
+func (v *View) AlignmentIDs() []string { return copyStrings(v.alnIDs) }
+
+// TreeIDs returns the IDs of all registered phylogenetic trees, sorted.
+func (v *View) TreeIDs() []string { return copyStrings(v.treeIDs) }
+
+// InteractionGraphIDs returns the IDs of all registered interaction
+// graphs, sorted.
+func (v *View) InteractionGraphIDs() []string { return copyStrings(v.igraphIDs) }
+
+// RecordTables returns the names of all user record tables, sorted.
+func (v *View) RecordTables() []string { return copyStrings(v.recTableNames) }
+
+// ObjectList returns every registered data object, sorted by (type, id).
+// The list is maintained at registration time, so this is a copy, not a
+// scan-and-sort.
+func (v *View) ObjectList() []ObjectHandle {
+	out := make([]ObjectHandle, len(v.objects))
+	copy(out, v.objects)
+	return out
+}
+
+// Annotation returns a committed annotation by ID.
+func (v *View) Annotation(id uint64) (*Annotation, error) {
+	if a := v.annotations.get(id); a != nil {
+		return a, nil
+	}
+	return nil, errNoSuchAnnotation(id)
+}
+
+// Annotations returns all committed annotations, sorted by ID.
+func (v *View) Annotations() []*Annotation {
+	out := make([]*Annotation, 0, v.annotations.len())
+	v.annotations.each(func(_ uint64, a *Annotation) bool {
+		out = append(out, a)
+		return true
+	})
+	return out
+}
+
+// AnnotationIDs returns the IDs of all committed annotations, sorted.
+func (v *View) AnnotationIDs() []uint64 { return v.annotations.ids() }
+
+// Referent returns a committed referent by ID.
+func (v *View) Referent(id uint64) (*Referent, error) {
+	if r := v.referents.get(id); r != nil {
+		return r, nil
+	}
+	return nil, errNoSuchReferent(id)
+}
+
+// Referents returns all committed referents, sorted by ID.
+func (v *View) Referents() []*Referent {
+	out := make([]*Referent, 0, v.referents.len())
+	v.referents.each(func(_ uint64, r *Referent) bool {
+		out = append(out, r)
+		return true
+	})
+	return out
+}
+
+// IDCounters returns the annotation and referent ID counters as of this
+// view (the next commit assigns nextAnn+1 / nextRef+1).
+func (v *View) IDCounters() (nextAnn, nextRef uint64) { return v.nextAnn, v.nextRef }
+
+// Stats returns the view's component sizes.
+func (v *View) Stats() Stats {
+	return Stats{
+		Annotations:       v.annotations.len(),
+		Referents:         v.referents.len(),
+		Sequences:         len(v.seqs),
+		Alignments:        len(v.alignments),
+		Trees:             len(v.trees),
+		InteractionGraphs: len(v.igraphs),
+		Images:            len(v.images),
+		Ontologies:        len(v.ontologies),
+		IntervalTrees:     len(v.itrees),
+		RTrees:            len(v.rtrees),
+		GraphNodes:        v.graph.NodeCount(),
+		GraphEdges:        v.graph.EdgeCount(),
+		Keywords:          v.keywordIdx.len(),
+	}
+}
+
+func errNoSuchOntology(name string) error {
+	return fmt.Errorf("%w: %s", ErrNoSuchOntology, name)
+}
+
+func errNoSuchSystem(name string) error {
+	return fmt.Errorf("%w: %s", ErrNoSuchSystem, name)
+}
+
+func errNoSuchObject(kind, id string) error {
+	return fmt.Errorf("%w: %s %s", ErrNoSuchObject, kind, id)
+}
+
+func errNoSuchAnnotation(id uint64) error {
+	return fmt.Errorf("%w: %d", ErrNoSuchAnnotation, id)
+}
+
+func errNoSuchReferent(id uint64) error {
+	return fmt.Errorf("%w: %d", ErrNoSuchReferent, id)
+}
+
+func copyStrings(xs []string) []string {
+	out := make([]string, len(xs))
+	copy(out, xs)
+	return out
+}
+
+// sortAnnotations orders a result slice by annotation ID (graph joins
+// discover annotations in edge order, not ID order).
+func sortAnnotations(out []*Annotation) {
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+}

@@ -19,12 +19,14 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"graphitti/internal/core"
 	"graphitti/internal/durable"
@@ -34,17 +36,36 @@ import (
 	"graphitti/internal/rtree"
 )
 
+// Options tune the handler.
+type Options struct {
+	// QueryTimeout bounds the execution of the search and query
+	// endpoints; 0 means no server-side limit. Client disconnects cancel
+	// execution either way (the request context is plumbed through query
+	// and search evaluation).
+	QueryTimeout time.Duration
+}
+
 // NewHandler returns an http.Handler serving the API for one in-memory
 // store. Writes do not survive a restart; see NewDurableHandler.
 func NewHandler(s *core.Store) http.Handler {
-	return newMux(&server{store: s, proc: query.NewProcessor(s)})
+	return NewHandlerWithOptions(s, Options{})
+}
+
+// NewHandlerWithOptions is NewHandler with explicit options.
+func NewHandlerWithOptions(s *core.Store, opts Options) http.Handler {
+	return newMux(&server{store: s, proc: query.NewProcessor(s), opts: opts})
 }
 
 // NewDurableHandler serves a durable store: every mutating endpoint is
 // logged-then-acknowledged through d, reads go to the wrapped store.
 func NewDurableHandler(d *durable.Store) http.Handler {
+	return NewDurableHandlerWithOptions(d, Options{})
+}
+
+// NewDurableHandlerWithOptions is NewDurableHandler with explicit options.
+func NewDurableHandlerWithOptions(d *durable.Store, opts Options) http.Handler {
 	s := d.Core()
-	return newMux(&server{store: s, proc: query.NewProcessor(s), durable: d})
+	return newMux(&server{store: s, proc: query.NewProcessor(s), durable: d, opts: opts})
 }
 
 func newMux(api *server) http.Handler {
@@ -72,6 +93,7 @@ type server struct {
 	store   *core.Store
 	proc    *query.Processor
 	durable *durable.Store
+	opts    Options
 }
 
 // view returns the current store and query processor.
@@ -81,9 +103,23 @@ func (s *server) view() (*core.Store, *query.Processor) {
 	return s.store, s.proc
 }
 
+// queryCtx derives the execution context of a search/query request: the
+// request's own context (canceled when the client goes away) bounded by
+// the configured per-request timeout.
+func (s *server) queryCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.opts.QueryTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.opts.QueryTimeout)
+	}
+	return r.Context(), func() {}
+}
+
 type errorBody struct {
 	Error string `json:"error"`
 }
+
+// statusClientClosedRequest is the de-facto status (nginx's 499) for a
+// request aborted by the client; there is no official HTTP code.
+const statusClientClosedRequest = 499
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
@@ -94,6 +130,10 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 func writeErr(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusRequestTimeout
+	case errors.Is(err, context.Canceled):
+		status = statusClientClosedRequest
 	case errors.Is(err, core.ErrNoSuchAnnotation),
 		errors.Is(err, core.ErrNoSuchObject),
 		errors.Is(err, core.ErrNoSuchReferent),
@@ -367,9 +407,17 @@ func (s *server) search(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad JSON: " + err.Error()})
 		return
 	}
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
 	store, _ := s.view()
-	anns, err := store.SearchContents(req.Expr)
+	// The whole scan runs against one pinned snapshot, cancellable at
+	// every evaluation stride.
+	anns, err := store.View().SearchContentsCtx(ctx, req.Expr)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			writeErr(w, err)
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	}
@@ -404,10 +452,12 @@ func (s *server) runQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad JSON: " + err.Error()})
 		return
 	}
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
 	_, proc := s.view()
 	opts := query.DefaultOptions
 	opts.MaxResults = req.MaxResults
-	res, err := proc.Execute(req.Query, opts)
+	res, err := proc.ExecuteCtx(ctx, req.Query, opts)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -485,6 +535,13 @@ func (s *server) restore(w http.ResponseWriter, r *http.Request) {
 	snap, err := persist.Decode(r.Body)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	// An aborted upload cancels the request context; don't swap in a
+	// store the client no longer wants (decoding above fails on a torn
+	// body, but a complete body with a gone client lands here).
+	if err := r.Context().Err(); err != nil {
+		writeErr(w, err)
 		return
 	}
 	// The durable restore and the handler's store swap happen under one

@@ -95,8 +95,14 @@ type Entry[V any] struct {
 // (Lo, Hi, ID); every node carries the maximum Hi of its subtree, which
 // lets overlap searches prune entire subtrees.
 //
+// Mutations are path-copying: Insert and Delete allocate fresh nodes along
+// the search path and never modify nodes reachable from an earlier root, so
+// a Snapshot taken before a mutation remains a consistent, immutable view
+// of the tree at that instant. This is the mechanism core.Store uses to
+// publish lock-free read views of the per-domain sub-structure indexes.
+//
 // The zero value is an empty tree ready for use. Tree is not safe for
-// concurrent mutation.
+// concurrent mutation; Snapshots are safe for concurrent reads.
 type Tree[V any] struct {
 	root *node[V]
 	ids  map[uint64]Interval
@@ -109,8 +115,32 @@ type node[V any] struct {
 	maxHi       int64
 }
 
+// clone returns a fresh copy of n that mutation may modify freely.
+func (n *node[V]) clone() *node[V] {
+	c := *n
+	return &c
+}
+
+// Snapshot is an immutable point-in-time view of a Tree. The zero value is
+// an empty snapshot. Snapshots share structure with the tree they were
+// taken from; later mutations of the tree never alter a snapshot.
+type Snapshot[V any] struct {
+	root *node[V]
+	size int
+}
+
+// Snapshot returns an immutable view of the tree's current contents in
+// O(1): path-copying mutation guarantees no node reachable from the
+// current root is ever modified in place.
+func (t *Tree[V]) Snapshot() Snapshot[V] {
+	return Snapshot[V]{root: t.root, size: len(t.ids)}
+}
+
 // Len reports the number of entries.
 func (t *Tree[V]) Len() int { return len(t.ids) }
+
+// Len reports the number of entries in the snapshot.
+func (s Snapshot[V]) Len() int { return s.size }
 
 // Insert adds an entry. The interval must be valid and the ID must not be
 // present already.
@@ -149,14 +179,26 @@ func (t *Tree[V]) Get(id uint64) (Interval, bool) {
 // Stab returns all entries whose interval contains the point p, in
 // (Lo, Hi, ID) order.
 func (t *Tree[V]) Stab(p int64) []Entry[V] {
-	return t.Overlapping(Interval{p, p + 1})
+	return t.Snapshot().Stab(p)
+}
+
+// Stab returns all entries whose interval contains the point p, in
+// (Lo, Hi, ID) order.
+func (s Snapshot[V]) Stab(p int64) []Entry[V] {
+	return s.Overlapping(Interval{p, p + 1})
 }
 
 // Overlapping returns all entries overlapping the query interval, in
 // (Lo, Hi, ID) order.
 func (t *Tree[V]) Overlapping(q Interval) []Entry[V] {
+	return t.Snapshot().Overlapping(q)
+}
+
+// Overlapping returns all entries overlapping the query interval, in
+// (Lo, Hi, ID) order.
+func (s Snapshot[V]) Overlapping(q Interval) []Entry[V] {
 	var out []Entry[V]
-	t.VisitOverlapping(q, func(e Entry[V]) bool {
+	s.VisitOverlapping(q, func(e Entry[V]) bool {
 		out = append(out, e)
 		return true
 	})
@@ -166,10 +208,16 @@ func (t *Tree[V]) Overlapping(q Interval) []Entry[V] {
 // VisitOverlapping calls fn for each entry overlapping q in (Lo, Hi, ID)
 // order until fn returns false.
 func (t *Tree[V]) VisitOverlapping(q Interval, fn func(Entry[V]) bool) {
+	t.Snapshot().VisitOverlapping(q, fn)
+}
+
+// VisitOverlapping calls fn for each entry overlapping q in (Lo, Hi, ID)
+// order until fn returns false.
+func (s Snapshot[V]) VisitOverlapping(q Interval, fn func(Entry[V]) bool) {
 	if !q.Valid() {
 		return
 	}
-	visitOverlap(t.root, q, fn)
+	visitOverlap(s.root, q, fn)
 }
 
 func visitOverlap[V any](n *node[V], q Interval, fn func(Entry[V]) bool) bool {
@@ -192,8 +240,13 @@ func visitOverlap[V any](n *node[V], q Interval, fn func(Entry[V]) bool) bool {
 
 // CountOverlapping returns the number of entries overlapping q.
 func (t *Tree[V]) CountOverlapping(q Interval) int {
+	return t.Snapshot().CountOverlapping(q)
+}
+
+// CountOverlapping returns the number of entries overlapping q.
+func (s Snapshot[V]) CountOverlapping(q Interval) int {
 	n := 0
-	t.VisitOverlapping(q, func(Entry[V]) bool {
+	s.VisitOverlapping(q, func(Entry[V]) bool {
 		n++
 		return true
 	})
@@ -205,8 +258,14 @@ func (t *Tree[V]) CountOverlapping(q Interval) int {
 // smallest (Lo, Hi, ID) such that Lo >= iv.Hi. ok is false when no entry
 // follows iv.
 func (t *Tree[V]) Next(iv Interval) (Entry[V], bool) {
+	return t.Snapshot().Next(iv)
+}
+
+// Next returns the first entry after iv in the domain ordering (see
+// Tree.Next).
+func (s Snapshot[V]) Next(iv Interval) (Entry[V], bool) {
 	var best *node[V]
-	n := t.root
+	n := s.root
 	for n != nil {
 		if n.entry.Lo >= iv.Hi {
 			best = n
@@ -223,7 +282,12 @@ func (t *Tree[V]) Next(iv Interval) (Entry[V], bool) {
 
 // All returns every entry in (Lo, Hi, ID) order.
 func (t *Tree[V]) All() []Entry[V] {
-	out := make([]Entry[V], 0, t.Len())
+	return t.Snapshot().All()
+}
+
+// All returns every entry in (Lo, Hi, ID) order.
+func (s Snapshot[V]) All() []Entry[V] {
+	out := make([]Entry[V], 0, s.size)
 	var walk func(n *node[V])
 	walk = func(n *node[V]) {
 		if n == nil {
@@ -233,21 +297,27 @@ func (t *Tree[V]) All() []Entry[V] {
 		out = append(out, n.entry)
 		walk(n.right)
 	}
-	walk(t.root)
+	walk(s.root)
 	return out
 }
 
 // Span returns the convex hull of all stored intervals; ok is false when
 // the tree is empty.
 func (t *Tree[V]) Span() (Interval, bool) {
-	if t.root == nil {
+	return t.Snapshot().Span()
+}
+
+// Span returns the convex hull of all stored intervals; ok is false when
+// the snapshot is empty.
+func (s Snapshot[V]) Span() (Interval, bool) {
+	if s.root == nil {
 		return Interval{}, false
 	}
-	n := t.root
+	n := s.root
 	for n.left != nil {
 		n = n.left
 	}
-	return Interval{n.entry.Lo, t.root.maxHi}, true
+	return Interval{n.entry.Lo, s.root.maxHi}, true
 }
 
 // Height returns the height of the tree; used in tests and diagnostics.
@@ -290,8 +360,12 @@ func update[V any](n *node[V]) {
 
 func balanceFactor[V any](n *node[V]) int8 { return height(n.left) - height(n.right) }
 
+// The rotation helpers receive caller-owned (freshly copied) nodes but
+// defensively clone whatever they relink, so no node reachable from a
+// published snapshot root is ever modified.
+
 func rotateRight[V any](n *node[V]) *node[V] {
-	l := n.left
+	l := n.left.clone()
 	n.left = l.right
 	l.right = n
 	update(n)
@@ -300,7 +374,7 @@ func rotateRight[V any](n *node[V]) *node[V] {
 }
 
 func rotateLeft[V any](n *node[V]) *node[V] {
-	r := n.right
+	r := n.right.clone()
 	n.right = r.left
 	r.left = n
 	update(n)
@@ -308,61 +382,66 @@ func rotateLeft[V any](n *node[V]) *node[V] {
 	return r
 }
 
+// rebalance expects a caller-owned node.
 func rebalance[V any](n *node[V]) *node[V] {
 	update(n)
 	switch bf := balanceFactor(n); {
 	case bf > 1:
 		if balanceFactor(n.left) < 0 {
-			n.left = rotateLeft(n.left)
+			n.left = rotateLeft(n.left.clone())
 		}
 		return rotateRight(n)
 	case bf < -1:
 		if balanceFactor(n.right) > 0 {
-			n.right = rotateRight(n.right)
+			n.right = rotateRight(n.right.clone())
 		}
 		return rotateLeft(n)
 	}
 	return n
 }
 
+// insert adds e below n, copying every node on the search path (and any
+// node touched by a rotation) so earlier roots stay intact.
 func insert[V any](n *node[V], e Entry[V]) *node[V] {
 	if n == nil {
-		nn := &node[V]{entry: e, height: 1, maxHi: e.Hi}
-		return nn
+		return &node[V]{entry: e, height: 1, maxHi: e.Hi}
 	}
-	if less(e, n.entry) {
-		n.left = insert(n.left, e)
+	c := n.clone()
+	if less(e, c.entry) {
+		c.left = insert(c.left, e)
 	} else {
-		n.right = insert(n.right, e)
+		c.right = insert(c.right, e)
 	}
-	return rebalance(n)
+	return rebalance(c)
 }
 
+// remove deletes (iv, id) below n, path-copying like insert.
 func remove[V any](n *node[V], iv Interval, id uint64) *node[V] {
 	if n == nil {
 		return nil
 	}
 	probe := Entry[V]{Interval: iv, ID: id}
+	c := n.clone()
 	switch {
-	case less(probe, n.entry):
-		n.left = remove(n.left, iv, id)
-	case less(n.entry, probe):
-		n.right = remove(n.right, iv, id)
+	case less(probe, c.entry):
+		c.left = remove(c.left, iv, id)
+	case less(c.entry, probe):
+		c.right = remove(c.right, iv, id)
 	default:
 		// Found the node to delete.
-		if n.left == nil {
-			return n.right
+		if c.left == nil {
+			return c.right
 		}
-		if n.right == nil {
-			return n.left
+		if c.right == nil {
+			return c.left
 		}
 		// Replace with in-order successor.
-		succ := n.right
+		succ := c.right
 		for succ.left != nil {
 			succ = succ.left
 		}
-		n.entry = succ.entry
-		n.right = remove(n.right, succ.entry.Interval, succ.entry.ID)
+		c.entry = succ.entry
+		c.right = remove(c.right, succ.entry.Interval, succ.entry.ID)
 	}
-	return rebalance(n)
+	return rebalance(c)
 }

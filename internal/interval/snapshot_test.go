@@ -1,0 +1,64 @@
+package interval
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestSnapshotImmutable pins a snapshot, keeps mutating the tree, and
+// checks the snapshot still answers exactly as it did at capture time —
+// the property core.Store relies on to publish lock-free read views.
+func TestSnapshotImmutable(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var tr Tree[int]
+	insertRand := func(id uint64) {
+		lo := rng.Int63n(10_000)
+		if err := tr.Insert(Interval{Lo: lo, Hi: lo + 1 + rng.Int63n(300)}, id, int(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 500; i++ {
+		insertRand(i)
+	}
+
+	snap := tr.Snapshot()
+	wantAll := snap.All()
+	wantSpan, _ := snap.Span()
+	q := Interval{Lo: 2000, Hi: 2600}
+	wantOverlap := snap.Overlapping(q)
+	wantNext, wantNextOK := snap.Next(Interval{Lo: 0, Hi: 5000})
+
+	// Churn: deletions, insertions, enough to force many rotations.
+	for i := uint64(0); i < 400; i++ {
+		tr.Delete(i)
+	}
+	for i := uint64(1000); i < 1800; i++ {
+		insertRand(i)
+	}
+
+	if got := snap.All(); !reflect.DeepEqual(got, wantAll) {
+		t.Fatalf("snapshot All changed after mutation: %d vs %d entries", len(got), len(wantAll))
+	}
+	if got, _ := snap.Span(); got != wantSpan {
+		t.Fatalf("snapshot Span changed: %v vs %v", got, wantSpan)
+	}
+	if got := snap.Overlapping(q); !reflect.DeepEqual(got, wantOverlap) {
+		t.Fatalf("snapshot Overlapping changed")
+	}
+	if got, ok := snap.Next(Interval{Lo: 0, Hi: 5000}); ok != wantNextOK || got != wantNext {
+		t.Fatalf("snapshot Next changed")
+	}
+	if snap.Len() != len(wantAll) {
+		t.Fatalf("snapshot Len %d != %d", snap.Len(), len(wantAll))
+	}
+
+	// The live tree, meanwhile, reflects the churn.
+	if tr.Len() != 500-400+800 {
+		t.Fatalf("live tree Len = %d", tr.Len())
+	}
+	// And a fresh snapshot agrees with the live tree.
+	if got := tr.Snapshot().All(); !reflect.DeepEqual(got, tr.All()) {
+		t.Fatal("fresh snapshot disagrees with live tree")
+	}
+}

@@ -1,9 +1,12 @@
 package query
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"graphitti/internal/agraph"
 	"graphitti/internal/core"
@@ -12,7 +15,14 @@ import (
 	"graphitti/internal/xquery"
 )
 
-// Processor executes parsed queries against a Graphitti store.
+// Processor executes parsed queries against a Graphitti store. Each
+// execution pins one immutable store view: every table and index read
+// across all sub-queries observes the same snapshot, and execution never
+// blocks (or is blocked by) the writer. Edge checks consult the shared
+// a-graph handle, so a concurrent deletion can prune join edges
+// mid-query — matches always resolve against the pinned view, but an
+// annotation deleted after pinning may drop out of the join (never the
+// reverse; see core.View).
 type Processor struct {
 	store *core.Store
 }
@@ -61,32 +71,62 @@ type Result struct {
 	Stats       Stats
 }
 
+// cancelCheckStride bounds how many join bindings are tried between
+// context checks.
+const cancelCheckStride = 256
+
 // Execute parses and runs a query with the given options.
 func (p *Processor) Execute(src string, opts Options) (*Result, error) {
+	return p.ExecuteCtx(context.Background(), src, opts)
+}
+
+// ExecuteCtx parses and runs a query, honoring ctx cancellation between
+// candidate evaluations and join steps.
+func (p *Processor) ExecuteCtx(ctx context.Context, src string, opts Options) (*Result, error) {
 	q, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return p.ExecuteParsed(q, opts)
+	return p.ExecuteParsedCtx(ctx, q, opts)
 }
 
 // ExecuteParsed runs a parsed query.
 func (p *Processor) ExecuteParsed(q *Query, opts Options) (*Result, error) {
+	return p.ExecuteParsedCtx(context.Background(), q, opts)
+}
+
+// ExecuteParsedCtx runs a parsed query against one pinned view of the
+// store, honoring ctx cancellation.
+func (p *Processor) ExecuteParsedCtx(ctx context.Context, q *Query, opts Options) (*Result, error) {
+	run := &execution{view: p.store.View(), ctx: ctx}
+	return run.execute(q, opts)
+}
+
+// execution carries one query run's pinned view and context.
+type execution struct {
+	view *core.View
+	ctx  context.Context
+}
+
+func (e *execution) execute(q *Query, opts Options) (*Result, error) {
 	// Phase 1 — sub-query separation: resolve per-type candidate sets.
+	// The per-variable sub-queries are independent reads of the same
+	// immutable view, so they fan out across the available cores; results
+	// land in declaration order, keeping execution deterministic.
 	domains := make(map[string][]agraph.NodeRef, len(q.Vars))
 	stats := Stats{CandidateCounts: make(map[string]int, len(q.Vars))}
+	cands, err := e.candidateSets(q)
+	if err != nil {
+		return nil, err
+	}
 	for i := range q.Vars {
 		v := &q.Vars[i]
-		cands, err := p.candidates(v)
-		if err != nil {
-			return nil, err
-		}
-		domains[v.Name] = cands
-		stats.CandidateCounts[v.Name] = len(cands)
+		domains[v.Name] = cands[i]
+		stats.CandidateCounts[v.Name] = len(cands[i])
 	}
 
 	// Phase 2 — feasible ordering.
-	order := p.planOrder(q, domains, opts.OrderBySelectivity)
+	order := planOrder(q, domains, opts.OrderBySelectivity)
 	stats.Order = order
 
 	// Phase 3 — joining along a-graph edges with backtracking. The query's
@@ -97,47 +137,89 @@ func (p *Processor) ExecuteParsed(q *Query, opts Options) (*Result, error) {
 	}
 	var matches []Match
 	binding := make(Match, len(q.Vars))
-	p.backtrack(q, domains, order, 0, binding, &matches, &stats, limit)
+	if err := e.backtrack(q, domains, order, 0, binding, &matches, &stats, limit); err != nil {
+		return nil, err
+	}
 	stats.Matches = len(matches)
 
 	// Phase 4 — collation into the selected result form.
 	res := &Result{Kind: q.Select, Matches: matches, Stats: stats}
-	if err := p.collate(q, res); err != nil {
+	if err := e.collate(q, res); err != nil {
 		return nil, err
 	}
 	return res, nil
 }
 
-// candidates resolves one variable's sub-query against the store.
-func (p *Processor) candidates(v *VarDecl) ([]agraph.NodeRef, error) {
+// candidateSets resolves every variable's sub-query, in parallel when the
+// query has several variables and the machine has the cores for it.
+func (e *execution) candidateSets(q *Query) ([][]agraph.NodeRef, error) {
+	out := make([][]agraph.NodeRef, len(q.Vars))
+	if len(q.Vars) <= 1 || runtime.GOMAXPROCS(0) <= 1 {
+		for i := range q.Vars {
+			cands, err := e.candidates(&q.Vars[i])
+			if err != nil {
+				return nil, err
+			}
+			out[i] = cands
+		}
+		return out, nil
+	}
+	errs := make([]error, len(q.Vars))
+	var wg sync.WaitGroup
+	for i := range q.Vars {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i], errs[i] = e.candidates(&q.Vars[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// candidates resolves one variable's sub-query against the pinned view.
+func (e *execution) candidates(v *VarDecl) ([]agraph.NodeRef, error) {
+	if err := e.ctx.Err(); err != nil {
+		return nil, err
+	}
 	switch v.Class {
 	case ClassAnnotation:
-		return p.annotationCandidates(v)
+		return e.annotationCandidates(v)
 	case ClassReferent:
-		return p.referentCandidates(v)
+		return e.referentCandidates(v)
 	case ClassObject:
-		return p.objectCandidates(v)
+		return e.objectCandidates(v)
 	default:
-		return p.termCandidates(v)
+		return e.termCandidates(v)
 	}
 }
 
-func (p *Processor) annotationCandidates(v *VarDecl) ([]agraph.NodeRef, error) {
+func (e *execution) annotationCandidates(v *VarDecl) ([]agraph.NodeRef, error) {
 	// Start from the most selective source available: a keyword.
 	var anns []*core.Annotation
 	seeded := false
 	for _, prop := range v.Props {
 		if prop.Kind == PropContains {
-			anns = p.store.SearchKeyword(prop.Str, true)
+			anns = e.view.SearchKeyword(prop.Str, true)
 			seeded = true
 			break
 		}
 	}
 	if !seeded {
-		anns = p.store.Annotations()
+		anns = e.view.Annotations()
 	}
 	var out []agraph.NodeRef
-	for _, ann := range anns {
+	for i, ann := range anns {
+		if i%cancelCheckStride == 0 {
+			if err := e.ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		ok, err := annotationMatches(ann, v.Props)
 		if err != nil {
 			return nil, err
@@ -192,7 +274,7 @@ func annotationMatches(ann *core.Annotation, props []Prop) (bool, error) {
 	return true, nil
 }
 
-func (p *Processor) referentCandidates(v *VarDecl) ([]agraph.NodeRef, error) {
+func (e *execution) referentCandidates(v *VarDecl) ([]agraph.NodeRef, error) {
 	// Index-driven seeding when a spatial predicate names its space.
 	var seed []*core.Referent
 	seeded := false
@@ -206,12 +288,12 @@ func (p *Processor) referentCandidates(v *VarDecl) ([]agraph.NodeRef, error) {
 		switch prop.Kind {
 		case PropOverlapsIv:
 			if domain != "" {
-				seed = p.store.ReferentsOverlapping(subx.IntervalMark{Domain: domain, IV: prop.Iv})
+				seed = e.view.ReferentsOverlapping(subx.IntervalMark{Domain: domain, IV: prop.Iv})
 				seeded = true
 			}
 		case PropOverlapsRect:
 			if domain != "" {
-				seed = p.store.ReferentsOverlapping(subx.RegionMark{System: domain, R: prop.Rect})
+				seed = e.view.ReferentsOverlapping(subx.RegionMark{System: domain, R: prop.Rect})
 				seeded = true
 			}
 		}
@@ -220,7 +302,7 @@ func (p *Processor) referentCandidates(v *VarDecl) ([]agraph.NodeRef, error) {
 		}
 	}
 	if !seeded {
-		seed = p.store.Referents()
+		seed = e.view.Referents()
 	}
 	var out []agraph.NodeRef
 	for _, r := range seed {
@@ -262,9 +344,9 @@ func referentMatches(r *core.Referent, props []Prop) bool {
 	return true
 }
 
-func (p *Processor) objectCandidates(v *VarDecl) ([]agraph.NodeRef, error) {
+func (e *execution) objectCandidates(v *VarDecl) ([]agraph.NodeRef, error) {
 	var out []agraph.NodeRef
-	for _, h := range p.store.ObjectList() {
+	for _, h := range e.view.ObjectList() {
 		ok := true
 		for _, prop := range v.Props {
 			switch prop.Kind {
@@ -285,7 +367,7 @@ func (p *Processor) objectCandidates(v *VarDecl) ([]agraph.NodeRef, error) {
 	return out, nil
 }
 
-func (p *Processor) termCandidates(v *VarDecl) ([]agraph.NodeRef, error) {
+func (e *execution) termCandidates(v *VarDecl) ([]agraph.NodeRef, error) {
 	var ontNames []string
 	for _, prop := range v.Props {
 		if prop.Kind == PropOntology {
@@ -293,11 +375,11 @@ func (p *Processor) termCandidates(v *VarDecl) ([]agraph.NodeRef, error) {
 		}
 	}
 	if ontNames == nil {
-		ontNames = p.store.Ontologies()
+		ontNames = e.view.Ontologies()
 	}
 	var out []agraph.NodeRef
 	for _, name := range ontNames {
-		o, err := p.store.Ontology(name)
+		o, err := e.view.Ontology(name)
 		if err != nil {
 			return nil, err
 		}
@@ -348,7 +430,7 @@ func filterStrings(in []string, keep func(string) bool) []string {
 // planOrder picks the variable binding order. With selectivity ordering,
 // the smallest unresolved candidate set joined to the bound set goes next
 // (falling back to the global smallest); otherwise declaration order.
-func (p *Processor) planOrder(q *Query, domains map[string][]agraph.NodeRef, bySelectivity bool) []string {
+func planOrder(q *Query, domains map[string][]agraph.NodeRef, bySelectivity bool) []string {
 	names := make([]string, len(q.Vars))
 	for i, v := range q.Vars {
 		names[i] = v.Name
@@ -401,10 +483,13 @@ func (p *Processor) planOrder(q *Query, domains map[string][]agraph.NodeRef, byS
 	return order
 }
 
-func (p *Processor) backtrack(q *Query, domains map[string][]agraph.NodeRef,
-	order []string, depth int, binding Match, out *[]Match, stats *Stats, maxResults int) bool {
+// backtrack explores candidate assignments depth-first. It returns a
+// non-nil error only on context cancellation; running out of candidates
+// or hitting the result cap end the walk normally.
+func (e *execution) backtrack(q *Query, domains map[string][]agraph.NodeRef,
+	order []string, depth int, binding Match, out *[]Match, stats *Stats, maxResults int) error {
 	if maxResults > 0 && len(*out) >= maxResults {
-		return false
+		return nil
 	}
 	if depth == len(order) {
 		m := make(Match, len(binding))
@@ -412,37 +497,45 @@ func (p *Processor) backtrack(q *Query, domains map[string][]agraph.NodeRef,
 			m[k] = v
 		}
 		*out = append(*out, m)
-		return maxResults <= 0 || len(*out) < maxResults
+		return nil
 	}
 	name := order[depth]
 	for _, cand := range domains[name] {
+		if maxResults > 0 && len(*out) >= maxResults {
+			return nil
+		}
 		stats.BindingsTried++
+		if stats.BindingsTried%cancelCheckStride == 0 {
+			if err := e.ctx.Err(); err != nil {
+				return err
+			}
+		}
 		binding[name] = cand
-		if p.consistent(q, binding, name) {
-			if !p.backtrack(q, domains, order, depth+1, binding, out, stats, maxResults) {
+		if e.consistent(q, binding, name) {
+			if err := e.backtrack(q, domains, order, depth+1, binding, out, stats, maxResults); err != nil {
 				delete(binding, name)
-				return false
+				return err
 			}
 		}
 		delete(binding, name)
 	}
-	return true
+	return nil
 }
 
 // consistent checks all edge patterns and constraints whose variables are
 // fully bound, after `last` was just assigned.
-func (p *Processor) consistent(q *Query, binding Match, last string) bool {
-	g := p.store.Graph()
-	for _, e := range q.Edges {
-		if e.From != last && e.To != last {
+func (e *execution) consistent(q *Query, binding Match, last string) bool {
+	g := e.view.Graph()
+	for _, qe := range q.Edges {
+		if qe.From != last && qe.To != last {
 			continue
 		}
-		from, okF := binding[e.From]
-		to, okT := binding[e.To]
+		from, okF := binding[qe.From]
+		to, okT := binding[qe.To]
 		if !okF || !okT {
 			continue
 		}
-		if !g.HasEdgeBetween(from, to, agraph.EdgeLabel(e.Label)) {
+		if !g.HasEdgeBetween(from, to, agraph.EdgeLabel(qe.Label)) {
 			return false
 		}
 	}
@@ -460,14 +553,14 @@ func (p *Processor) consistent(q *Query, binding Match, last string) bool {
 		if !relevant || !allBound {
 			continue
 		}
-		if !p.checkConstraint(c, binding) {
+		if !e.checkConstraint(c, binding) {
 			return false
 		}
 	}
 	return true
 }
 
-func (p *Processor) checkConstraint(c Constraint, binding Match) bool {
+func (e *execution) checkConstraint(c Constraint, binding Match) bool {
 	if c.Kind == ConstraintDistinct {
 		seen := make(map[agraph.NodeRef]bool, len(c.Vars))
 		for _, name := range c.Vars {
@@ -486,7 +579,7 @@ func (p *Processor) checkConstraint(c Constraint, binding Match) bool {
 		if !ok {
 			return false
 		}
-		r, err := p.store.Referent(id)
+		r, err := e.view.Referent(id)
 		if err != nil {
 			return false
 		}
@@ -538,7 +631,7 @@ func (p *Processor) checkConstraint(c Constraint, binding Match) bool {
 }
 
 // collate assembles the selected result form from the raw matches.
-func (p *Processor) collate(q *Query, res *Result) error {
+func (e *execution) collate(q *Query, res *Result) error {
 	switch q.Select {
 	case SelectContents:
 		seen := make(map[uint64]bool)
@@ -550,7 +643,7 @@ func (p *Processor) collate(q *Query, res *Result) error {
 				node := m[v.Name]
 				if id, ok := parseContentNode(node); ok && !seen[id] {
 					seen[id] = true
-					ann, err := p.store.Annotation(id)
+					ann, err := e.view.Annotation(id)
 					if err != nil {
 						return err
 					}
@@ -570,7 +663,7 @@ func (p *Processor) collate(q *Query, res *Result) error {
 				}
 				if id, ok := agraph.ReferentID(m[v.Name]); ok && !seen[id] {
 					seen[id] = true
-					r, err := p.store.Referent(id)
+					r, err := e.view.Referent(id)
 					if err != nil {
 						return err
 					}
@@ -582,9 +675,9 @@ func (p *Processor) collate(q *Query, res *Result) error {
 			return res.Referents[i].ID < res.Referents[j].ID
 		})
 	case SelectGraph:
-		g := p.store.Graph()
+		g := e.view.Graph()
 		for _, m := range res.Matches {
-			sg := p.matchSubgraph(q, m, g)
+			sg := matchSubgraph(q, m, g)
 			res.Subgraphs = append(res.Subgraphs, sg)
 		}
 	}
@@ -593,7 +686,7 @@ func (p *Processor) collate(q *Query, res *Result) error {
 
 // matchSubgraph builds the type-extended connection subgraph of one match:
 // the bound nodes plus the a-graph edges realising the pattern edges.
-func (p *Processor) matchSubgraph(q *Query, m Match, g *agraph.Graph) *agraph.Subgraph {
+func matchSubgraph(q *Query, m Match, g *agraph.Graph) *agraph.Subgraph {
 	nodes := make(map[agraph.NodeRef]bool, len(m))
 	var terminals []agraph.NodeRef
 	for _, node := range m {

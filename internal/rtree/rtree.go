@@ -20,8 +20,13 @@ type Entry[V any] struct {
 }
 
 // Tree is a Guttman R-tree with quadratic split. The zero value is an empty
-// 2-D tree; use NewTree to pick a dimensionality explicitly. Tree is not
-// safe for concurrent mutation.
+// 2-D tree; use NewTree to pick a dimensionality explicitly.
+//
+// Mutations are path-copying: Insert and Delete copy every node they
+// modify instead of mutating in place, so a Snapshot taken before a
+// mutation remains a consistent, immutable view of the tree at that
+// instant (the same discipline as interval.Tree). Tree is not safe for
+// concurrent mutation; Snapshots are safe for concurrent reads.
 type Tree[V any] struct {
 	root *rnode[V]
 	dims int
@@ -35,6 +40,48 @@ type rnode[V any] struct {
 	entries  []Entry[V]  // leaf nodes
 	bounds   Rect
 }
+
+// clone returns a copy of n with fresh slice headers and backing arrays,
+// safe for the mutation in progress to modify.
+func (n *rnode[V]) clone() *rnode[V] {
+	c := &rnode[V]{leaf: n.leaf, bounds: n.bounds}
+	if n.rects != nil {
+		c.rects = append(make([]Rect, 0, len(n.rects)+1), n.rects...)
+	}
+	if n.children != nil {
+		c.children = append(make([]*rnode[V], 0, len(n.children)+1), n.children...)
+	}
+	if n.entries != nil {
+		c.entries = append(make([]Entry[V], 0, len(n.entries)+1), n.entries...)
+	}
+	return c
+}
+
+// Snapshot is an immutable point-in-time view of a Tree. The zero value is
+// an empty 2-D snapshot. Snapshots share structure with the tree; later
+// mutations never alter a snapshot.
+type Snapshot[V any] struct {
+	root *rnode[V]
+	dims int
+	size int
+}
+
+// Snapshot returns an immutable view of the tree's current contents in
+// O(1).
+func (t *Tree[V]) Snapshot() Snapshot[V] {
+	return Snapshot[V]{root: t.root, dims: t.Dims(), size: t.Len()}
+}
+
+// Dims returns the snapshot's dimensionality.
+func (s Snapshot[V]) Dims() int {
+	if s.dims == 0 {
+		return 2
+	}
+	return s.dims
+}
+
+// Len reports the number of entries in the snapshot.
+func (s Snapshot[V]) Len() int { return s.size }
 
 // NewTree returns an empty tree indexing rectangles of the given
 // dimensionality (2 or 3).
@@ -73,22 +120,31 @@ func (t *Tree[V]) Insert(r Rect, id uint64, val V) error {
 	if t.root == nil {
 		t.root = &rnode[V]{leaf: true}
 	}
-	n1, n2 := t.insert(t.root, e)
-	if n2 != nil {
-		// Root split: grow the tree.
-		t.root = &rnode[V]{
-			leaf:     false,
-			children: []*rnode[V]{n1, n2},
-			rects:    []Rect{n1.bounds, n2.bounds},
-		}
-		t.root.recomputeBounds()
-	}
+	t.root = t.insertRoot(t.root, e)
 	return nil
 }
 
+// insertRoot inserts e under root and returns the new root (grown by one
+// level when the old root split).
+func (t *Tree[V]) insertRoot(root *rnode[V], e Entry[V]) *rnode[V] {
+	n1, n2 := t.insert(root, e)
+	if n2 == nil {
+		return n1
+	}
+	grown := &rnode[V]{
+		leaf:     false,
+		children: []*rnode[V]{n1, n2},
+		rects:    []Rect{n1.bounds, n2.bounds},
+	}
+	grown.recomputeBounds()
+	return grown
+}
+
 // insert places e into the subtree rooted at n, returning the (possibly
-// rebuilt) node and a second node when n had to split.
+// rebuilt) node and a second node when n had to split. n itself is never
+// modified: the copy of the descent path is returned instead.
 func (t *Tree[V]) insert(n *rnode[V], e Entry[V]) (*rnode[V], *rnode[V]) {
+	n = n.clone()
 	if n.leaf {
 		n.entries = append(n.entries, e)
 		n.recomputeBounds()
@@ -276,25 +332,19 @@ func (t *Tree[V]) Delete(id uint64) bool {
 		if t.root == nil {
 			t.root = &rnode[V]{leaf: true}
 		}
-		n1, n2 := t.insert(t.root, e)
-		if n2 != nil {
-			t.root = &rnode[V]{
-				leaf:     false,
-				children: []*rnode[V]{n1, n2},
-				rects:    []Rect{n1.bounds, n2.bounds},
-			}
-			t.root.recomputeBounds()
-		}
+		t.root = t.insertRoot(t.root, e)
 	}
 	return true
 }
 
 // condense removes (r,id) from the subtree at n. Nodes that drop below the
-// minimum fill contribute their entries to orphans and are pruned.
+// minimum fill contribute their entries to orphans and are pruned. Like
+// insert, it works on copies: n is never modified in place.
 func (t *Tree[V]) condense(n *rnode[V], r Rect, id uint64, orphans *[]Entry[V]) *rnode[V] {
 	if n == nil {
 		return nil
 	}
+	n = n.clone()
 	if n.leaf {
 		for i, e := range n.entries {
 			if e.ID == id {
@@ -345,8 +395,13 @@ func collectEntries[V any](n *rnode[V], out *[]Entry[V]) {
 
 // Search returns all entries whose rectangle overlaps q, sorted by ID.
 func (t *Tree[V]) Search(q Rect) []Entry[V] {
+	return t.Snapshot().Search(q)
+}
+
+// Search returns all entries whose rectangle overlaps q, sorted by ID.
+func (s Snapshot[V]) Search(q Rect) []Entry[V] {
 	var out []Entry[V]
-	t.Visit(q, func(e Entry[V]) bool {
+	s.Visit(q, func(e Entry[V]) bool {
 		out = append(out, e)
 		return true
 	})
@@ -357,10 +412,16 @@ func (t *Tree[V]) Search(q Rect) []Entry[V] {
 // Visit calls fn for every entry overlapping q until fn returns false.
 // Visit order is unspecified.
 func (t *Tree[V]) Visit(q Rect, fn func(Entry[V]) bool) {
-	if !q.Valid() || q.Dims != t.Dims() {
+	t.Snapshot().Visit(q, fn)
+}
+
+// Visit calls fn for every entry overlapping q until fn returns false.
+// Visit order is unspecified.
+func (s Snapshot[V]) Visit(q Rect, fn func(Entry[V]) bool) {
+	if !q.Valid() || q.Dims != s.Dims() {
 		return
 	}
-	visit(t.root, q, fn)
+	visit(s.root, q, fn)
 }
 
 func visit[V any](n *rnode[V], q Rect, fn func(Entry[V]) bool) bool {
@@ -387,8 +448,13 @@ func visit[V any](n *rnode[V], q Rect, fn func(Entry[V]) bool) bool {
 
 // Count returns the number of entries overlapping q.
 func (t *Tree[V]) Count(q Rect) int {
+	return t.Snapshot().Count(q)
+}
+
+// Count returns the number of entries overlapping q.
+func (s Snapshot[V]) Count(q Rect) int {
 	n := 0
-	t.Visit(q, func(Entry[V]) bool {
+	s.Visit(q, func(Entry[V]) bool {
 		n++
 		return true
 	})
@@ -398,10 +464,16 @@ func (t *Tree[V]) Count(q Rect) int {
 // Bounds returns the bounding box of all entries; ok is false for an empty
 // tree.
 func (t *Tree[V]) Bounds() (Rect, bool) {
-	if t.root == nil || t.Len() == 0 {
+	return t.Snapshot().Bounds()
+}
+
+// Bounds returns the bounding box of all entries; ok is false for an empty
+// snapshot.
+func (s Snapshot[V]) Bounds() (Rect, bool) {
+	if s.root == nil || s.size == 0 {
 		return Rect{}, false
 	}
-	return t.root.bounds, true
+	return s.root.bounds, true
 }
 
 // Height returns the height of the tree (0 when empty).

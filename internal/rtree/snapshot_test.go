@@ -1,0 +1,57 @@
+package rtree
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestSnapshotImmutable pins a snapshot, keeps mutating the tree (enough
+// inserts and deletes to force splits and condensation), and checks the
+// snapshot still answers exactly as at capture time.
+func TestSnapshotImmutable(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr, err := NewTree[int](2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insertRand := func(id uint64) {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		r := Rect2D(x, y, x+1+rng.Float64()*40, y+1+rng.Float64()*40)
+		if err := tr.Insert(r, id, int(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 600; i++ {
+		insertRand(i)
+	}
+
+	snap := tr.Snapshot()
+	q := Rect2D(100, 100, 400, 400)
+	wantSearch := snap.Search(q)
+	wantBounds, _ := snap.Bounds()
+	wantLen := snap.Len()
+
+	for i := uint64(0); i < 500; i++ {
+		tr.Delete(i)
+	}
+	for i := uint64(1000); i < 1900; i++ {
+		insertRand(i)
+	}
+
+	if got := snap.Search(q); !reflect.DeepEqual(got, wantSearch) {
+		t.Fatalf("snapshot Search changed after mutation: %d vs %d hits", len(got), len(wantSearch))
+	}
+	if got, _ := snap.Bounds(); got != wantBounds {
+		t.Fatalf("snapshot Bounds changed: %v vs %v", got, wantBounds)
+	}
+	if snap.Len() != wantLen {
+		t.Fatalf("snapshot Len changed: %d vs %d", snap.Len(), wantLen)
+	}
+	if tr.Len() != 600-500+900 {
+		t.Fatalf("live tree Len = %d", tr.Len())
+	}
+	if got := tr.Snapshot().Search(q); !reflect.DeepEqual(got, tr.Search(q)) {
+		t.Fatal("fresh snapshot disagrees with live tree")
+	}
+}

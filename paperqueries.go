@@ -58,8 +58,14 @@ type TP53Result struct {
 // contain the term 'protein.TP53' and have paths to all mouse brain images
 // having at least 2 regions annotated with ontology term 'Deep Cerebellar
 // nuclei'."
-func QueryTP53Images(s *Store, opts TP53Options) (*TP53Result, error) {
+//
+// The whole query runs against one pinned store view: the three
+// sub-queries read a single table/index snapshot, lock-free, regardless
+// of concurrent annotation traffic (graph-join steps consult the shared
+// a-graph handle; see the core.View contract).
+func QueryTP53Images(st *Store, opts TP53Options) (*TP53Result, error) {
 	opts.defaults()
+	s := st.View()
 
 	// Sub-query 1 (ontology): resolve the term and its CI closure.
 	ont, err := s.Ontology(opts.Ontology)
@@ -218,8 +224,9 @@ func (o *ConsecutiveOptions) defaults() {
 // "find annotated sequences of all proteins belonging to an ontological
 // class, where 4 consecutive non-overlapping intervals in the sequence has
 // annotations having the keyword 'protease' in each of them."
-func QueryConsecutiveKeyword(s *Store, opts ConsecutiveOptions) ([]*Chain, error) {
+func QueryConsecutiveKeyword(st *Store, opts ConsecutiveOptions) ([]*Chain, error) {
 	opts.defaults()
+	s := st.View() // one pinned snapshot for both sub-queries
 
 	// Sub-query 1 (contents): annotations carrying the keyword, and the
 	// interval referents they annotate, grouped by domain.
@@ -276,7 +283,7 @@ func QueryConsecutiveKeyword(s *Store, opts ConsecutiveOptions) ([]*Chain, error
 	return dedupChains(chains), nil
 }
 
-func buildChain(s *Store, domain string, run []*Referent, witness map[uint64]*Annotation) *Chain {
+func buildChain(s *core.View, domain string, run []*Referent, witness map[uint64]*Annotation) *Chain {
 	c := &Chain{Domain: domain}
 	seqSet := make(map[string]bool)
 	for _, r := range run {
@@ -309,7 +316,7 @@ func dedupChains(chains []*Chain) []*Chain {
 	return out
 }
 
-func annotationInClass(s *Store, ann *Annotation, ontName, classTerm string) bool {
+func annotationInClass(s *core.View, ann *Annotation, ontName, classTerm string) bool {
 	ont, err := s.Ontology(ontName)
 	if err != nil {
 		return false
