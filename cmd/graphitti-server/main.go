@@ -15,6 +15,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -25,6 +26,7 @@ import (
 	"graphitti/internal/durable"
 	"graphitti/internal/httpapi"
 	"graphitti/internal/persist"
+	"graphitti/internal/prop"
 	"graphitti/internal/workload"
 )
 
@@ -37,10 +39,11 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable mode: WAL + snapshot directory (created if missing)")
 	compactMiB := flag.Int64("compact-threshold-mib", 0, "durable mode: WAL size triggering compaction (0 = default)")
 	queryTimeout := flag.Duration("query-timeout", 0, "per-request limit for /api/search and /api/query (0 = none); timed-out requests get a 408 JSON error")
+	rulesFile := flag.String("rules", "", "JSON file of propagation rules to install at startup (rules already present are kept)")
 	flag.Parse()
 
 	opts := httpapi.Options{QueryTimeout: *queryTimeout}
-	handler, report, err := buildHandler(*dataDir, *studyName, *anns, *images, *snapshot, *compactMiB, opts)
+	handler, report, err := buildHandler(*dataDir, *studyName, *anns, *images, *snapshot, *compactMiB, *rulesFile, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,15 +52,24 @@ func main() {
 	log.Fatal(http.ListenAndServe(*addr, handler))
 }
 
-func buildHandler(dataDir, study string, anns, images int, snapshot string, compactMiB int64, opts httpapi.Options) (http.Handler, string, error) {
+func buildHandler(dataDir, study string, anns, images int, snapshot string, compactMiB int64, rulesFile string, opts httpapi.Options) (http.Handler, string, error) {
+	rules, err := loadRules(rulesFile)
+	if err != nil {
+		return nil, "", err
+	}
 	if dataDir == "" {
 		store, err := buildStore(study, anns, images, snapshot)
 		if err != nil {
 			return nil, "", err
 		}
+		if err := installRules(rules, func(r graphitti.Rule) error {
+			return graphitti.AddRule(store, r)
+		}); err != nil {
+			return nil, "", err
+		}
 		st := store.Stats()
-		report := fmt.Sprintf("graphitti-server: %d annotations, %d referents, %d a-graph edges (in-memory)\n",
-			st.Annotations, st.Referents, st.GraphEdges)
+		report := fmt.Sprintf("graphitti-server: %d annotations, %d referents, %d a-graph edges, %d derived facts via %d rules (in-memory)\n",
+			st.Annotations, st.Referents, st.GraphEdges, st.Derived, len(graphitti.Rules(store)))
 		return httpapi.NewHandlerWithOptions(store, opts), report, nil
 	}
 
@@ -84,10 +96,40 @@ func buildHandler(dataDir, study string, anns, images int, snapshot string, comp
 		}
 		report += fmt.Sprintf("seeded empty data dir from %s\n", seedSource(study, snapshot))
 	}
+	// Rules from -rules are durable ops: logged, so they survive
+	// restarts whether or not the file is passed again. Ones already
+	// present (replayed from a previous run) are kept, not duplicated.
+	if err := installRules(rules, d.AddRule); err != nil {
+		return nil, "", err
+	}
 	st := d.Core().Stats()
-	report += fmt.Sprintf("serving %d annotations, %d referents, %d a-graph edges (durable)\n",
-		st.Annotations, st.Referents, st.GraphEdges)
+	report += fmt.Sprintf("serving %d annotations, %d referents, %d a-graph edges, %d derived facts via %d rules (durable)\n",
+		st.Annotations, st.Referents, st.GraphEdges, st.Derived, len(graphitti.Rules(d.Core())))
 	return httpapi.NewDurableHandlerWithOptions(d, opts), report, nil
+}
+
+// loadRules parses the -rules file (nil when the flag is unset).
+func loadRules(path string) ([]prop.Rule, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return prop.ParseRules(f)
+}
+
+// installRules adds each rule via add, keeping duplicates already
+// installed (e.g. replayed from the WAL).
+func installRules(rules []prop.Rule, add func(prop.Rule) error) error {
+	for _, r := range rules {
+		if err := add(r); err != nil && !errors.Is(err, prop.ErrDuplicateRule) {
+			return fmt.Errorf("install rule %s: %w", r.ID, err)
+		}
+	}
+	return nil
 }
 
 func seedSource(study, snapshot string) string {

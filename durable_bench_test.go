@@ -26,7 +26,7 @@ func BenchmarkW1DurableCommit(b *testing.B) {
 		name string
 		open func(b *testing.B) workload.Sink
 	}{
-		{"inmemory", func(b *testing.B) workload.Sink { return core.NewStore() }},
+		{"inmemory", func(b *testing.B) workload.Sink { return workload.AsSink(core.NewStore()) }},
 		{"durable", func(b *testing.B) workload.Sink {
 			s, err := durable.Open(b.TempDir(), durable.Options{CompactThreshold: -1})
 			if err != nil {

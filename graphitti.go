@@ -44,6 +44,7 @@ import (
 	"graphitti/internal/interval"
 	"graphitti/internal/ontology"
 	"graphitti/internal/persist"
+	"graphitti/internal/prop"
 	"graphitti/internal/query"
 	"graphitti/internal/rtree"
 )
@@ -91,6 +92,15 @@ type (
 	// Ontology is a term graph.
 	Ontology = ontology.Ontology
 
+	// Rule is a propagation rule: a trigger selecting source annotations
+	// plus an edge (overlap, coregistered, closure, shared-referent)
+	// producing derived annotations.
+	Rule = prop.Rule
+	// PropagationEngine maintains derived annotations incrementally.
+	PropagationEngine = prop.Engine
+	// DerivedFact is one materialized derived annotation with provenance.
+	DerivedFact = core.DerivedFact
+
 	// Processor executes the graph query language.
 	Processor = query.Processor
 	// QueryOptions tune query execution.
@@ -117,8 +127,41 @@ const (
 	TypeRecord      = core.TypeRecord
 )
 
+// The propagation edges (see internal/prop).
+const (
+	EdgeOverlap         = prop.EdgeOverlap
+	EdgeCoRegistered    = prop.EdgeCoRegistered
+	EdgeOntologyClosure = prop.EdgeOntologyClosure
+	EdgeSharedReferent  = prop.EdgeSharedReferent
+)
+
 // New returns an empty Graphitti store.
 func New() *Store { return core.NewStore() }
+
+// AddRule registers a propagation rule on the store (attaching the
+// propagation engine on first use) and materializes its derived
+// annotations. Subsequent commits and deletes maintain them
+// incrementally.
+func AddRule(s *Store, r Rule) error { return prop.Attach(s).AddRule(r) }
+
+// DeleteRule removes a propagation rule and every fact it derived.
+func DeleteRule(s *Store, id string) error { return prop.Attach(s).DeleteRule(id) }
+
+// Rules returns the store's propagation rules, sorted by ID.
+func Rules(s *Store) []Rule { return prop.RulesOf(s) }
+
+// DerivedFrom returns the derived annotations sourced at the given
+// annotation — what it propagated onto, with rule and witness.
+func DerivedFrom(s *Store, annID uint64) []DerivedFact { return s.DerivedFrom(annID) }
+
+// ProvenanceOf traces the derived annotations targeting the given
+// annotation — its content node or any of its referents — back to their
+// sources: which rule, which source annotation, and through what edge.
+// The error distinguishes a nonexistent annotation from one with no
+// provenance.
+func ProvenanceOf(s *Store, annID uint64) ([]DerivedFact, error) {
+	return s.DerivedOnto(annID)
+}
 
 // NewProcessor returns a query processor bound to a store.
 func NewProcessor(s *Store) *Processor { return query.NewProcessor(s) }

@@ -326,6 +326,12 @@ func (s *Store) commit(b *Builder, pinnedAnn uint64, pinnedRefs []uint64) (*Anno
 		kw.set(word, appendSortedID(ids, annID))
 	}
 	nv.keywordIdx = kw.done()
+	// Derived annotations: the propagator sees the fully-built successor
+	// view and returns the delta for every affected source, so the new
+	// annotation and its derived consequences publish as one view.
+	if p := s.getPropagator(); p != nil {
+		s.applyDerivedDelta(nv, p.Delta(v, nv, ann, false))
+	}
 	s.publish(nv)
 	return ann, nil
 }

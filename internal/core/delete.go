@@ -76,6 +76,14 @@ func (s *Store) DeleteAnnotation(id uint64) error {
 	if len(touchedSystems) > 0 {
 		nv.rtrees = s.snapshotRTrees(v, touchedSystems)
 	}
+	// Derived annotations: drop the deleted source's facts and recompute
+	// its neighborhood, so no derived fact survives its source or targets
+	// a garbage-collected referent. The pre-delete view v still holds the
+	// GC'd referents in its tree snapshots, which is how the propagator
+	// finds the affected neighbors.
+	if p := s.getPropagator(); p != nil {
+		s.applyDerivedDelta(nv, p.Delta(v, nv, ann, true))
+	}
 	s.publish(nv)
 	return nil
 }

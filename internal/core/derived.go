@@ -1,0 +1,294 @@
+package core
+
+import (
+	"graphitti/internal/agraph"
+)
+
+// Derived annotations are facts the propagation engine (internal/prop)
+// materializes from committed annotations: annotation A's marks, terms
+// and graph neighborhood imply that A also "annotates" other referents,
+// objects, terms or annotations. Each fact carries full provenance — the
+// rule that produced it, the source annotation, and a witness describing
+// the propagation edge — so a reader can always trace a derived
+// annotation back to its source.
+//
+// The store does not compute derived facts itself: a Propagator attached
+// via SetPropagator is consulted inside the writer's critical section, and
+// its delta is published atomically with the mutation that caused it. A
+// reader therefore never observes an annotation without its derived
+// consequences, or a derived fact whose source is gone. Derived facts are
+// recomputable from committed state, which is why the durable layer never
+// logs them: only rules are durable ops, and recovery re-derives.
+
+// DerivedFact is one materialized derived annotation.
+type DerivedFact struct {
+	// Rule is the ID of the propagation rule that produced the fact.
+	Rule string
+	// Source is the committed annotation the fact was derived from.
+	Source uint64
+	// Target is what the source annotation is now derived onto: a
+	// referent, an object, an ontology term, or another annotation's
+	// content root.
+	Target agraph.NodeRef
+	// Witness names the propagation edge, e.g. "overlap ref3~ref17" or
+	// "closure go/protease -> go/hydrolase".
+	Witness string
+}
+
+// Propagator computes derived facts for the store. Implementations are
+// called by the writer while it holds the write lock, against fully-built
+// (but unpublished) successor views; they must not call any Store
+// mutation method, only View reads.
+type Propagator interface {
+	// Delta returns the updated derived sets of every source annotation
+	// affected by the commit (deleted=false) or deletion (deleted=true)
+	// of ann. pre is the view before the mutation; post is the successor
+	// view about to be published. A nil/empty slice removes the source's
+	// entry. Returning nil means "no change".
+	Delta(pre, post *View, ann *Annotation, deleted bool) map[uint64][]DerivedFact
+	// Recompute returns the complete derived map of a view from scratch.
+	Recompute(v *View) map[uint64][]DerivedFact
+	// RecomputeOnRegister reports whether registering a data object can
+	// change derived facts (e.g. a co-registration rule is installed) —
+	// when false, registrations skip the full recompute.
+	RecomputeOnRegister() bool
+}
+
+// derivedEntry is one source annotation's fact set, tagged with the
+// derived epoch at which it was last (re)computed.
+type derivedEntry struct {
+	epoch uint64
+	facts []DerivedFact
+}
+
+// getPropagator loads the attached propagator (nil when none).
+func (s *Store) getPropagator() Propagator {
+	if p := s.propagator.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// SetPropagator attaches (or replaces) the store's propagation engine.
+// Attaching does not recompute; callers normally follow with
+// RecomputeDerived (prop.Attach does).
+func (s *Store) SetPropagator(p Propagator) {
+	s.w.Lock()
+	defer s.w.Unlock()
+	s.propagator.Store(&p)
+}
+
+// Propagator returns the attached propagation engine, or nil. Lock-free:
+// it never waits on the writer.
+func (s *Store) Propagator() Propagator { return s.getPropagator() }
+
+// EnsurePropagator returns the attached propagator, attaching mk() first
+// if none is present. The check-and-set serializes on the writer lock,
+// so concurrent callers agree on one instance.
+func (s *Store) EnsurePropagator(mk func() Propagator) Propagator {
+	s.w.Lock()
+	defer s.w.Unlock()
+	if p := s.getPropagator(); p != nil {
+		return p
+	}
+	p := mk()
+	s.propagator.Store(&p)
+	return p
+}
+
+// RecomputeDerived rebuilds the whole derived table from the attached
+// propagator and publishes it as a new view. It is a no-op without a
+// propagator.
+func (s *Store) RecomputeDerived() {
+	_ = s.UpdateDerivedRules(func() error { return nil })
+}
+
+// UpdateDerivedRules runs swap — a mutation of the attached propagator's
+// rule set — inside the writer's critical section and publishes a full
+// derived recompute with it. Because commits and deletes consult the
+// propagator under the same lock, every published view's derived table
+// is consistent with exactly one rule set: there is no window where a
+// delta is computed under rules the table does not yet (or no longer)
+// reflects. A swap error aborts without recomputing or publishing.
+func (s *Store) UpdateDerivedRules(swap func() error) error {
+	s.w.Lock()
+	defer s.w.Unlock()
+	if err := swap(); err != nil {
+		return err
+	}
+	if s.getPropagator() == nil {
+		return nil
+	}
+	nv := s.v.Load().clone()
+	s.recomputeDerivedInto(nv)
+	s.publish(nv)
+	return nil
+}
+
+// recomputeDerivedInto replaces nv's derived table with a from-scratch
+// recompute. Caller holds w; nv must be fully built.
+func (s *Store) recomputeDerivedInto(nv *View) {
+	p := s.getPropagator()
+	if p == nil {
+		return
+	}
+	nv.derivedEpoch++
+	var t idtable[derivedEntry]
+	count := 0
+	for src, facts := range p.Recompute(nv) {
+		if len(facts) == 0 {
+			continue
+		}
+		t = t.with(src, &derivedEntry{epoch: nv.derivedEpoch, facts: facts})
+		count += len(facts)
+	}
+	nv.derived = t
+	nv.derivedCount = count
+}
+
+// applyDerivedDelta folds a propagator delta into nv. Caller holds w; nv
+// must be fully built (the delta was computed against it).
+func (s *Store) applyDerivedDelta(nv *View, delta map[uint64][]DerivedFact) {
+	if len(delta) == 0 {
+		return
+	}
+	nv.derivedEpoch++
+	t := nv.derived
+	count := nv.derivedCount
+	for src, facts := range delta {
+		if old := t.get(src); old != nil {
+			count -= len(old.facts)
+		}
+		if len(facts) == 0 {
+			t = t.without(src)
+			continue
+		}
+		t = t.with(src, &derivedEntry{epoch: nv.derivedEpoch, facts: facts})
+		count += len(facts)
+	}
+	nv.derived = t
+	nv.derivedCount = count
+}
+
+// DerivedFrom returns the derived facts sourced at the given annotation,
+// in canonical (rule, target, witness) order.
+func (v *View) DerivedFrom(src uint64) []DerivedFact {
+	e := v.derived.get(src)
+	if e == nil {
+		return nil
+	}
+	out := make([]DerivedFact, len(e.facts))
+	copy(out, e.facts)
+	return out
+}
+
+// DerivedFrom returns the derived facts sourced at the given annotation.
+func (s *Store) DerivedFrom(src uint64) []DerivedFact { return s.View().DerivedFrom(src) }
+
+// DerivedFromEach visits the facts sourced at src, in canonical order,
+// until fn returns false — the zero-copy variant of DerivedFrom for
+// predicate checks on hot paths.
+func (v *View) DerivedFromEach(src uint64, fn func(DerivedFact) bool) {
+	e := v.derived.get(src)
+	if e == nil {
+		return
+	}
+	for _, f := range e.facts {
+		if !fn(f) {
+			return
+		}
+	}
+}
+
+// DerivedEach visits every derived fact — ascending source ID, canonical
+// fact order within a source — until fn returns false.
+func (v *View) DerivedEach(fn func(DerivedFact) bool) {
+	v.derived.each(func(_ uint64, e *derivedEntry) bool {
+		for _, f := range e.facts {
+			if !fn(f) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// DerivedAll returns every derived fact, ascending source ID then
+// canonical fact order — the deterministic export the equivalence tests
+// compare against a full recompute.
+func (v *View) DerivedAll() []DerivedFact {
+	out := make([]DerivedFact, 0, v.derivedCount)
+	v.DerivedEach(func(f DerivedFact) bool {
+		out = append(out, f)
+		return true
+	})
+	return out
+}
+
+// DerivedAll returns every derived fact.
+func (s *Store) DerivedAll() []DerivedFact { return s.View().DerivedAll() }
+
+// DerivedTargeting returns the derived facts whose target is the given
+// node — the provenance of everything derived onto it. Linear in the
+// total fact count.
+func (v *View) DerivedTargeting(target agraph.NodeRef) []DerivedFact {
+	var out []DerivedFact
+	v.DerivedEach(func(f DerivedFact) bool {
+		if f.Target == target {
+			out = append(out, f)
+		}
+		return true
+	})
+	return out
+}
+
+// DerivedTargeting returns the derived facts targeting the given node.
+func (s *Store) DerivedTargeting(target agraph.NodeRef) []DerivedFact {
+	return s.View().DerivedTargeting(target)
+}
+
+// DerivedOnto returns the derived facts targeting an annotation's
+// content node or any of its referents — the full provenance of what was
+// propagated onto it. Linear in the total fact count.
+func (v *View) DerivedOnto(annID uint64) ([]DerivedFact, error) {
+	ann, err := v.Annotation(annID)
+	if err != nil {
+		return nil, err
+	}
+	targets := make(map[agraph.NodeRef]bool, len(ann.ReferentIDs)+1)
+	targets[agraph.ContentRoot(annID)] = true
+	for _, refID := range ann.ReferentIDs {
+		targets[agraph.Referent(refID)] = true
+	}
+	var out []DerivedFact
+	v.DerivedEach(func(f DerivedFact) bool {
+		if targets[f.Target] {
+			out = append(out, f)
+		}
+		return true
+	})
+	return out, nil
+}
+
+// DerivedOnto returns the derived facts targeting an annotation's
+// content node or any of its referents.
+func (s *Store) DerivedOnto(annID uint64) ([]DerivedFact, error) {
+	return s.View().DerivedOnto(annID)
+}
+
+// DerivedCount returns the number of materialized derived facts.
+func (v *View) DerivedCount() int { return v.derivedCount }
+
+// DerivedEpoch returns the derived table's epoch: it advances on every
+// mutation that changed the table, and every fact set records the epoch
+// it was computed at.
+func (v *View) DerivedEpoch() uint64 { return v.derivedEpoch }
+
+// DerivedSourceEpoch returns the epoch at which the given source's fact
+// set was last recomputed (0 when the source has no facts).
+func (v *View) DerivedSourceEpoch(src uint64) uint64 {
+	if e := v.derived.get(src); e != nil {
+		return e.epoch
+	}
+	return 0
+}

@@ -36,6 +36,12 @@ const (
 	// OpDeleteAnnotation deletes an annotation (garbage-collecting
 	// referents no other annotation references).
 	OpDeleteAnnotation
+	// OpAddRule registers a propagation rule. Rules are durable ops —
+	// the derived facts they materialize are not (they are recomputed on
+	// replay).
+	OpAddRule
+	// OpDeleteRule removes a propagation rule and its derived facts.
+	OpDeleteRule
 )
 
 func (k OpKind) String() string {
@@ -62,6 +68,10 @@ func (k OpKind) String() string {
 		return "commit-annotation"
 	case OpDeleteAnnotation:
 		return "delete-annotation"
+	case OpAddRule:
+		return "add-rule"
+	case OpDeleteRule:
+		return "delete-rule"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(k))
 	}

@@ -46,6 +46,13 @@ type Store struct {
 	// structure with these without observing later mutation. Guarded by w.
 	itrees map[string]*interval.Tree[string]
 	rtrees map[string]*rtree.Tree[string]
+
+	// propagator, when attached, computes derived annotations inside the
+	// writer's critical section (see derived.go). Attachment serializes
+	// on w, but the pointer itself is atomic so read-side accessors
+	// (Propagator, prop.RulesOf) never block behind a commit or a
+	// long-running derived recompute.
+	propagator atomic.Pointer[Propagator]
 }
 
 var (
@@ -380,6 +387,13 @@ func (s *Store) RegisterImage(im *imaging.Image) error {
 	nv.images = mapWith(v.images, im.ID, im)
 	nv.imageIDs = insertSortedStr(v.imageIDs, im.ID)
 	nv.objects = insertSortedObject(v.objects, ObjectHandle{TypeImage, im.ID})
+	// A new image in a shared coordinate system can become the target of
+	// existing coordinate-registration rules; registrations are rare, so
+	// a full recompute keeps the derived table exact without a dedicated
+	// delta path — skipped entirely when no rule can be affected.
+	if p := s.getPropagator(); p != nil && p.RecomputeOnRegister() {
+		s.recomputeDerivedInto(nv)
+	}
 	s.publish(nv)
 	return nil
 }
@@ -460,6 +474,7 @@ type Stats struct {
 	GraphNodes        int
 	GraphEdges        int
 	Keywords          int
+	Derived           int
 }
 
 // Stats returns current component sizes.

@@ -85,6 +85,14 @@ type View struct {
 	refByMark   smap[uint64]   // canonical mark -> shared referent ID
 	keywordIdx  smap[[]uint64] // keyword -> sorted annotation IDs
 
+	// derived is the materialized derived-annotation table, keyed by
+	// source annotation ID (see derived.go). Maintained by the attached
+	// Propagator inside the writer's critical section, so it is always
+	// exactly consistent with the committed annotations of this view.
+	derived      idtable[derivedEntry]
+	derivedCount int
+	derivedEpoch uint64
+
 	nextAnn, nextRef uint64
 }
 
@@ -277,6 +285,7 @@ func (v *View) Stats() Stats {
 		GraphNodes:        v.graph.NodeCount(),
 		GraphEdges:        v.graph.EdgeCount(),
 		Keywords:          v.keywordIdx.len(),
+		Derived:           v.derivedCount,
 	}
 }
 

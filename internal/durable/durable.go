@@ -55,6 +55,7 @@ import (
 	"graphitti/internal/interval"
 	"graphitti/internal/ontology"
 	"graphitti/internal/persist"
+	"graphitti/internal/prop"
 	"graphitti/internal/relstore"
 	"graphitti/internal/rtree"
 	"graphitti/internal/wal"
@@ -119,6 +120,8 @@ type record struct {
 	Row        []persist.ValueDump     `json:"row,omitempty"`
 	Annotation *persist.AnnotationDump `json:"annotation,omitempty"`
 	DeleteID   uint64                  `json:"deleteId,omitempty"`
+	Rule       *persist.RuleDump       `json:"rule,omitempty"`
+	RuleID     string                  `json:"ruleId,omitempty"`
 }
 
 // Stats describes the durability machinery (the wrapped store's own
@@ -309,6 +312,10 @@ func apply(cs *core.Store, rec *record) error {
 		return persist.ApplyAnnotation(cs, *rec.Annotation)
 	case core.OpDeleteAnnotation:
 		return cs.DeleteAnnotation(rec.DeleteID)
+	case core.OpAddRule:
+		return persist.ApplyRule(cs, *rec.Rule)
+	case core.OpDeleteRule:
+		return prop.Attach(cs).DeleteRule(rec.RuleID)
 	default:
 		return fmt.Errorf("unknown op kind %d", rec.Kind)
 	}
@@ -531,6 +538,21 @@ func (s *Store) Commit(b *core.Builder) (*core.Annotation, error) {
 func (s *Store) DeleteAnnotation(id uint64) error {
 	return s.logApply(&record{Kind: core.OpDeleteAnnotation, DeleteID: id},
 		func(c *core.Store) error { return c.DeleteAnnotation(id) })
+}
+
+// AddRule logs and registers a propagation rule. The rule is a durable
+// op; the derived facts it materializes are not logged — recovery
+// re-derives them by replaying the rule among the other mutations.
+func (s *Store) AddRule(r prop.Rule) error {
+	d := persist.DumpRule(r)
+	return s.logApply(&record{Kind: core.OpAddRule, Rule: &d},
+		func(c *core.Store) error { return prop.Attach(c).AddRule(r) })
+}
+
+// DeleteRule logs and removes a propagation rule (and its derived facts).
+func (s *Store) DeleteRule(id string) error {
+	return s.logApply(&record{Kind: core.OpDeleteRule, RuleID: id},
+		func(c *core.Store) error { return prop.Attach(c).DeleteRule(id) })
 }
 
 // Compact checkpoints the current state as a snapshot and rotates to an

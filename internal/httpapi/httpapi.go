@@ -11,6 +11,8 @@
 //	                 GET  /api/referents
 //	admin tab:       GET /api/stats, DELETE /api/annotations/{id},
 //	                 GET /api/snapshot, POST /api/restore
+//	propagation:     GET/POST /api/rules, DELETE /api/rules/{id},
+//	                 GET /api/provenance/{id}
 //
 // Served over a durable store (NewDurableHandler), mutations are
 // write-ahead logged before they are acknowledged, /api/stats grows a
@@ -32,6 +34,7 @@ import (
 	"graphitti/internal/durable"
 	"graphitti/internal/interval"
 	"graphitti/internal/persist"
+	"graphitti/internal/prop"
 	"graphitti/internal/query"
 	"graphitti/internal/rtree"
 )
@@ -83,6 +86,10 @@ func newMux(api *server) http.Handler {
 	mux.HandleFunc("GET /api/objects", api.objects)
 	mux.HandleFunc("GET /api/snapshot", api.snapshot)
 	mux.HandleFunc("POST /api/restore", api.restore)
+	mux.HandleFunc("GET /api/rules", api.listRules)
+	mux.HandleFunc("POST /api/rules", api.addRule)
+	mux.HandleFunc("DELETE /api/rules/{id}", api.deleteRule)
+	mux.HandleFunc("GET /api/provenance/{id}", api.provenance)
 	return mux
 }
 
@@ -143,8 +150,13 @@ func writeErr(w http.ResponseWriter, err error) {
 		status = http.StatusNotFound
 	case errors.Is(err, core.ErrBadMark),
 		errors.Is(err, core.ErrEmptyAnnotation),
-		errors.Is(err, query.ErrSyntax):
+		errors.Is(err, query.ErrSyntax),
+		errors.Is(err, prop.ErrBadRule):
 		status = http.StatusBadRequest
+	case errors.Is(err, prop.ErrDuplicateRule):
+		status = http.StatusConflict
+	case errors.Is(err, prop.ErrNoSuchRule):
+		status = http.StatusNotFound
 	}
 	writeJSON(w, status, errorBody{Error: err.Error()})
 }
@@ -563,6 +575,109 @@ func (s *server) restore(w http.ResponseWriter, r *http.Request) {
 	s.proc = query.NewProcessor(store)
 	s.mu.Unlock()
 	s.stats(w, r)
+}
+
+// factView is the JSON projection of one derived fact.
+type factView struct {
+	Rule       string `json:"rule"`
+	Source     uint64 `json:"source"`
+	TargetKind string `json:"targetKind"`
+	TargetKey  string `json:"targetKey"`
+	Witness    string `json:"witness"`
+}
+
+func viewOfFact(f core.DerivedFact) factView {
+	return factView{
+		Rule: f.Rule, Source: f.Source,
+		TargetKind: f.Target.Kind.String(), TargetKey: f.Target.Key,
+		Witness: f.Witness,
+	}
+}
+
+func factViews(facts []core.DerivedFact) []factView {
+	out := make([]factView, 0, len(facts))
+	for _, f := range facts {
+		out = append(out, viewOfFact(f))
+	}
+	return out
+}
+
+func (s *server) listRules(w http.ResponseWriter, _ *http.Request) {
+	store, _ := s.view()
+	rules := prop.RulesOf(store)
+	if rules == nil {
+		rules = []prop.Rule{}
+	}
+	writeJSON(w, http.StatusOK, rules)
+}
+
+func (s *server) addRule(w http.ResponseWriter, r *http.Request) {
+	var rule prop.Rule
+	if err := json.NewDecoder(r.Body).Decode(&rule); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	if err := s.addRuleOp(rule); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, rule)
+}
+
+// addRuleOp routes the mutation through the WAL when present.
+func (s *server) addRuleOp(rule prop.Rule) error {
+	if s.durable != nil {
+		return s.durable.AddRule(rule)
+	}
+	store, _ := s.view()
+	return prop.Attach(store).AddRule(rule)
+}
+
+func (s *server) deleteRule(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.deleteRuleOp(id); err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *server) deleteRuleOp(id string) error {
+	if s.durable != nil {
+		return s.durable.DeleteRule(id)
+	}
+	store, _ := s.view()
+	return prop.Attach(store).DeleteRule(id)
+}
+
+// provenance traces derived annotations through one annotation: the
+// facts it sourced ("derives") and the facts derived onto it
+// ("provenance"), each carrying rule + source + witness.
+func (s *server) provenance(w http.ResponseWriter, r *http.Request) {
+	id, err := pathID(r)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	store, _ := s.view()
+	v := store.View()
+	onto, err := v.DerivedOnto(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	type provenanceView struct {
+		ID         uint64     `json:"id"`
+		Epoch      uint64     `json:"epoch,omitempty"`
+		Derives    []factView `json:"derives"`
+		Provenance []factView `json:"provenance"`
+	}
+	writeJSON(w, http.StatusOK, provenanceView{
+		ID:         id,
+		Epoch:      v.DerivedSourceEpoch(id),
+		Derives:    factViews(v.DerivedFrom(id)),
+		Provenance: factViews(onto),
+	})
 }
 
 func pathID(r *http.Request) (uint64, error) {

@@ -296,6 +296,41 @@ func (o *Ontology) descendantsLocked(c string, rels []string) map[string]bool {
 	return seen
 }
 
+// Ancestors returns every term reachable from id through the given
+// relations (child -> parent edges): the upward closure the propagation
+// engine materializes, per the paper's "an annotation only points to
+// ontology nodes" — pointing at a term implicitly annotates everything
+// the term specializes. Empty rels means all relations. The result is
+// sorted and excludes id itself; traversal is cycle-safe.
+func (o *Ontology) Ancestors(id string, rels []string) ([]string, error) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	if _, ok := o.terms[id]; !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchTerm, id)
+	}
+	allowed := make(map[string]bool, len(rels))
+	for _, r := range rels {
+		allowed[r] = true
+	}
+	seen := map[string]bool{id: true}
+	queue := []string{id}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range o.out[cur] {
+			if len(rels) > 0 && !allowed[e.Rel] {
+				continue
+			}
+			if !seen[e.To] {
+				seen[e.To] = true
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	delete(seen, id)
+	return sortedKeys(seen), nil
+}
+
 // SubTree is the result of the SubTree operations: a root, the set of terms
 // under it, and the edges of the induced restriction.
 type SubTree struct {

@@ -35,6 +35,7 @@ import (
 	"graphitti/internal/dublincore"
 	"graphitti/internal/interval"
 	"graphitti/internal/ontology"
+	"graphitti/internal/prop"
 	"graphitti/internal/relstore"
 	"graphitti/internal/rtree"
 )
@@ -55,6 +56,9 @@ type Snapshot struct {
 	Images       []ImageDump      `json:"images,omitempty"`
 	RecordTables []TableDump      `json:"recordTables,omitempty"`
 	Annotations  []AnnotationDump `json:"annotations,omitempty"`
+	// Rules are the propagation rules (internal/prop). Derived facts are
+	// never persisted: loading re-adds the rules, which re-derives them.
+	Rules []RuleDump `json:"rules,omitempty"`
 	// NextAnn/NextRef are the store's ID counters at export time (v2).
 	// They can run ahead of the highest live ID when annotations or
 	// referents were deleted.
@@ -186,6 +190,18 @@ type AnnotationDump struct {
 	Terms     []TermRefDump       `json:"terms,omitempty"`
 }
 
+// RuleDump serialises a propagation rule.
+type RuleDump struct {
+	ID        string   `json:"id"`
+	Keyword   string   `json:"keyword,omitempty"`
+	Ontology  string   `json:"ontology,omitempty"`
+	Term      string   `json:"term,omitempty"`
+	Domain    string   `json:"domain,omitempty"`
+	Kind      string   `json:"kind,omitempty"`
+	Edge      string   `json:"edge"`
+	Relations []string `json:"relations,omitempty"`
+}
+
 // TagDump is one user-defined tag.
 type TagDump struct {
 	Name  string `json:"name"`
@@ -285,6 +301,9 @@ func Export(s *core.Store) (*Snapshot, error) {
 			return nil, err
 		}
 		snap.Annotations = append(snap.Annotations, ad)
+	}
+	for _, r := range prop.RulesOf(s) {
+		snap.Rules = append(snap.Rules, DumpRule(r))
 	}
 	// Counters are captured last: running AHEAD of the dumped annotations
 	// (a commit landed mid-export) only wastes IDs on load, while counters
@@ -508,6 +527,31 @@ func DumpAnnotation(s *core.Store, ann *core.Annotation) (AnnotationDump, error)
 		d.Terms = append(d.Terms, TermRefDump{Ontology: tr.Ontology, Term: tr.TermID})
 	}
 	return d, nil
+}
+
+// DumpRule serialises a propagation rule.
+func DumpRule(r prop.Rule) RuleDump {
+	return RuleDump{
+		ID: r.ID, Keyword: r.Keyword, Ontology: r.Ontology, Term: r.Term,
+		Domain: r.Domain, Kind: r.Kind, Edge: string(r.Edge), Relations: r.Relations,
+	}
+}
+
+// RestoreRule rebuilds a propagation rule from its dump.
+func RestoreRule(d RuleDump) prop.Rule {
+	return prop.Rule{
+		ID: d.ID, Keyword: d.Keyword, Ontology: d.Ontology, Term: d.Term,
+		Domain: d.Domain, Kind: d.Kind, Edge: prop.EdgeKind(d.Edge), Relations: d.Relations,
+	}
+}
+
+// ApplyRule registers a dumped propagation rule, attaching an engine to
+// the store if it has none, and rebuilds the derived table.
+func ApplyRule(s *core.Store, d RuleDump) error {
+	if err := prop.Attach(s).AddRule(RestoreRule(d)); err != nil {
+		return fmt.Errorf("persist: rule %s: %w", d.ID, err)
+	}
+	return nil
 }
 
 // ApplyOntology rebuilds and registers a dumped ontology.
@@ -734,6 +778,18 @@ func Load(snap *Snapshot) (*core.Store, error) {
 	for i, ad := range snap.Annotations {
 		if err := ApplyAnnotation(s, ad); err != nil {
 			return nil, fmt.Errorf("persist: annotation %d: %w", i, err)
+		}
+	}
+	// Rules last, installed as one batch: the derived table is rebuilt
+	// once over the full store, instead of every replayed commit paying
+	// the delta path or every rule paying its own recompute.
+	if len(snap.Rules) > 0 {
+		rules := make([]prop.Rule, len(snap.Rules))
+		for i, rd := range snap.Rules {
+			rules[i] = RestoreRule(rd)
+		}
+		if err := prop.Attach(s).AddRules(rules...); err != nil {
+			return nil, fmt.Errorf("persist: rules: %w", err)
 		}
 	}
 	if snap.NextAnn != 0 || snap.NextRef != 0 {

@@ -122,6 +122,13 @@ const (
 	// PropNamed (term): term's display name or a synonym equals the
 	// operand (the GUI's ontology browser works by name, not ID).
 	PropNamed
+	// PropDerived (annotation): the annotation is the source of at least
+	// one derived fact, optionally restricted to a rule ID ("*" = any).
+	PropDerived
+	// PropProvenance (any class): the node is the target of at least one
+	// derived fact, optionally restricted to a rule ID ("*" = any) —
+	// i.e. something was propagated onto it and can be traced back.
+	PropProvenance
 )
 
 // Prop is one property predicate attached to a variable.
@@ -278,6 +285,10 @@ func propAllowed(c NodeClass, p PropKind) bool {
 		return c == ClassObject
 	case PropOntology, PropTermIs, PropUnder, PropNamed:
 		return c == ClassTerm
+	case PropDerived:
+		return c == ClassAnnotation
+	case PropProvenance:
+		return true
 	default:
 		return false
 	}

@@ -187,16 +187,66 @@ func (e *execution) candidates(v *VarDecl) ([]agraph.NodeRef, error) {
 	if err := e.ctx.Err(); err != nil {
 		return nil, err
 	}
+	var out []agraph.NodeRef
+	var err error
 	switch v.Class {
 	case ClassAnnotation:
-		return e.annotationCandidates(v)
+		out, err = e.annotationCandidates(v)
 	case ClassReferent:
-		return e.referentCandidates(v)
+		out, err = e.referentCandidates(v)
 	case ClassObject:
-		return e.objectCandidates(v)
+		out, err = e.objectCandidates(v)
 	default:
-		return e.termCandidates(v)
+		out, err = e.termCandidates(v)
 	}
+	if err != nil {
+		return nil, err
+	}
+	// Provenance filtering is class-independent: keep only candidates
+	// that are the target of a matching derived fact.
+	for _, prop := range v.Props {
+		if prop.Kind == PropProvenance {
+			out = filterNodes(out, e.provenanceTargets(prop.Str))
+		}
+	}
+	return out, nil
+}
+
+// provenanceTargets collects the target nodes of all derived facts
+// matching the rule filter ("*" = any rule) in one pass over the table.
+func (e *execution) provenanceTargets(rule string) map[agraph.NodeRef]bool {
+	targets := make(map[agraph.NodeRef]bool)
+	e.view.DerivedEach(func(f core.DerivedFact) bool {
+		if rule == "*" || f.Rule == rule {
+			targets[f.Target] = true
+		}
+		return true
+	})
+	return targets
+}
+
+func filterNodes(in []agraph.NodeRef, keep map[agraph.NodeRef]bool) []agraph.NodeRef {
+	var out []agraph.NodeRef
+	for _, n := range in {
+		if keep[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// derivesMatch reports whether an annotation sources at least one
+// derived fact of the given rule ("*" = any).
+func (e *execution) derivesMatch(annID uint64, rule string) bool {
+	match := false
+	e.view.DerivedFromEach(annID, func(f core.DerivedFact) bool {
+		if rule == "*" || f.Rule == rule {
+			match = true
+			return false
+		}
+		return true
+	})
+	return match
 }
 
 func (e *execution) annotationCandidates(v *VarDecl) ([]agraph.NodeRef, error) {
@@ -220,7 +270,7 @@ func (e *execution) annotationCandidates(v *VarDecl) ([]agraph.NodeRef, error) {
 				return nil, err
 			}
 		}
-		ok, err := annotationMatches(ann, v.Props)
+		ok, err := e.annotationMatches(ann, v.Props)
 		if err != nil {
 			return nil, err
 		}
@@ -231,9 +281,13 @@ func (e *execution) annotationCandidates(v *VarDecl) ([]agraph.NodeRef, error) {
 	return out, nil
 }
 
-func annotationMatches(ann *core.Annotation, props []Prop) (bool, error) {
+func (e *execution) annotationMatches(ann *core.Annotation, props []Prop) (bool, error) {
 	for _, prop := range props {
 		switch prop.Kind {
+		case PropDerived:
+			if !e.derivesMatch(ann.ID, prop.Str) {
+				return false, nil
+			}
 		case PropContains:
 			found := false
 			token := strings.ToLower(prop.Str)

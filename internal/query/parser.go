@@ -414,11 +414,27 @@ func (p *qparser) parseProp(class NodeClass) (Prop, error) {
 	case "named":
 		s, err := strArg()
 		return Prop{Kind: PropNamed, Str: s}, err
+	case "derived":
+		s, err := p.optionalRuleArg()
+		return Prop{Kind: PropDerived, Str: s}, err
+	case "provenance":
+		s, err := p.optionalRuleArg()
+		return Prop{Kind: PropProvenance, Str: s}, err
 	case "overlaps":
 		return p.parseOverlaps(class)
 	default:
 		return Prop{}, p.errorf("unknown property %q", name)
 	}
+}
+
+// optionalRuleArg consumes a rule-ID argument if one follows; a bare
+// `derived` / `provenance` predicate matches facts of any rule ("*").
+func (p *qparser) optionalRuleArg() (string, error) {
+	if p.tok.kind != qString && p.tok.kind != qIdent {
+		return "*", nil
+	}
+	s := p.tok.text
+	return s, p.next()
 }
 
 // parseOverlaps parses "[lo, hi)" as an interval or "[x0, y0, x1, y1]" as

@@ -1,0 +1,132 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// validLogBytes builds a real log holding op-envelope-shaped payloads
+// and returns its raw bytes — the seed corpus for FuzzScan.
+func validLogBytes(tb testing.TB, payloads ...string) []byte {
+	tb.Helper()
+	path := filepath.Join(tb.TempDir(), "seed.wal")
+	w, err := Create(path, Options{NoSync: true})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for _, p := range payloads {
+		if err := w.Append([]byte(p)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return data
+}
+
+// FuzzScan feeds corrupt/torn/truncated log bytes to Scan and asserts
+// the recovery contract: no panic, ErrBadHeader only for a bad header,
+// and — whatever the damage — a valid prefix that re-scans to the same
+// records and accepts appends via OpenAt.
+func FuzzScan(f *testing.F) {
+	envelopes := []string{
+		`{"seq":1,"kind":10,"annotation":{"id":1,"dc":{"creator":["gupta"],"date":["2007-11-02"]},"body":"protease site","referents":[{"id":1,"kind":0,"objectType":"dna_sequences","objectId":"NC_1","domain":"segment4","lo":100,"hi":240}]}}`,
+		`{"seq":2,"kind":11,"deleteId":1}`,
+		`{"seq":3,"kind":12,"rule":{"id":"ov","edge":"overlap","domain":"segment4"}}`,
+	}
+	valid := validLogBytes(f, envelopes...)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3]) // torn payload
+	f.Add(valid[:HeaderSize+4]) // partial frame header
+	f.Add(valid[:HeaderSize])   // header only
+	f.Add(valid[:3])            // torn header
+	f.Add([]byte{})             // empty file
+	f.Add([]byte("not a wal file at all"))
+	flipped := append([]byte(nil), valid...)
+	flipped[HeaderSize+12] ^= 0x40 // corrupt first payload byte
+	f.Add(flipped)
+	huge := append([]byte(nil), valid[:HeaderSize]...)
+	huge = append(huge, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0) // absurd length prefix
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "fuzz.wal")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		var records [][]byte
+		info, err := Scan(path, func(p []byte) error {
+			records = append(records, append([]byte(nil), p...))
+			return nil
+		})
+		if err != nil {
+			// The only permitted failure is a missing/torn/foreign header;
+			// anything past a valid header must recover, never fail.
+			if !errors.Is(err, ErrBadHeader) {
+				t.Fatalf("Scan returned %v, want ErrBadHeader or success", err)
+			}
+			return
+		}
+
+		// The recovered geometry must be internally consistent.
+		if info.Records != len(records) {
+			t.Fatalf("info.Records=%d but fn saw %d", info.Records, len(records))
+		}
+		if info.ValidSize < HeaderSize || info.ValidSize > int64(len(data)) {
+			t.Fatalf("ValidSize %d outside [%d, %d]", info.ValidSize, HeaderSize, len(data))
+		}
+		if info.TornBytes != int64(len(data))-info.ValidSize {
+			t.Fatalf("TornBytes %d != file size %d - ValidSize %d",
+				info.TornBytes, len(data), info.ValidSize)
+		}
+
+		// The valid prefix alone must re-scan to exactly the same records
+		// with no torn tail — Scan recovers a valid prefix, not a guess.
+		prefixPath := filepath.Join(dir, "prefix.wal")
+		if err := os.WriteFile(prefixPath, data[:info.ValidSize], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var again [][]byte
+		reinfo, err := Scan(prefixPath, func(p []byte) error {
+			again = append(again, append([]byte(nil), p...))
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("re-scan of valid prefix failed: %v", err)
+		}
+		if reinfo.TornBytes != 0 || reinfo.Records != info.Records || !reflect.DeepEqual(records, again) {
+			t.Fatalf("valid prefix did not re-scan cleanly: torn=%d records=%d/%d",
+				reinfo.TornBytes, reinfo.Records, info.Records)
+		}
+
+		// Appending over the torn tail must work and be recoverable.
+		w, err := OpenAt(path, info.ValidSize, Options{NoSync: true})
+		if err != nil {
+			t.Fatalf("OpenAt(%d): %v", info.ValidSize, err)
+		}
+		if err := w.Append([]byte("post-recovery record")); err != nil {
+			t.Fatalf("append after recovery: %v", err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		final, err := Scan(path, nil)
+		if err != nil {
+			t.Fatalf("scan after append: %v", err)
+		}
+		if final.Records != info.Records+1 || final.TornBytes != 0 {
+			t.Fatalf("after append: records=%d torn=%d, want %d and 0",
+				final.Records, final.TornBytes, info.Records+1)
+		}
+	})
+}

@@ -9,15 +9,16 @@ import (
 	"graphitti/internal/core"
 	"graphitti/internal/interval"
 	"graphitti/internal/ontology"
+	"graphitti/internal/prop"
 	"graphitti/internal/relstore"
 	"graphitti/internal/rtree"
 )
 
-// Sink is the mutation surface a recovery scenario drives. Both
-// *core.Store and the durable store wrapping it satisfy it, which is the
-// point: the crash-recovery harness applies the same deterministic op
-// stream to an in-memory store and to a logged store (possibly killed and
-// replayed partway) and compares the results op-for-op.
+// Sink is the mutation surface a recovery scenario drives. The durable
+// store satisfies it directly; wrap a *core.Store with AsSink. The point:
+// the crash-recovery harness applies the same deterministic op stream to
+// an in-memory store and to a logged store (possibly killed and replayed
+// partway) and compares the results op-for-op.
 type Sink interface {
 	RegisterOntology(*ontology.Ontology) error
 	RegisterCoordinateSystem(*imaging.CoordinateSystem) error
@@ -30,7 +31,18 @@ type Sink interface {
 	NewAnnotation() *core.Builder
 	Commit(*core.Builder) (*core.Annotation, error)
 	DeleteAnnotation(uint64) error
+	AddRule(prop.Rule) error
 }
+
+// coreSink adapts *core.Store to Sink: rule ops go through the store's
+// propagation engine (attached on first use), everything else is the
+// store's own method.
+type coreSink struct{ *core.Store }
+
+func (c coreSink) AddRule(r prop.Rule) error { return prop.Attach(c.Store).AddRule(r) }
+
+// AsSink wraps an in-memory store as a scenario Sink.
+func AsSink(s *core.Store) Sink { return coreSink{s} }
 
 // RecoveryOp is one step of a recovery scenario. Apply is a pure function
 // of the generation-time randomness: applying the same op list to two
@@ -122,6 +134,16 @@ func RecoveryScenario(cfg RecoveryConfig) []RecoveryOp {
 		}
 		_, err = s.CreateRecordTable(schema)
 		return err
+	})
+	// Propagation rules go in before the mixed stream so every commit and
+	// delete below exercises the engine's incremental delta path; the
+	// crash harness then checks the replayed derived table matches an
+	// in-memory one fact-for-fact.
+	add("add-rule atlas-overlap", func(s Sink) error {
+		return s.AddRule(prop.Rule{ID: "rec-overlap", Edge: prop.EdgeOverlap, Domain: "atlas"})
+	})
+	add("add-rule nif-closure", func(s Sink) error {
+		return s.AddRule(prop.Rule{ID: "rec-closure", Edge: prop.EdgeOntologyClosure, Ontology: "nif"})
 	})
 	// Ground truth for Q1: two DCN regions on every qualifying image.
 	commits := 0 // annotation IDs are 1-based in commit order

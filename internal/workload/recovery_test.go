@@ -27,13 +27,13 @@ func TestRecoveryScenarioDeterministic(t *testing.T) {
 	for i := range stores {
 		stores[i] = core.NewStore()
 	}
-	if err := ApplyOps(stores[0], ops); err != nil {
+	if err := ApplyOps(AsSink(stores[0]), ops); err != nil {
 		t.Fatal(err)
 	}
-	if err := ApplyOps(stores[1], ops); err != nil {
+	if err := ApplyOps(AsSink(stores[1]), ops); err != nil {
 		t.Fatal(err)
 	}
-	if err := ApplyOps(stores[2], RecoveryScenario(cfg)); err != nil {
+	if err := ApplyOps(AsSink(stores[2]), RecoveryScenario(cfg)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -58,7 +58,7 @@ func TestRecoveryScenarioCoversOpKinds(t *testing.T) {
 	ops := RecoveryScenario(DefaultRecovery)
 	prefixes := []string{
 		"register-ontology", "register-system", "register-image",
-		"create-record-table", "commit-region", "commit-tp53",
+		"create-record-table", "add-rule", "commit-region", "commit-tp53",
 		"insert-record", "register-sequence", "commit-interval",
 		"delete-annotation",
 	}
@@ -76,7 +76,7 @@ func TestRecoveryScenarioCoversOpKinds(t *testing.T) {
 	}
 	// Prefixes applied to a store must always be valid (no op depends on
 	// a later one).
-	s := core.NewStore()
+	s := AsSink(core.NewStore())
 	for _, op := range ops[:100] {
 		if err := op.Apply(s); err != nil {
 			t.Fatalf("op %d (%s): %v", op.Seq, op.Name, err)
