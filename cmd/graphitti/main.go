@@ -370,8 +370,9 @@ func cmdQuery(s *graphitti.Store, args []string) error {
 		return err
 	}
 	fmt.Printf("plan order: %s\n", strings.Join(res.Stats.Order, " -> "))
-	for v, n := range res.Stats.CandidateCounts {
-		fmt.Printf("  sub-query ?%s: %d candidates\n", v, n)
+	for _, v := range res.Stats.Order {
+		fmt.Printf("  sub-query ?%s: %d candidates, est. cost %.1f, %s\n",
+			v, res.Stats.CandidateCounts[v], res.Stats.Costs[v], res.Stats.Strategies[v])
 	}
 	fmt.Printf("%d match(es), %d binding(s) tried\n", res.Stats.Matches, res.Stats.BindingsTried)
 	for _, ann := range res.Annotations {

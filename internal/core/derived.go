@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"graphitti/internal/agraph"
 )
 
@@ -125,8 +127,9 @@ func (s *Store) UpdateDerivedRules(swap func() error) error {
 	return nil
 }
 
-// recomputeDerivedInto replaces nv's derived table with a from-scratch
-// recompute. Caller holds w; nv must be fully built.
+// recomputeDerivedInto replaces nv's derived table (and its target
+// index) with a from-scratch recompute. Caller holds w; nv must be
+// fully built.
 func (s *Store) recomputeDerivedInto(nv *View) {
 	p := s.getPropagator()
 	if p == nil {
@@ -144,10 +147,24 @@ func (s *Store) recomputeDerivedInto(nv *View) {
 	}
 	nv.derived = t
 	nv.derivedCount = count
+	// Rebuild the target index in table order: sources ascend and each
+	// source's facts are canonical, so plain appends leave every
+	// per-target list already (source, rule, witness)-sorted.
+	idx := smap[[]DerivedFact]{}.edit()
+	t.each(func(_ uint64, e *derivedEntry) bool {
+		for _, f := range e.facts {
+			key := f.Target.String()
+			facts, _ := idx.get(key)
+			idx.set(key, append(facts, f))
+		}
+		return true
+	})
+	nv.derivedByTarget = idx.done()
 }
 
-// applyDerivedDelta folds a propagator delta into nv. Caller holds w; nv
-// must be fully built (the delta was computed against it).
+// applyDerivedDelta folds a propagator delta into nv, updating the
+// derived table and its target index together. Caller holds w; nv must
+// be fully built (the delta was computed against it).
 func (s *Store) applyDerivedDelta(nv *View, delta map[uint64][]DerivedFact) {
 	if len(delta) == 0 {
 		return
@@ -155,9 +172,38 @@ func (s *Store) applyDerivedDelta(nv *View, delta map[uint64][]DerivedFact) {
 	nv.derivedEpoch++
 	t := nv.derived
 	count := nv.derivedCount
+	idx := nv.derivedByTarget.edit()
 	for src, facts := range delta {
+		var oldFacts []DerivedFact
 		if old := t.get(src); old != nil {
-			count -= len(old.facts)
+			oldFacts = old.facts
+			count -= len(oldFacts)
+		}
+		// Index maintenance diffs the source's old and new fact sets —
+		// both canonically sorted and deduped — so only facts that
+		// actually appeared or disappeared touch their target's list.
+		// (A delta usually re-confirms most of an affected neighbor's
+		// facts; reindexing them all made the index cost O(facts per
+		// source), not O(changed facts).)
+		i, j := 0, 0
+		for i < len(oldFacts) && j < len(facts) {
+			switch {
+			case oldFacts[i] == facts[j]:
+				i++
+				j++
+			case derivedFactLess(oldFacts[i], facts[j]):
+				unindexDerivedFact(idx, oldFacts[i])
+				i++
+			default:
+				indexDerivedFact(idx, facts[j])
+				j++
+			}
+		}
+		for ; i < len(oldFacts); i++ {
+			unindexDerivedFact(idx, oldFacts[i])
+		}
+		for ; j < len(facts); j++ {
+			indexDerivedFact(idx, facts[j])
 		}
 		if len(facts) == 0 {
 			t = t.without(src)
@@ -168,6 +214,53 @@ func (s *Store) applyDerivedDelta(nv *View, delta map[uint64][]DerivedFact) {
 	}
 	nv.derived = t
 	nv.derivedCount = count
+	nv.derivedByTarget = idx.done()
+}
+
+// derivedTargetLess orders one target's index list: ascending source,
+// then canonical fact order (the target is fixed, so canonical order
+// reduces to rule then witness). This is the per-target subsequence of
+// the global DerivedEach order.
+func derivedTargetLess(a, b DerivedFact) bool {
+	if a.Source != b.Source {
+		return a.Source < b.Source
+	}
+	if a.Rule != b.Rule {
+		return a.Rule < b.Rule
+	}
+	return a.Witness < b.Witness
+}
+
+// indexDerivedFact inserts f into its target's sorted list. The list is
+// replaced, never mutated: published views may share the old slice.
+func indexDerivedFact(idx *smapEdit[[]DerivedFact], f DerivedFact) {
+	key := f.Target.String()
+	facts, _ := idx.get(key)
+	i := sort.Search(len(facts), func(k int) bool { return !derivedTargetLess(facts[k], f) })
+	out := make([]DerivedFact, 0, len(facts)+1)
+	out = append(out, facts[:i]...)
+	out = append(out, f)
+	idx.set(key, append(out, facts[i:]...))
+}
+
+// unindexDerivedFact removes f from its target's list (fresh slice; the
+// key is dropped when the last fact goes).
+func unindexDerivedFact(idx *smapEdit[[]DerivedFact], f DerivedFact) {
+	key := f.Target.String()
+	facts, _ := idx.get(key)
+	for i, g := range facts {
+		if g != f {
+			continue
+		}
+		if len(facts) == 1 {
+			idx.delete(key)
+			return
+		}
+		out := make([]DerivedFact, 0, len(facts)-1)
+		out = append(out, facts[:i]...)
+		idx.set(key, append(out, facts[i+1:]...))
+		return
+	}
 }
 
 // DerivedFrom returns the derived facts sourced at the given annotation,
@@ -229,15 +322,63 @@ func (v *View) DerivedAll() []DerivedFact {
 func (s *Store) DerivedAll() []DerivedFact { return s.View().DerivedAll() }
 
 // DerivedTargeting returns the derived facts whose target is the given
-// node — the provenance of everything derived onto it. Linear in the
-// total fact count.
+// node — the provenance of everything derived onto it. One target-index
+// lookup: cost is the facts on that target, not the table size. The
+// order (ascending source, canonical fact order) is identical to a
+// filtered DerivedEach scan.
 func (v *View) DerivedTargeting(target agraph.NodeRef) []DerivedFact {
-	var out []DerivedFact
-	v.DerivedEach(func(f DerivedFact) bool {
-		if f.Target == target {
-			out = append(out, f)
+	facts, _ := v.derivedByTarget.get(target.String())
+	if len(facts) == 0 {
+		return nil
+	}
+	out := make([]DerivedFact, len(facts))
+	copy(out, facts)
+	return out
+}
+
+// DerivedTargetingEach visits the facts targeting the given node in
+// (source, rule, witness) order until fn returns false — the zero-copy
+// variant of DerivedTargeting for predicate probes on hot paths.
+func (v *View) DerivedTargetingEach(target agraph.NodeRef, fn func(DerivedFact) bool) {
+	facts, _ := v.derivedByTarget.get(target.String())
+	for _, f := range facts {
+		if !fn(f) {
+			return
+		}
+	}
+}
+
+// HasDerivedTarget reports whether at least one derived fact of the
+// given rule ("*" = any) targets the node — the query layer's
+// provenance-predicate probe. Flat in the derived-table size.
+func (v *View) HasDerivedTarget(target agraph.NodeRef, rule string) bool {
+	facts, _ := v.derivedByTarget.get(target.String())
+	if rule == "*" {
+		return len(facts) > 0
+	}
+	for _, f := range facts {
+		if f.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+// DerivedTargets returns every node targeted by at least one derived
+// fact, sorted by (kind, key) — diagnostics and the index-parity tests.
+func (v *View) DerivedTargets() []agraph.NodeRef {
+	var out []agraph.NodeRef
+	v.derivedByTarget.each(func(_ string, facts []DerivedFact) bool {
+		if len(facts) > 0 {
+			out = append(out, facts[0].Target)
 		}
 		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Key < out[j].Key
 	})
 	return out
 }
@@ -249,7 +390,10 @@ func (s *Store) DerivedTargeting(target agraph.NodeRef) []DerivedFact {
 
 // DerivedOnto returns the derived facts targeting an annotation's
 // content node or any of its referents — the full provenance of what was
-// propagated onto it. Linear in the total fact count.
+// propagated onto it. One target-index lookup per target: cost is the
+// facts on those targets, not the table size. The merged output keeps
+// the global DerivedEach order (ascending source, canonical fact order
+// within a source), byte-identical to the retired table scan.
 func (v *View) DerivedOnto(annID uint64) ([]DerivedFact, error) {
 	ann, err := v.Annotation(annID)
 	if err != nil {
@@ -261,13 +405,34 @@ func (v *View) DerivedOnto(annID uint64) ([]DerivedFact, error) {
 		targets[agraph.Referent(refID)] = true
 	}
 	var out []DerivedFact
-	v.DerivedEach(func(f DerivedFact) bool {
-		if targets[f.Target] {
+	for target := range targets {
+		v.DerivedTargetingEach(target, func(f DerivedFact) bool {
 			out = append(out, f)
+			return true
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Source != out[j].Source {
+			return out[i].Source < out[j].Source
 		}
-		return true
+		return derivedFactLess(out[i], out[j])
 	})
 	return out, nil
+}
+
+// derivedFactLess is the canonical within-source fact order (rule,
+// target, witness) — the order propagators store fact sets in.
+func derivedFactLess(a, b DerivedFact) bool {
+	if a.Rule != b.Rule {
+		return a.Rule < b.Rule
+	}
+	if a.Target.Kind != b.Target.Kind {
+		return a.Target.Kind < b.Target.Kind
+	}
+	if a.Target.Key != b.Target.Key {
+		return a.Target.Key < b.Target.Key
+	}
+	return a.Witness < b.Witness
 }
 
 // DerivedOnto returns the derived facts targeting an annotation's

@@ -141,12 +141,22 @@ func (s *Store) SearchContentsCtx(ctx context.Context, expr string) ([]*Annotati
 	return s.View().SearchContentsCtx(ctx, expr)
 }
 
+// NormalizeKeyword canonicalises a user-supplied keyword the way the
+// inverted index stores tokens: trimmed and lower-cased. Every keyword
+// comparison path (the index seed, the document scan, and the query
+// layer's contains re-check) must share this helper — normalising in
+// one path but not another makes seeded and scanned candidate sets
+// disagree on padded input like " tp53 ".
+func NormalizeKeyword(word string) string {
+	return strings.ToLower(strings.TrimSpace(word))
+}
+
 // SearchKeyword returns the annotations whose content contains the word
 // (case-insensitive, token match). When useIndex is true the inverted
 // keyword index answers directly; otherwise every document is scanned
 // (ablation A6 compares the two).
 func (v *View) SearchKeyword(word string, useIndex bool) []*Annotation {
-	token := strings.ToLower(strings.TrimSpace(word))
+	token := NormalizeKeyword(word)
 	var out []*Annotation
 	if useIndex {
 		// Posting lists are maintained sorted by annotation ID, so the

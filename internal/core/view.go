@@ -93,6 +93,15 @@ type View struct {
 	derivedCount int
 	derivedEpoch uint64
 
+	// derivedByTarget is the target index of the derived table: every
+	// fact, keyed by its target node ("kind:key"). It is maintained in
+	// the same writer critical section as derived and published with the
+	// same view, so the two are always exactly consistent. Per-target
+	// lists are kept in (source, rule, witness) order — the per-target
+	// subsequence of the global DerivedEach order — which keeps
+	// index-driven reads byte-identical to table scans.
+	derivedByTarget smap[[]DerivedFact]
+
 	nextAnn, nextRef uint64
 }
 

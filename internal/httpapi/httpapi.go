@@ -451,6 +451,19 @@ type queryResponse struct {
 	Annotations []annotationView `json:"annotations,omitempty"`
 	Referents   []string         `json:"referents,omitempty"`
 	Subgraphs   []subgraphView   `json:"subgraphs,omitempty"`
+	Explain     *explainView     `json:"explain,omitempty"`
+}
+
+// explainView surfaces the planner's decisions (POST /api/query with
+// ?explain=1): the chosen order, the per-variable sub-query sizes and
+// cost estimates, each variable's join strategy, and the join work the
+// plan actually performed.
+type explainView struct {
+	Order           []string           `json:"order"`
+	CandidateCounts map[string]int     `json:"candidateCounts"`
+	Costs           map[string]float64 `json:"costs"`
+	Strategies      map[string]string  `json:"strategies"`
+	BindingsTried   int                `json:"bindingsTried"`
 }
 
 type subgraphView struct {
@@ -475,6 +488,15 @@ func (s *server) runQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := queryResponse{Matches: res.Stats.Matches, Order: res.Stats.Order}
+	if v := r.URL.Query().Get("explain"); v == "1" || v == "true" {
+		resp.Explain = &explainView{
+			Order:           res.Stats.Order,
+			CandidateCounts: res.Stats.CandidateCounts,
+			Costs:           res.Stats.Costs,
+			Strategies:      res.Stats.Strategies,
+			BindingsTried:   res.Stats.BindingsTried,
+		}
+	}
 	for _, ann := range res.Annotations {
 		resp.Annotations = append(resp.Annotations, viewOf(ann))
 	}

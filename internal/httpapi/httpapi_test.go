@@ -225,6 +225,52 @@ func TestQueryEndpoint(t *testing.T) {
 	}
 }
 
+func TestQueryExplain(t *testing.T) {
+	ts, _ := newTestServer(t)
+	req := map[string]interface{}{
+		"query": `select contents where {
+  ?a isa annotation ; contains "protease" .
+  ?r isa referent ; kind interval .
+  ?a annotates ?r .
+}`,
+	}
+	// Without the arg, no explain block.
+	var plain queryResponse
+	if code := postJSON(t, ts.URL+"/api/query", req, &plain); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if plain.Explain != nil {
+		t.Fatalf("explain block present without ?explain=1: %+v", plain.Explain)
+	}
+	// With it, the planner's decisions surface.
+	var out queryResponse
+	if code := postJSON(t, ts.URL+"/api/query?explain=1", req, &out); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if out.Explain == nil {
+		t.Fatal("no explain block in ?explain=1 response")
+	}
+	ex := out.Explain
+	if len(ex.Order) != 2 || len(ex.CandidateCounts) != 2 || len(ex.Costs) != 2 || len(ex.Strategies) != 2 {
+		t.Fatalf("incomplete explain block: %+v", ex)
+	}
+	semis := 0
+	for _, strat := range ex.Strategies {
+		if strings.HasPrefix(strat, "semi-join(") {
+			semis++
+		}
+	}
+	if semis != 1 {
+		t.Fatalf("expected one semi-join step, strategies = %v", ex.Strategies)
+	}
+	if ex.BindingsTried == 0 {
+		t.Fatalf("bindingsTried missing: %+v", ex)
+	}
+	if plain.Matches != out.Matches {
+		t.Fatalf("explain changed results: %d vs %d", out.Matches, plain.Matches)
+	}
+}
+
 func TestReferentsEndpoint(t *testing.T) {
 	ts, _ := newTestServer(t)
 	var refs []string

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"testing"
 
+	"graphitti/internal/agraph"
 	"graphitti/internal/biodata/seq"
 	"graphitti/internal/core"
 	"graphitti/internal/interval"
@@ -138,5 +139,32 @@ func TestStressDeltaExactness(t *testing.T) {
 	}
 	if v.DerivedCount() != len(got) {
 		t.Fatalf("DerivedCount %d != len(DerivedAll) %d", v.DerivedCount(), len(got))
+	}
+	assertTargetIndexParity(t, v)
+}
+
+// assertTargetIndexParity proves the delta-maintained derived target
+// index exactly mirrors the derived table: the indexed target set, and
+// every per-target fact list (content and order), must match what a
+// full table scan produces — no stale entries, no missing ones.
+func assertTargetIndexParity(t *testing.T, v *core.View) {
+	t.Helper()
+	byTarget := make(map[agraph.NodeRef][]core.DerivedFact)
+	v.DerivedEach(func(f core.DerivedFact) bool {
+		byTarget[f.Target] = append(byTarget[f.Target], f)
+		return true
+	})
+	indexed := v.DerivedTargets()
+	if len(indexed) != len(byTarget) {
+		t.Fatalf("target index holds %d targets, table scan finds %d", len(indexed), len(byTarget))
+	}
+	for _, target := range indexed {
+		want, ok := byTarget[target]
+		if !ok {
+			t.Fatalf("target index holds stale target %v", target)
+		}
+		if got := v.DerivedTargeting(target); !reflect.DeepEqual(got, want) {
+			t.Fatalf("index facts for %v diverged from table scan:\n got %v\nwant %v", target, got, want)
+		}
 	}
 }

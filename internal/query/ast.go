@@ -12,6 +12,14 @@
 // and collating partial results from these subqueries into a set of
 // type-extended connection subgraphs."
 //
+// The processor resolves each variable's sub-query against one pinned
+// store view, orders the variables with a cost-based planner (candidate
+// counts plus a-graph degree sampling; see plan.go), and joins with a
+// backtracking executor that binds pattern-connected variables by
+// semi-join enumeration of the bound endpoint's edges. Stats carries
+// the chosen plan — order, per-variable cost estimates and strategies —
+// as the explain surface.
+//
 // A query looks like:
 //
 //	select graph

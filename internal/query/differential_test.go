@@ -1,0 +1,290 @@
+package query
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"graphitti/internal/agraph"
+	"graphitti/internal/biodata/imaging"
+	"graphitti/internal/biodata/seq"
+	"graphitti/internal/core"
+	"graphitti/internal/interval"
+	"graphitti/internal/ontology"
+	"graphitti/internal/prop"
+	"graphitti/internal/rtree"
+)
+
+// TestDifferentialPlannerEquivalence is the planner's correctness
+// oracle: random stores × random queries, executed four ways — the
+// cost-based planner with semi-join enumeration, the same order with
+// the candidate×candidate nested loop, declaration order (ablation A5),
+// and the retired greedy connected-smallest order — must produce
+// identical matches, annotations and referents. Runs under -race in CI
+// (the candidate sub-queries fan out across goroutines).
+func TestDifferentialPlannerEquivalence(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			s := randomDiffStore(t, rng)
+			p := NewProcessor(s)
+			queries := 40
+			if testing.Short() {
+				queries = 12
+			}
+			for qi := 0; qi < queries; qi++ {
+				q := randomDiffQuery(rng)
+				src := q.src
+				parsed, err := Parse(src)
+				if err != nil {
+					t.Fatalf("generated query does not parse: %v\n%s", err, src)
+				}
+
+				// The cap bounds runtime on unconstrained cross products.
+				// A query that hits it was truncated mid-exploration —
+				// different orders would truncate different subsets — so
+				// such queries are skipped below; for everything under
+				// the cap the exploration is exhaustive and the cap is
+				// invisible.
+				const matchCap = 3000
+				auto, err := p.ExecuteParsed(parsed, Options{OrderBySelectivity: true, MaxResults: matchCap})
+				must(t, err)
+				if auto.Stats.Matches >= matchCap || auto.Stats.BindingsTried > 100_000 {
+					continue
+				}
+				nested, err := p.ExecuteParsed(parsed, Options{OrderBySelectivity: true, Join: JoinNestedLoop, MaxResults: matchCap})
+				must(t, err)
+				decl, err := p.ExecuteParsed(parsed, Options{OrderBySelectivity: false, MaxResults: matchCap})
+				must(t, err)
+				// Replay the retired greedy connected-smallest order
+				// (sizes are all it consulted).
+				fakeDomains := make(map[string][]agraph.NodeRef, len(auto.Stats.CandidateCounts))
+				for name, n := range auto.Stats.CandidateCounts {
+					fakeDomains[name] = make([]agraph.NodeRef, n)
+				}
+				run := &execution{view: s.View(), ctx: context.Background()}
+				greedy, err := run.executeOrdered(parsed, Options{OrderBySelectivity: true, MaxResults: matchCap}, planOrderGreedy(parsed, fakeDomains))
+				must(t, err)
+
+				// Same order ⇒ the match stream itself must be identical.
+				if !reflect.DeepEqual(auto.Matches, nested.Matches) {
+					t.Fatalf("semi-join diverged from nested loop on:\n%s\n got %v\nwant %v",
+						src, auto.Matches, nested.Matches)
+				}
+				// Different orders ⇒ the match set must be identical.
+				want := canonicalMatches(auto.Matches)
+				for name, res := range map[string]*Result{
+					"declaration-order": decl, "greedy-order": greedy,
+				} {
+					if got := canonicalMatches(res.Matches); !reflect.DeepEqual(got, want) {
+						t.Fatalf("%s diverged from cost planner on:\n%s\n got %v\nwant %v",
+							name, src, got, want)
+					}
+					if !reflect.DeepEqual(annIDs(res.Annotations), annIDs(auto.Annotations)) {
+						t.Fatalf("%s annotations diverged on:\n%s\n got %v\nwant %v",
+							name, src, annIDs(res.Annotations), annIDs(auto.Annotations))
+					}
+					if !reflect.DeepEqual(refIDs(res.Referents), refIDs(auto.Referents)) {
+						t.Fatalf("%s referents diverged on:\n%s\n got %v\nwant %v",
+							name, src, refIDs(res.Referents), refIDs(auto.Referents))
+					}
+				}
+			}
+		})
+	}
+}
+
+func refIDs(refs []*core.Referent) []uint64 {
+	out := make([]uint64, len(refs))
+	for i, r := range refs {
+		out[i] = r.ID
+	}
+	return out
+}
+
+// canonicalMatches serialises a match list into a sorted, order-free
+// form (a match is a set of bindings; emission order is an execution
+// detail of the variable order).
+func canonicalMatches(ms []Match) []string {
+	out := make([]string, 0, len(ms))
+	for _, m := range ms {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var sb strings.Builder
+		for _, k := range keys {
+			fmt.Fprintf(&sb, "%s=%s;", k, m[k].String())
+		}
+		out = append(out, sb.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// randomDiffStore builds a small heterogeneous store: two interval
+// domains, an image system, an ontology, and ~60 annotations with
+// random marks, keywords, creators and term references — plus an
+// overlap rule so derived/provenance predicates have facts to match.
+func randomDiffStore(t *testing.T, rng *rand.Rand) *core.Store {
+	t.Helper()
+	s := core.NewStore()
+
+	o := ontology.New("go")
+	terms := []string{"enzyme", "hydrolase", "protease", "kinase"}
+	for _, id := range terms {
+		if _, err := o.AddTerm(id, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(t, o.AddEdge("hydrolase", "enzyme", ontology.IsA, ontology.Some))
+	must(t, o.AddEdge("protease", "hydrolase", ontology.IsA, ontology.Some))
+	must(t, o.AddEdge("kinase", "enzyme", ontology.IsA, ontology.Some))
+	must(t, s.RegisterOntology(o))
+
+	for _, dom := range []string{"chrA", "chrB"} {
+		sq, err := seq.New("NC_"+dom, seq.DNA, strings.Repeat("ACGT", 300))
+		must(t, err)
+		sq.Domain = dom
+		must(t, s.RegisterSequence(sq))
+	}
+	cs, err := imaging.NewCoordinateSystem("atlas", rtree.Rect2D(0, 0, 1000, 1000))
+	must(t, err)
+	must(t, s.RegisterCoordinateSystem(cs))
+	for _, id := range []string{"img-1", "img-2"} {
+		im, err := imaging.NewImage(id, "atlas", rtree.Rect2D(0, 0, 500, 500), imaging.Identity(2))
+		must(t, err)
+		must(t, s.RegisterImage(im))
+	}
+
+	must(t, prop.Attach(s).AddRule(prop.Rule{ID: "ov", Edge: prop.EdgeOverlap, Domain: "chrA"}))
+
+	vocab := []string{"alpha", "beta", "gamma", "delta", "hotspot"}
+	creators := []string{"gupta", "condit", "martone"}
+	for i := 0; i < 60; i++ {
+		var m *core.Referent
+		var err error
+		switch rng.Intn(3) {
+		case 0:
+			lo := rng.Int63n(1100)
+			m, err = s.MarkDomainInterval("chrA", interval.Interval{Lo: lo, Hi: lo + 10 + rng.Int63n(60)})
+		case 1:
+			lo := rng.Int63n(1100)
+			m, err = s.MarkDomainInterval("chrB", interval.Interval{Lo: lo, Hi: lo + 10 + rng.Int63n(60)})
+		default:
+			x, y := rng.Float64()*400, rng.Float64()*400
+			m, err = s.MarkImageRegion([]string{"img-1", "img-2"}[rng.Intn(2)], rtree.Rect2D(x, y, x+30, y+30))
+		}
+		must(t, err)
+		b := s.NewAnnotation().
+			Creator(creators[rng.Intn(len(creators))]).
+			Date("2026-07-30").
+			Body(vocab[rng.Intn(len(vocab))] + " site " + vocab[rng.Intn(len(vocab))]).
+			Refer(m)
+		if rng.Intn(3) == 0 {
+			b.OntologyRef("go", terms[rng.Intn(len(terms))])
+		}
+		_, err = s.Commit(b)
+		must(t, err)
+	}
+	return s
+}
+
+type diffQuery struct{ src string }
+
+// randomDiffQuery emits a random-but-valid query over the differential
+// store's schema: 1–3 variables with class-appropriate properties,
+// edges wired wherever classes permit, and (sometimes) constraints over
+// referent pairs. No limit clause — caps would make results depend on
+// the binding order under comparison.
+func randomDiffQuery(rng *rand.Rand) diffQuery {
+	// graph selects build a connection subgraph per match; keep them in
+	// the mix but rare so high-match queries don't dominate runtime.
+	kinds := []string{"contents", "referents", "contents", "referents", "graph"}
+	classes := []string{"annotation", "referent", "object", "term"}
+	vocab := []string{"alpha", "beta", "gamma", "delta", "hotspot", "missing"}
+
+	nvars := 1 + rng.Intn(3)
+	var decls []string
+	var names, varClass []string
+	for i := 0; i < nvars; i++ {
+		name := fmt.Sprintf("v%d", i)
+		class := classes[rng.Intn(len(classes))]
+		names, varClass = append(names, name), append(varClass, class)
+		props := ""
+		switch class {
+		case "annotation":
+			switch rng.Intn(4) {
+			case 0:
+				props = fmt.Sprintf(` ; contains "%s"`, vocab[rng.Intn(len(vocab))])
+			case 1:
+				props = ` ; creator "gupta"`
+			case 2:
+				props = ` ; derived "ov"`
+			}
+		case "referent":
+			switch rng.Intn(5) {
+			case 0:
+				props = ` ; kind interval`
+			case 1:
+				props = fmt.Sprintf(` ; domain "%s"`, []string{"chrA", "chrB", "atlas"}[rng.Intn(3)])
+			case 2:
+				lo := rng.Intn(900)
+				props = fmt.Sprintf(` ; overlaps [%d, %d)`, lo, lo+100+rng.Intn(200))
+			case 3:
+				props = ` ; provenance`
+			}
+		case "object":
+			if rng.Intn(2) == 0 {
+				props = ` ; type dna_sequences`
+			}
+		case "term":
+			switch rng.Intn(3) {
+			case 0:
+				props = ` ; ontology "go" ; under "enzyme"`
+			case 1:
+				props = ` ; ontology "go" ; term "protease"`
+			}
+		}
+		decls = append(decls, fmt.Sprintf("  ?%s isa %s%s .", name, class, props))
+	}
+
+	var edges []string
+	for i := 0; i < nvars; i++ {
+		for j := 0; j < nvars; j++ {
+			if i == j || rng.Intn(2) == 0 {
+				continue
+			}
+			switch {
+			case varClass[i] == "annotation" && varClass[j] == "referent":
+				edges = append(edges, fmt.Sprintf("  ?%s annotates ?%s .", names[i], names[j]))
+			case varClass[i] == "referent" && varClass[j] == "object":
+				edges = append(edges, fmt.Sprintf("  ?%s marks ?%s .", names[i], names[j]))
+			case varClass[i] == "annotation" && varClass[j] == "term":
+				edges = append(edges, fmt.Sprintf("  ?%s refersTo ?%s .", names[i], names[j]))
+			}
+		}
+	}
+
+	constraint := ""
+	var refVars []string
+	for i, c := range varClass {
+		if c == "referent" {
+			refVars = append(refVars, names[i])
+		}
+	}
+	if len(refVars) >= 2 && rng.Intn(2) == 0 {
+		kind := []string{"disjoint", "overlapping", "samedomain", "distinct"}[rng.Intn(4)]
+		constraint = fmt.Sprintf("constrain %s(?%s, ?%s)", kind, refVars[0], refVars[1])
+	}
+
+	src := fmt.Sprintf("select %s\nwhere {\n%s\n%s\n}\n%s",
+		kinds[rng.Intn(len(kinds))],
+		strings.Join(decls, "\n"), strings.Join(edges, "\n"), constraint)
+	return diffQuery{src: src}
+}

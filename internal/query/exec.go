@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
-	"strings"
 	"sync"
 
 	"graphitti/internal/agraph"
@@ -33,12 +32,17 @@ func NewProcessor(s *core.Store) *Processor { return &Processor{store: s} }
 // Options tune execution.
 type Options struct {
 	// OrderBySelectivity enables the paper's "finding a feasible order
-	// among these subqueries": variables are resolved smallest candidate
-	// set first, preferring variables joined to already-bound ones.
-	// Disabling it (ablation A5) binds variables in declaration order.
+	// among these subqueries": the cost-based planner orders variables
+	// by estimated cost, combining candidate counts with per-edge
+	// fan-out estimated from a-graph degree counts. Disabling it
+	// (ablation A5) binds variables in declaration order; results are
+	// identical either way.
 	OrderBySelectivity bool
 	// MaxResults caps the number of matches (0 = unlimited).
 	MaxResults int
+	// Join selects the join mechanism (see JoinStrategy). The zero
+	// value, JoinAuto, uses index-driven semi-join enumeration.
+	Join JoinStrategy
 }
 
 // DefaultOptions enable selectivity ordering.
@@ -46,18 +50,6 @@ var DefaultOptions = Options{OrderBySelectivity: true}
 
 // Match binds each query variable to an a-graph node.
 type Match map[string]agraph.NodeRef
-
-// Stats reports how execution went (used by ablation A5 and tests).
-type Stats struct {
-	// CandidateCounts is the per-variable sub-query result size.
-	CandidateCounts map[string]int
-	// Order is the variable binding order the planner chose.
-	Order []string
-	// BindingsTried counts candidate assignments attempted.
-	BindingsTried int
-	// Matches is the number of accepted bindings.
-	Matches int
-}
 
 // Result is the outcome of a query, shaped per the paper's three result
 // forms: annotation contents, heterogeneous sub-structures, or connection
@@ -106,9 +98,20 @@ func (p *Processor) ExecuteParsedCtx(ctx context.Context, q *Query, opts Options
 type execution struct {
 	view *core.View
 	ctx  context.Context
+	// posIndex lazily maps a variable's candidates to their positions in
+	// its domain slice; semi-join steps use it to intersect enumerated
+	// neighbors with the candidate set and restore candidate order.
+	posIndex map[string]map[agraph.NodeRef]int
 }
 
 func (e *execution) execute(q *Query, opts Options) (*Result, error) {
+	return e.executeOrdered(q, opts, nil)
+}
+
+// executeOrdered runs q, optionally forcing the variable binding order
+// (the differential tests replay legacy orders through it; nil lets the
+// planner decide).
+func (e *execution) executeOrdered(q *Query, opts Options, forcedOrder []string) (*Result, error) {
 	// Phase 1 — sub-query separation: resolve per-type candidate sets.
 	// The per-variable sub-queries are independent reads of the same
 	// immutable view, so they fan out across the available cores; results
@@ -125,9 +128,12 @@ func (e *execution) execute(q *Query, opts Options) (*Result, error) {
 		stats.CandidateCounts[v.Name] = len(cands[i])
 	}
 
-	// Phase 2 — feasible ordering.
-	order := planOrder(q, domains, opts.OrderBySelectivity)
-	stats.Order = order
+	// Phase 2 — cost-based planning: a feasible order plus a per-variable
+	// join strategy (see plan.go).
+	pl := buildPlan(q, domains, e.view.Graph(), opts, forcedOrder)
+	stats.Order = pl.order
+	stats.Costs = pl.costs
+	stats.Strategies = pl.strategies
 
 	// Phase 3 — joining along a-graph edges with backtracking. The query's
 	// own "limit N" clause applies unless the caller set a tighter cap.
@@ -137,7 +143,7 @@ func (e *execution) execute(q *Query, opts Options) (*Result, error) {
 	}
 	var matches []Match
 	binding := make(Match, len(q.Vars))
-	if err := e.backtrack(q, domains, order, 0, binding, &matches, &stats, limit); err != nil {
+	if err := e.backtrack(q, domains, pl, 0, binding, &matches, &stats, limit); err != nil {
 		return nil, err
 	}
 	stats.Matches = len(matches)
@@ -203,36 +209,22 @@ func (e *execution) candidates(v *VarDecl) ([]agraph.NodeRef, error) {
 		return nil, err
 	}
 	// Provenance filtering is class-independent: keep only candidates
-	// that are the target of a matching derived fact.
+	// that are the target of a matching derived fact. Each candidate is
+	// one probe of the view's derived target index — cost is the facts
+	// on that node, flat in the derived-table size (the retired path
+	// rebuilt a target set from a full table scan per variable).
 	for _, prop := range v.Props {
 		if prop.Kind == PropProvenance {
-			out = filterNodes(out, e.provenanceTargets(prop.Str))
+			kept := out[:0]
+			for _, n := range out {
+				if e.view.HasDerivedTarget(n, prop.Str) {
+					kept = append(kept, n)
+				}
+			}
+			out = kept
 		}
 	}
 	return out, nil
-}
-
-// provenanceTargets collects the target nodes of all derived facts
-// matching the rule filter ("*" = any rule) in one pass over the table.
-func (e *execution) provenanceTargets(rule string) map[agraph.NodeRef]bool {
-	targets := make(map[agraph.NodeRef]bool)
-	e.view.DerivedEach(func(f core.DerivedFact) bool {
-		if rule == "*" || f.Rule == rule {
-			targets[f.Target] = true
-		}
-		return true
-	})
-	return targets
-}
-
-func filterNodes(in []agraph.NodeRef, keep map[agraph.NodeRef]bool) []agraph.NodeRef {
-	var out []agraph.NodeRef
-	for _, n := range in {
-		if keep[n] {
-			out = append(out, n)
-		}
-	}
-	return out
 }
 
 // derivesMatch reports whether an annotation sources at least one
@@ -289,8 +281,12 @@ func (e *execution) annotationMatches(ann *core.Annotation, props []Prop) (bool,
 				return false, nil
 			}
 		case PropContains:
+			// Must match View.SearchKeyword's normalization exactly:
+			// the keyword index seeds this variable's candidates, and a
+			// re-check under a different normalization would reject the
+			// index's own hits (padded input like `contains " tp53 "`).
 			found := false
-			token := strings.ToLower(prop.Str)
+			token := core.NormalizeKeyword(prop.Str)
 			for _, w := range ann.Content.Keywords() {
 				if w == token {
 					found = true
@@ -359,12 +355,25 @@ func (e *execution) referentCandidates(v *VarDecl) ([]agraph.NodeRef, error) {
 		seed = e.view.Referents()
 	}
 	var out []agraph.NodeRef
-	for _, r := range seed {
+	for i, r := range seed {
+		if err := e.strideCheck(i); err != nil {
+			return nil, err
+		}
 		if referentMatches(r, v.Props) {
 			out = append(out, agraph.Referent(r.ID))
 		}
 	}
 	return out, nil
+}
+
+// strideCheck polls ctx every cancelCheckStride loop iterations, so a
+// timeout can fire inside a large unseeded candidate scan — not only in
+// the annotation scan and the join.
+func (e *execution) strideCheck(i int) error {
+	if i%cancelCheckStride == 0 {
+		return e.ctx.Err()
+	}
+	return nil
 }
 
 func referentMatches(r *core.Referent, props []Prop) bool {
@@ -400,7 +409,10 @@ func referentMatches(r *core.Referent, props []Prop) bool {
 
 func (e *execution) objectCandidates(v *VarDecl) ([]agraph.NodeRef, error) {
 	var out []agraph.NodeRef
-	for _, h := range e.view.ObjectList() {
+	for i, h := range e.view.ObjectList() {
+		if err := e.strideCheck(i); err != nil {
+			return nil, err
+		}
 		ok := true
 		for _, prop := range v.Props {
 			switch prop.Kind {
@@ -464,7 +476,10 @@ func (e *execution) termCandidates(v *VarDecl) ([]agraph.NodeRef, error) {
 				terms = filterStrings(terms, func(s string) bool { return allowed[s] })
 			}
 		}
-		for _, t := range terms {
+		for i, t := range terms {
+			if err := e.strideCheck(i); err != nil {
+				return nil, err
+			}
 			out = append(out, agraph.Term(name, t))
 		}
 	}
@@ -481,71 +496,17 @@ func filterStrings(in []string, keep func(string) bool) []string {
 	return out
 }
 
-// planOrder picks the variable binding order. With selectivity ordering,
-// the smallest unresolved candidate set joined to the bound set goes next
-// (falling back to the global smallest); otherwise declaration order.
-func planOrder(q *Query, domains map[string][]agraph.NodeRef, bySelectivity bool) []string {
-	names := make([]string, len(q.Vars))
-	for i, v := range q.Vars {
-		names[i] = v.Name
-	}
-	if !bySelectivity {
-		return names
-	}
-	adjacent := make(map[string]map[string]bool)
-	for _, e := range q.Edges {
-		if adjacent[e.From] == nil {
-			adjacent[e.From] = make(map[string]bool)
-		}
-		if adjacent[e.To] == nil {
-			adjacent[e.To] = make(map[string]bool)
-		}
-		adjacent[e.From][e.To] = true
-		adjacent[e.To][e.From] = true
-	}
-	var order []string
-	bound := make(map[string]bool)
-	for len(order) < len(names) {
-		best := ""
-		bestConnected := false
-		for _, name := range names {
-			if bound[name] {
-				continue
-			}
-			connected := false
-			for b := range bound {
-				if adjacent[name][b] {
-					connected = true
-					break
-				}
-			}
-			if best == "" {
-				best, bestConnected = name, connected
-				continue
-			}
-			// Prefer connected variables; among equals, smaller domains.
-			switch {
-			case connected && !bestConnected:
-				best, bestConnected = name, connected
-			case connected == bestConnected && len(domains[name]) < len(domains[best]):
-				best, bestConnected = name, connected
-			}
-		}
-		order = append(order, best)
-		bound[best] = true
-	}
-	return order
-}
-
-// backtrack explores candidate assignments depth-first. It returns a
-// non-nil error only on context cancellation; running out of candidates
-// or hitting the result cap end the walk normally.
+// backtrack explores candidate assignments depth-first, binding each
+// step's variable by its planned strategy (candidate scan or semi-join
+// enumeration). It returns a non-nil error only on context cancellation;
+// running out of candidates or hitting the result cap end the walk
+// normally.
 func (e *execution) backtrack(q *Query, domains map[string][]agraph.NodeRef,
-	order []string, depth int, binding Match, out *[]Match, stats *Stats, maxResults int) error {
+	pl *plan, depth int, binding Match, out *[]Match, stats *Stats, maxResults int) error {
 	if maxResults > 0 && len(*out) >= maxResults {
 		return nil
 	}
-	if depth == len(order) {
+	if depth == len(pl.steps) {
 		m := make(Match, len(binding))
 		for k, v := range binding {
 			m[k] = v
@@ -553,8 +514,14 @@ func (e *execution) backtrack(q *Query, domains map[string][]agraph.NodeRef,
 		*out = append(*out, m)
 		return nil
 	}
-	name := order[depth]
-	for _, cand := range domains[name] {
+	step := &pl.steps[depth]
+	name := step.name
+	cands := e.stepCandidates(step, domains, binding)
+	skipEdge := -1
+	if step.enum != nil {
+		skipEdge = step.enum.edgeIdx // already satisfied by enumeration
+	}
+	for _, cand := range cands {
 		if maxResults > 0 && len(*out) >= maxResults {
 			return nil
 		}
@@ -565,8 +532,8 @@ func (e *execution) backtrack(q *Query, domains map[string][]agraph.NodeRef,
 			}
 		}
 		binding[name] = cand
-		if e.consistent(q, binding, name) {
-			if err := e.backtrack(q, domains, order, depth+1, binding, out, stats, maxResults); err != nil {
+		if e.consistent(q, binding, name, skipEdge) {
+			if err := e.backtrack(q, domains, pl, depth+1, binding, out, stats, maxResults); err != nil {
 				delete(binding, name)
 				return err
 			}
@@ -576,11 +543,72 @@ func (e *execution) backtrack(q *Query, domains map[string][]agraph.NodeRef,
 	return nil
 }
 
-// consistent checks all edge patterns and constraints whose variables are
-// fully bound, after `last` was just assigned.
-func (e *execution) consistent(q *Query, binding Match, last string) bool {
+// stepCandidates yields the candidates to try for one step, in the
+// variable's canonical candidate order. Scan steps return the domain
+// as-is. Semi-join steps enumerate the bound endpoint's a-graph edges,
+// intersect with the candidate set, and re-sort the survivors into
+// domain order — the same candidates a scan would accept, in the same
+// order, found in O(fan-out) instead of O(|domain|) edge probes.
+func (e *execution) stepCandidates(step *planStep, domains map[string][]agraph.NodeRef, binding Match) []agraph.NodeRef {
+	dom := domains[step.name]
+	if step.enum == nil {
+		return dom
+	}
+	pos := e.positionsOf(step.name, dom)
+	bval := binding[step.enum.other]
 	g := e.view.Graph()
-	for _, qe := range q.Edges {
+	var hits []int
+	collect := func(n agraph.NodeRef) bool {
+		if p, ok := pos[n]; ok {
+			hits = append(hits, p)
+		}
+		return true
+	}
+	if step.enum.varIsTo {
+		g.OutEach(bval, func(ed agraph.Edge) bool { return collect(ed.To) }, step.enum.label)
+	} else {
+		g.InEach(bval, func(ed agraph.Edge) bool { return collect(ed.From) }, step.enum.label)
+	}
+	if len(hits) == 0 {
+		return nil
+	}
+	sort.Ints(hits)
+	out := make([]agraph.NodeRef, 0, len(hits))
+	for i, p := range hits {
+		if i > 0 && p == hits[i-1] {
+			continue // parallel edges to the same candidate
+		}
+		out = append(out, dom[p])
+	}
+	return out
+}
+
+// positionsOf returns (building lazily, once per execution) the map from
+// a variable's candidates to their domain positions.
+func (e *execution) positionsOf(name string, dom []agraph.NodeRef) map[agraph.NodeRef]int {
+	if pos, ok := e.posIndex[name]; ok {
+		return pos
+	}
+	if e.posIndex == nil {
+		e.posIndex = make(map[string]map[agraph.NodeRef]int)
+	}
+	pos := make(map[agraph.NodeRef]int, len(dom))
+	for i, n := range dom {
+		pos[n] = i
+	}
+	e.posIndex[name] = pos
+	return pos
+}
+
+// consistent checks all edge patterns and constraints whose variables are
+// fully bound, after `last` was just assigned. skipEdge names a pattern
+// edge already satisfied by semi-join enumeration (-1 = none).
+func (e *execution) consistent(q *Query, binding Match, last string, skipEdge int) bool {
+	g := e.view.Graph()
+	for i, qe := range q.Edges {
+		if i == skipEdge {
+			continue
+		}
 		if qe.From != last && qe.To != last {
 			continue
 		}

@@ -98,14 +98,29 @@ func QueryTP53Images(st *Store, opts TP53Options) (*TP53Result, error) {
 			if err != nil || ref.Kind != core.RegionReferent {
 				return true
 			}
-			// does any annotation of this referent carry the term?
-			for _, ann := range s.AnnotationsOfReferent(refID) {
+			// does any annotation of this referent carry the term? Walk
+			// the annotates in-edges zero-copy instead of materialising
+			// (and sorting) the annotation list per referent.
+			found := false
+			s.Graph().InEach(e.From, func(ae agraph.Edge) bool {
+				annID, ok := contentRootID(ae.From)
+				if !ok {
+					return true
+				}
+				ann, err := s.Annotation(annID)
+				if err != nil {
+					return true // committed after this view was pinned
+				}
 				for _, tr := range ann.Terms {
 					if tr.Ontology == opts.Ontology && closure[tr.TermID] {
-						count++
-						return true
+						found = true
+						return false
 					}
 				}
+				return true
+			}, agraph.LabelAnnotates)
+			if found {
+				count++
 			}
 			return true
 		}, agraph.LabelMarks)

@@ -29,9 +29,10 @@ COUNT="${COUNT:-1}"
 # Guard benchmarks for --check: the paper queries and graph primitives
 # whose regressions previous PRs fought hardest for, plus the mixed
 # read/write contention suite (W2), the parallel collection scan that
-# guards the snapshot-isolated read path, and the propagation engine's
-# incremental delta path (delta vs control vs recompute).
-GUARDS="${GUARDS:-BenchmarkQ1TP53|BenchmarkO3AGraphPrimitives|BenchmarkF1AGraphScenario|BenchmarkW2MixedReadWrite|BenchmarkSearchContentsParallel|BenchmarkPropagation}"
+# guards the snapshot-isolated read path, the propagation engine's
+# incremental delta path (delta vs control vs recompute), and the query
+# planner's semi-join + provenance-index wins.
+GUARDS="${GUARDS:-BenchmarkQ1TP53|BenchmarkO3AGraphPrimitives|BenchmarkF1AGraphScenario|BenchmarkW2MixedReadWrite|BenchmarkSearchContentsParallel|BenchmarkPropagation|BenchmarkPlanner}"
 REGRESSION_FACTOR="${REGRESSION_FACTOR:-2.0}"
 DATE="$(date +%Y-%m-%d)"
 TXT="BENCH_${DATE}.txt"
@@ -44,7 +45,7 @@ if [ -n "$BASELINE" ]; then
     JSON="BENCH_current.json"
 fi
 
-PATTERN='BenchmarkF1AGraphScenario|BenchmarkF2AnnotateWorkflow|BenchmarkF3QueryTab|BenchmarkQ1TP53|BenchmarkQ2Protease|BenchmarkO1SubXOps|BenchmarkO2OntologyOps|BenchmarkO3AGraphPrimitives|BenchmarkA1IndexConsolidation|BenchmarkA2IntervalVsScan|BenchmarkA3RTreeVsScan|BenchmarkA4ConnectStrategies|BenchmarkA5PlannerOrdering|BenchmarkA6ContentIndex|BenchmarkA7BulkLoadVsIncremental|BenchmarkW1DurableCommit|BenchmarkW2MixedReadWrite|BenchmarkSearchContentsParallel|BenchmarkPropagation'
+PATTERN='BenchmarkF1AGraphScenario|BenchmarkF2AnnotateWorkflow|BenchmarkF3QueryTab|BenchmarkQ1TP53|BenchmarkQ2Protease|BenchmarkO1SubXOps|BenchmarkO2OntologyOps|BenchmarkO3AGraphPrimitives|BenchmarkA1IndexConsolidation|BenchmarkA2IntervalVsScan|BenchmarkA3RTreeVsScan|BenchmarkA4ConnectStrategies|BenchmarkA5PlannerOrdering|BenchmarkA6ContentIndex|BenchmarkA7BulkLoadVsIncremental|BenchmarkW1DurableCommit|BenchmarkW2MixedReadWrite|BenchmarkSearchContentsParallel|BenchmarkPropagation|BenchmarkPlanner'
 
 echo "running benchmark suites (benchtime=${BENCHTIME}, count=${COUNT})…" >&2
 go test -run '^$' -bench "$PATTERN" -benchmem \
