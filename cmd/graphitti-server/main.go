@@ -12,15 +12,27 @@
 //
 // In durable mode a -study or -snapshot seeds the directory only when it
 // holds no prior state; an existing directory always wins.
+//
+// The server is production-shaped: read-header and idle timeouts bound
+// slow clients, SIGINT/SIGTERM triggers a graceful drain (bounded by
+// -shutdown-timeout) before the durable store is flushed and closed, and
+// GET /healthz / GET /readyz report liveness and the store's
+// healthy/degraded state for orchestrators. Startup and shutdown are
+// logged structured (key=value) on stderr.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"graphitti"
 	"graphitti/internal/durable"
@@ -31,81 +43,165 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	studyName := flag.String("study", "influenza", "demo study: influenza or neuro (or empty for none)")
-	anns := flag.Int("anns", 400, "annotation count for the influenza study")
-	images := flag.Int("images", 12, "image count for the neuro study")
-	snapshot := flag.String("snapshot", "", "load the store from a persist snapshot file instead")
-	dataDir := flag.String("data-dir", "", "durable mode: WAL + snapshot directory (created if missing)")
-	compactMiB := flag.Int64("compact-threshold-mib", 0, "durable mode: WAL size triggering compaction (0 = default)")
-	queryTimeout := flag.Duration("query-timeout", 0, "per-request limit for /api/search and /api/query (0 = none); timed-out requests get a 408 JSON error")
-	rulesFile := flag.String("rules", "", "JSON file of propagation rules to install at startup (rules already present are kept)")
+	cfg := serverConfig{}
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&cfg.study, "study", "influenza", "demo study: influenza or neuro (or empty for none)")
+	flag.IntVar(&cfg.anns, "anns", 400, "annotation count for the influenza study")
+	flag.IntVar(&cfg.images, "images", 12, "image count for the neuro study")
+	flag.StringVar(&cfg.snapshot, "snapshot", "", "load the store from a persist snapshot file instead")
+	flag.StringVar(&cfg.dataDir, "data-dir", "", "durable mode: WAL + snapshot directory (created if missing)")
+	flag.Int64Var(&cfg.compactMiB, "compact-threshold-mib", 0, "durable mode: WAL size triggering compaction (0 = default)")
+	flag.DurationVar(&cfg.opts.QueryTimeout, "query-timeout", 0, "per-request limit for /api/search and /api/query (0 = none); timed-out requests get a 408 JSON error")
+	flag.Int64Var(&cfg.opts.MaxBodyBytes, "max-body-bytes", 0, "cap on JSON request bodies (0 = default 8 MiB); larger requests get 413")
+	flag.StringVar(&cfg.rulesFile, "rules", "", "JSON file of propagation rules to install at startup (rules already present are kept)")
+	flag.DurationVar(&cfg.shutdownTimeout, "shutdown-timeout", 15*time.Second, "graceful drain limit on SIGINT/SIGTERM before open requests are aborted")
 	flag.Parse()
 
-	opts := httpapi.Options{QueryTimeout: *queryTimeout}
-	handler, report, err := buildHandler(*dataDir, *studyName, *anns, *images, *snapshot, *compactMiB, *rulesFile, opts)
-	if err != nil {
-		log.Fatal(err)
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg, logger); err != nil {
+		logger.Error("exiting", "err", err)
+		os.Exit(1)
 	}
-	fmt.Print(report)
-	fmt.Printf("listening on %s\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, handler))
 }
 
-func buildHandler(dataDir, study string, anns, images int, snapshot string, compactMiB int64, rulesFile string, opts httpapi.Options) (http.Handler, string, error) {
-	rules, err := loadRules(rulesFile)
+type serverConfig struct {
+	addr            string
+	study           string
+	anns, images    int
+	snapshot        string
+	dataDir         string
+	compactMiB      int64
+	rulesFile       string
+	shutdownTimeout time.Duration
+	opts            httpapi.Options
+	// onListen, when set, receives the bound address once the listener
+	// is up — the test hook for -addr :0.
+	onListen func(net.Addr)
+}
+
+// run builds the store, serves until ctx is cancelled (the signal), then
+// drains in-flight requests and closes the durable store so the WAL is
+// flushed before exit.
+func run(ctx context.Context, cfg serverConfig, logger *slog.Logger) error {
+	handler, store, report, err := buildHandler(cfg)
 	if err != nil {
-		return nil, "", err
+		return err
 	}
-	if dataDir == "" {
-		store, err := buildStore(study, anns, images, snapshot)
+	fmt.Print(report)
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler: handler,
+		// Bound header reads and idle keep-alives so stalled or leaky
+		// clients cannot pin connections forever; request bodies are
+		// size-capped at the handler layer instead of time-capped here,
+		// because restore uploads are legitimately slow.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	logger.Info("listening",
+		"addr", ln.Addr().String(),
+		"dataDir", cfg.dataDir,
+		"shutdownTimeout", cfg.shutdownTimeout)
+	if cfg.onListen != nil {
+		cfg.onListen(ln.Addr())
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+		logger.Info("shutdown signal received, draining")
+		start := time.Now()
+		dctx, cancel := context.WithTimeout(context.Background(), cfg.shutdownTimeout)
+		defer cancel()
+		if derr := srv.Shutdown(dctx); derr != nil {
+			logger.Warn("drain incomplete, aborting open requests",
+				"err", derr, "after", time.Since(start))
+			_ = srv.Close()
+		}
+		logger.Info("drained", "duration", time.Since(start))
+	case err = <-errc:
+		// Serve never returns nil before Shutdown; anything here is a
+		// listener failure.
+		logger.Error("serve failed", "err", err)
+	}
+
+	if store != nil {
+		if cerr := store.Close(); cerr != nil {
+			logger.Error("closing durable store", "dataDir", cfg.dataDir, "err", cerr)
+			if err == nil {
+				err = cerr
+			}
+		} else {
+			logger.Info("durable store closed", "dataDir", cfg.dataDir, "seq", store.Stats().Seq)
+		}
+	}
+	return err
+}
+
+// buildHandler assembles the HTTP handler and, in durable mode, returns
+// the store so run can close it on exit.
+func buildHandler(cfg serverConfig) (http.Handler, *durable.Store, string, error) {
+	rules, err := loadRules(cfg.rulesFile)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	if cfg.dataDir == "" {
+		store, err := buildStore(cfg.study, cfg.anns, cfg.images, cfg.snapshot)
 		if err != nil {
-			return nil, "", err
+			return nil, nil, "", err
 		}
 		if err := installRules(rules, func(r graphitti.Rule) error {
 			return graphitti.AddRule(store, r)
 		}); err != nil {
-			return nil, "", err
+			return nil, nil, "", err
 		}
 		st := store.Stats()
 		report := fmt.Sprintf("graphitti-server: %d annotations, %d referents, %d a-graph edges, %d derived facts via %d rules (in-memory)\n",
 			st.Annotations, st.Referents, st.GraphEdges, st.Derived, len(graphitti.Rules(store)))
-		return httpapi.NewHandlerWithOptions(store, opts), report, nil
+		return httpapi.NewHandlerWithOptions(store, cfg.opts), nil, report, nil
 	}
 
-	d, err := durable.Open(dataDir, durable.Options{CompactThreshold: compactMiB << 20})
+	d, err := durable.Open(cfg.dataDir, durable.Options{CompactThreshold: cfg.compactMiB << 20})
 	if err != nil {
-		return nil, "", err
+		return nil, nil, "", err
 	}
 	ds := d.Stats()
 	report := fmt.Sprintf("graphitti-server: durable store in %s (seq %d, %d replayed, %d torn bytes truncated)\n",
-		dataDir, ds.Seq, ds.ReplayedRecords, ds.TornBytes)
-	if ds.Seq == 0 && (snapshot != "" || study != "") {
+		cfg.dataDir, ds.Seq, ds.ReplayedRecords, ds.TornBytes)
+	if ds.Seq == 0 && (cfg.snapshot != "" || cfg.study != "") {
 		// Fresh directory: seed it from the requested study/snapshot and
 		// checkpoint immediately.
-		seed, err := buildStore(study, anns, images, snapshot)
+		seed, err := buildStore(cfg.study, cfg.anns, cfg.images, cfg.snapshot)
 		if err != nil {
-			return nil, "", err
+			return nil, nil, "", err
 		}
 		snap, err := persist.Export(seed)
 		if err != nil {
-			return nil, "", err
+			return nil, nil, "", err
 		}
 		if _, err := d.Restore(snap); err != nil {
-			return nil, "", err
+			return nil, nil, "", err
 		}
-		report += fmt.Sprintf("seeded empty data dir from %s\n", seedSource(study, snapshot))
+		report += fmt.Sprintf("seeded empty data dir from %s\n", seedSource(cfg.study, cfg.snapshot))
 	}
 	// Rules from -rules are durable ops: logged, so they survive
 	// restarts whether or not the file is passed again. Ones already
 	// present (replayed from a previous run) are kept, not duplicated.
 	if err := installRules(rules, d.AddRule); err != nil {
-		return nil, "", err
+		return nil, nil, "", err
 	}
 	st := d.Core().Stats()
 	report += fmt.Sprintf("serving %d annotations, %d referents, %d a-graph edges, %d derived facts via %d rules (durable)\n",
 		st.Annotations, st.Referents, st.GraphEdges, st.Derived, len(graphitti.Rules(d.Core())))
-	return httpapi.NewDurableHandlerWithOptions(d, opts), report, nil
+	return httpapi.NewDurableHandlerWithOptions(d, cfg.opts), d, report, nil
 }
 
 // loadRules parses the -rules file (nil when the flag is unset).

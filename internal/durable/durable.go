@@ -35,6 +35,27 @@
 // ordering lock, then wait for durability outside it — group commit. A
 // WAL I/O error is sticky: the in-memory store may be ahead of the log,
 // so every later mutation fails rather than widening the divergence.
+//
+// # Degradation and recovery
+//
+// A disk fault moves the store through an explicit state machine:
+//
+//	healthy ──(log I/O error, unloggable op,
+//	           failed log rotation)──▶ degraded ──(Reopen)──▶ healthy
+//	   │                                  │
+//	   └────────────(Close)───────────────┴──(Close)──▶ closed
+//
+// Degraded is read-only: reads through Core() keep serving the state
+// that existed at the fault, every mutation fails fast with ErrDegraded,
+// and no acknowledgement is ever issued for a record whose fdatasync
+// failed (the WAL writer poisons itself first — the fsyncgate rule).
+// Health reports the state; Reopen recovers by discarding the
+// in-memory state (which may be ahead of the log by applied-but-unacked
+// ops), re-validating the data directory exactly as Open does, and
+// probing the log with a durable append before accepting writes again.
+// A compaction that fails before touching the live log (snapshot or
+// manifest write) does not degrade: the previous checkpoint, manifest,
+// and log remain the loadable truth and the store stays writable.
 package durable
 
 import (
@@ -52,6 +73,7 @@ import (
 	"graphitti/internal/biodata/phylo"
 	"graphitti/internal/biodata/seq"
 	"graphitti/internal/core"
+	"graphitti/internal/faultfs"
 	"graphitti/internal/interval"
 	"graphitti/internal/ontology"
 	"graphitti/internal/persist"
@@ -87,7 +109,67 @@ type Options struct {
 	// NoSync skips fdatasync on the log — crash safety is lost; for
 	// benchmarks contrasting group commit against raw logging only.
 	NoSync bool
+	// Inject, when non-nil, is consulted before every file operation the
+	// store and its WAL perform, and can fail it — the fault-injection
+	// hook the robustness harness drives. Nil injects nothing.
+	Inject faultfs.Injector
 }
+
+// State is the store's position in the degradation state machine.
+type State uint8
+
+const (
+	// StateHealthy accepts reads and writes.
+	StateHealthy State = iota
+	// StateDegraded serves reads only; mutations fail with ErrDegraded
+	// until Reopen succeeds.
+	StateDegraded
+	// StateClosed is terminal: Close was called.
+	StateClosed
+)
+
+func (s State) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateDegraded:
+		return "degraded"
+	case StateClosed:
+		return "closed"
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// MarshalText makes the state render as its name in JSON payloads.
+func (s State) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText parses a state name — the MarshalText inverse, so Stats
+// round-trips through JSON (clients of /api/stats decode it).
+func (s *State) UnmarshalText(b []byte) error {
+	switch string(b) {
+	case "healthy":
+		*s = StateHealthy
+	case "degraded":
+		*s = StateDegraded
+	case "closed":
+		*s = StateClosed
+	default:
+		return fmt.Errorf("durable: unknown state %q", b)
+	}
+	return nil
+}
+
+// Health reports the state machine's position and, when degraded, the
+// fault that got it there.
+type Health struct {
+	State State `json:"state"`
+	// Reason is the first fault observed (empty while healthy).
+	Reason string `json:"reason,omitempty"`
+}
+
+// ErrDegraded is wrapped into every mutation refused because the store
+// is degraded; reads keep working, and Reopen recovers.
+var ErrDegraded = errors.New("durable: store degraded, writes refused")
 
 // manifest is the tiny metadata file naming the current checkpoint; its
 // atomic rename is the single commit point of a compaction, so a crash
@@ -148,6 +230,10 @@ type Stats struct {
 	// LastCompactError is the most recent such failure.
 	CompactFailures  uint64
 	LastCompactError string `json:",omitempty"`
+	// Health is the degradation state machine's position.
+	Health Health
+	// Reopens counts successful recoveries from the degraded state.
+	Reopens uint64
 	// WAL is the group-commit writer's counters.
 	WAL wal.Stats
 }
@@ -169,15 +255,18 @@ type Store struct {
 	// Core(), hence the atomic pointer. Mutations still serialize on mu.
 	core atomic.Pointer[core.Store]
 
-	// logErr is sticky: set when a mutation was applied in memory but
-	// could never be logged; all further mutations are refused.
-	logErr error
+	// degradeErr latches the degraded state: set on the first fault that
+	// leaves memory possibly ahead of the log (a flush error, an
+	// unloggable op, a failed rotation). All further mutations are
+	// refused with ErrDegraded until Reopen clears it.
+	degradeErr error
 
 	seq             uint64
 	snapshotSeq     uint64
 	compactions     uint64
 	compactFailures uint64
 	lastCompactErr  string
+	reopens         uint64
 	replayed        int
 	skipped         int
 	tornBytes       int64
@@ -193,59 +282,75 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{dir: dir, opts: opts}
+	if err := s.load(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
 
+// load validates and reads the data directory into s (a fresh Store):
+// manifest, snapshot, WAL replay, then an appending writer over the
+// valid log prefix. Open calls it once; Reopen calls it on a scratch
+// Store to re-validate the directory after a fault before swapping the
+// result in.
+func (s *Store) load() error {
 	var man manifest
-	if data, err := os.ReadFile(filepath.Join(dir, manifestFile)); err == nil {
+	if data, err := os.ReadFile(filepath.Join(s.dir, manifestFile)); err == nil {
 		if err := json.Unmarshal(data, &man); err != nil {
-			return nil, fmt.Errorf("durable: corrupt manifest: %w", err)
+			return fmt.Errorf("durable: corrupt manifest: %w", err)
 		}
 	} else if !errors.Is(err, os.ErrNotExist) {
-		return nil, err
+		return err
 	}
 	s.snapshotSeq = man.SnapshotSeq
 	s.seq = man.SnapshotSeq
 
 	switch {
 	case man.Snapshot != "":
-		f, err := os.Open(filepath.Join(dir, man.Snapshot))
+		f, err := os.Open(filepath.Join(s.dir, man.Snapshot))
 		if err != nil {
 			// The manifest committed to a checkpoint; its absence is data
 			// loss, not a fresh directory.
-			return nil, fmt.Errorf("durable: manifest names snapshot %s: %w", man.Snapshot, err)
+			return fmt.Errorf("durable: manifest names snapshot %s: %w", man.Snapshot, err)
 		}
 		cs, lerr := persist.Read(f)
 		f.Close()
 		if lerr != nil {
-			return nil, fmt.Errorf("durable: load snapshot: %w", lerr)
+			return fmt.Errorf("durable: load snapshot: %w", lerr)
 		}
 		s.core.Store(cs)
 	case man.SnapshotSeq != 0:
-		return nil, fmt.Errorf("durable: manifest claims checkpoint at seq %d but names no snapshot", man.SnapshotSeq)
+		return fmt.Errorf("durable: manifest claims checkpoint at seq %d but names no snapshot", man.SnapshotSeq)
 	default:
 		s.core.Store(core.NewStore())
 	}
 	s.removeStaleSnapshots(man.Snapshot)
 
-	logPath := filepath.Join(dir, logFile)
+	logPath := filepath.Join(s.dir, logFile)
 	info, err := wal.Scan(logPath, s.replayRecord)
 	switch {
 	case err == nil:
 		s.tornBytes = info.TornBytes
-		s.w, err = wal.OpenAt(logPath, info.ValidSize, wal.Options{NoSync: opts.NoSync})
+		s.w, err = wal.OpenAt(logPath, info.ValidSize, s.walOptions())
 		if err != nil {
-			return nil, err
+			return err
 		}
 	case errors.Is(err, os.ErrNotExist) || errors.Is(err, wal.ErrBadHeader):
 		// No log, or a log whose very header was torn: start a fresh one.
 		// Header-torn logs can hold no durable (acknowledged) records.
-		s.w, err = wal.Create(logPath, wal.Options{NoSync: opts.NoSync})
+		s.w, err = wal.Create(logPath, s.walOptions())
 		if err != nil {
-			return nil, err
+			return err
 		}
 	default:
-		return nil, err
+		return err
 	}
-	return s, nil
+	return nil
+}
+
+// walOptions derives the WAL writer options from the store's own.
+func (s *Store) walOptions() wal.Options {
+	return wal.Options{NoSync: s.opts.NoSync, Inject: s.opts.Inject}
 }
 
 // replayRecord applies one scanned WAL payload during Open.
@@ -287,32 +392,67 @@ func (s *Store) removeStaleSnapshots(current string) {
 	}
 }
 
-// apply replays one op envelope against a store.
+// apply replays one op envelope against a store. Envelopes come off
+// disk, so a corrupt or hand-edited record must produce an error, never
+// a panic: every dump pointer is checked before it is dereferenced.
 func apply(cs *core.Store, rec *record) error {
+	missing := func(field string) error {
+		return fmt.Errorf("op %s missing %s dump", rec.Kind, field)
+	}
 	switch rec.Kind {
 	case core.OpRegisterOntology:
+		if rec.Ontology == nil {
+			return missing("ontology")
+		}
 		return persist.ApplyOntology(cs, *rec.Ontology)
 	case core.OpRegisterSystem:
+		if rec.System == nil {
+			return missing("system")
+		}
 		return persist.ApplySystem(cs, *rec.System)
 	case core.OpRegisterSequence:
+		if rec.Sequence == nil {
+			return missing("sequence")
+		}
 		return persist.ApplySequence(cs, *rec.Sequence)
 	case core.OpRegisterAlignment:
+		if rec.Alignment == nil {
+			return missing("alignment")
+		}
 		return persist.ApplyAlignment(cs, *rec.Alignment)
 	case core.OpRegisterTree:
+		if rec.Tree == nil {
+			return missing("tree")
+		}
 		return persist.ApplyTree(cs, *rec.Tree)
 	case core.OpRegisterInteractionGraph:
+		if rec.Graph == nil {
+			return missing("graph")
+		}
 		return persist.ApplyGraph(cs, *rec.Graph)
 	case core.OpRegisterImage:
+		if rec.Image == nil {
+			return missing("image")
+		}
 		return persist.ApplyImage(cs, *rec.Image)
 	case core.OpCreateRecordTable:
+		if rec.Table == nil {
+			return missing("table")
+		}
 		return persist.ApplyTable(cs, *rec.Table)
 	case core.OpInsertRecord:
 		return persist.ApplyRecord(cs, rec.RecTable, rec.Row)
 	case core.OpCommitAnnotation:
+		if rec.Annotation == nil {
+			return missing("annotation")
+		}
 		return persist.ApplyAnnotation(cs, *rec.Annotation)
 	case core.OpDeleteAnnotation:
 		return cs.DeleteAnnotation(rec.DeleteID)
 	case core.OpAddRule:
+		if rec.Rule == nil {
+			return missing("rule")
+		}
 		return persist.ApplyRule(cs, *rec.Rule)
 	case core.OpDeleteRule:
 		return prop.Attach(cs).DeleteRule(rec.RuleID)
@@ -338,18 +478,22 @@ func (s *Store) logApply(rec *record, applyFn func(cs *core.Store) error) error 
 		s.mu.Unlock()
 		return wal.ErrClosed
 	}
-	// Refuse BEFORE mutating when the log can no longer accept records (a
-	// sticky flush error, a failed rotation that left it closed, or an
-	// earlier unloggable op): applying first would leave reader-visible
-	// state that vanishes on restart.
-	if s.logErr != nil {
-		err := s.logErr
+	// Refuse BEFORE mutating when the store is degraded (a sticky flush
+	// error, a failed rotation that left the log closed, or an earlier
+	// unloggable op): applying first would leave reader-visible state
+	// that vanishes on restart.
+	if s.degradeErr != nil {
+		err := fmt.Errorf("%w: %v", ErrDegraded, s.degradeErr)
 		s.mu.Unlock()
 		return err
 	}
 	if err := s.w.Err(); err != nil {
+		// The WAL writer poisoned itself asynchronously (another op's
+		// flush failed); latch the degradation here.
+		s.degradeLocked(fmt.Errorf("durable: log unavailable: %w", err))
+		err = fmt.Errorf("%w: %v", ErrDegraded, s.degradeErr)
 		s.mu.Unlock()
-		return fmt.Errorf("durable: log unavailable: %w", err)
+		return err
 	}
 	if err := applyFn(s.Core()); err != nil {
 		s.mu.Unlock()
@@ -359,7 +503,7 @@ func (s *Store) logApply(rec *record, applyFn func(cs *core.Store) error) error 
 	// cannot be logged (marshal failure, oversize record) must not leave a
 	// gap in the on-disk seq stream — a gap makes replay refuse the whole
 	// log. The apply above already happened, though, so memory is now
-	// ahead of disk; wedge the store like any other log failure rather
+	// ahead of disk; degrade the store like any other log failure rather
 	// than serving state that would silently vanish on restart.
 	rec.Seq = s.seq + 1
 	payload, err := json.Marshal(rec)
@@ -367,8 +511,8 @@ func (s *Store) logApply(rec *record, applyFn func(cs *core.Store) error) error 
 		err = fmt.Errorf("op of %d bytes exceeds max record size %d", len(payload), maxRecordSize)
 	}
 	if err != nil {
-		s.logErr = fmt.Errorf("durable: unloggable op %d: %w", rec.Seq, err)
-		err = s.logErr
+		s.degradeLocked(fmt.Errorf("durable: unloggable op %d: %w", rec.Seq, err))
+		err = fmt.Errorf("%w: %v", ErrDegraded, s.degradeErr)
 		s.mu.Unlock()
 		return err
 	}
@@ -378,7 +522,16 @@ func (s *Store) logApply(rec *record, applyFn func(cs *core.Store) error) error 
 	s.mu.Unlock()
 
 	if err := <-ack; err != nil {
-		return fmt.Errorf("durable: log op %d: %w", rec.Seq, err)
+		// The record may or may not have reached the platter — the ack is
+		// withheld either way (fsyncgate: a failed fdatasync never acks).
+		// Memory is possibly ahead of the log now; degrade so no later
+		// write widens the divergence. ErrDegraded is wrapped so HTTP maps
+		// the failing op itself to 503 + Retry-After like the refusals
+		// that follow it.
+		s.mu.Lock()
+		s.degradeLocked(fmt.Errorf("durable: log op %d: %w", rec.Seq, err))
+		s.mu.Unlock()
+		return fmt.Errorf("%w: log op %d: %w", ErrDegraded, rec.Seq, err)
 	}
 	// The mutation is durable from here on: a compaction failure is
 	// recorded in Stats (and wedges the log for later mutations if the
@@ -393,6 +546,78 @@ func (s *Store) logApply(rec *record, applyFn func(cs *core.Store) error) error 
 		}
 	}
 	return nil
+}
+
+// degradeLocked latches the degraded state; the first fault wins.
+// Callers hold s.mu.
+func (s *Store) degradeLocked(cause error) {
+	if s.degradeErr == nil && !s.closed {
+		s.degradeErr = cause
+	}
+}
+
+// Health reports the degradation state machine's position.
+func (s *Store) Health() Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.healthLocked()
+}
+
+func (s *Store) healthLocked() Health {
+	switch {
+	case s.closed:
+		return Health{State: StateClosed}
+	case s.degradeErr != nil:
+		return Health{State: StateDegraded, Reason: s.degradeErr.Error()}
+	}
+	return Health{State: StateHealthy}
+}
+
+// Reopen recovers a degraded store. The in-memory state is discarded —
+// it may be ahead of the log by mutations that were applied but never
+// acknowledged, and those must not survive — and the data directory is
+// re-validated exactly as Open does: manifest, snapshot, WAL replay,
+// torn-tail truncation. A durable probe append must then succeed before
+// the store accepts writes again; any failure leaves it degraded.
+// Returns the reloaded core store — callers holding the previous Core()
+// pointer should re-fetch (reads against the old pointer stay safe,
+// they just see the pre-recovery view). On a healthy store Reopen is a
+// no-op returning the current core.
+func (s *Store) Reopen() (*core.Store, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, wal.ErrClosed
+	}
+	if s.degradeErr == nil {
+		return s.Core(), nil
+	}
+	// Quiesce the old writer first: Close drains its flush loop, so no
+	// concurrent flush can interleave with the reload below. Its error is
+	// expected — the writer is usually poisoned.
+	if s.w != nil {
+		_ = s.w.Close()
+	}
+	fresh := &Store{dir: s.dir, opts: s.opts}
+	if err := fresh.load(); err != nil {
+		return nil, fmt.Errorf("durable: reopen: %w", err)
+	}
+	// Probe the log end-to-end (append + fdatasync) before declaring
+	// health: a disk that loads but cannot persist stays degraded.
+	if err := fresh.w.Sync(); err != nil {
+		_ = fresh.w.Close()
+		return nil, fmt.Errorf("durable: reopen: log probe: %w", err)
+	}
+	s.w = fresh.w
+	s.core.Store(fresh.Core())
+	s.seq = fresh.seq
+	s.snapshotSeq = fresh.snapshotSeq
+	s.replayed = fresh.replayed
+	s.skipped = fresh.skipped
+	s.tornBytes = fresh.tornBytes
+	s.degradeErr = nil
+	s.reopens++
+	return fresh.Core(), nil
 }
 
 // compactIfNeeded re-checks the log size under the lock before
@@ -574,7 +799,17 @@ func (s *Store) compactLocked() error {
 // checkpointLocked durably checkpoints cs as the state at op sequence
 // seq: snapshot file, manifest commit, log rotation. It does not touch
 // s.core or s.seq — callers swap those only after it succeeds.
+//
+// Failure semantics: a fault in steps 1–2 (snapshot or manifest write)
+// leaves the previous snapshot+manifest+log pair intact and loadable —
+// the store stays healthy and writable, the failure is only counted. A
+// fault in step 3 (rotation) happens after the new checkpoint committed,
+// so no data is at risk, but it leaves the store without a live log:
+// that degrades it.
 func (s *Store) checkpointLocked(cs *core.Store, seq uint64) error {
+	if s.degradeErr != nil {
+		return fmt.Errorf("%w: %v", ErrDegraded, s.degradeErr)
+	}
 	// 1. Checkpoint the given state (for compaction, it covers every
 	//    applied op — all enqueued log records — because applies happen
 	//    under mu) into a seq-named file. Until the manifest names it, it
@@ -584,7 +819,7 @@ func (s *Store) checkpointLocked(cs *core.Store, seq uint64) error {
 		return fmt.Errorf("durable: compact export: %w", err)
 	}
 	name := snapName(seq)
-	if err := writeFileSync(filepath.Join(s.dir, name), func(f *os.File) error {
+	if err := writeFileSync(s.opts.Inject, filepath.Join(s.dir, name), func(f *os.File) error {
 		return json.NewEncoder(f).Encode(snap)
 	}); err != nil {
 		return fmt.Errorf("durable: compact snapshot: %w", err)
@@ -593,7 +828,7 @@ func (s *Store) checkpointLocked(cs *core.Store, seq uint64) error {
 	//    as one pair. A crash before this keeps the old checkpoint and a
 	//    harmless orphan file; a crash after it makes replay skip every
 	//    record the new snapshot covers.
-	if err := writeFileSync(filepath.Join(s.dir, manifestFile), func(f *os.File) error {
+	if err := writeFileSync(s.opts.Inject, filepath.Join(s.dir, manifestFile), func(f *os.File) error {
 		return json.NewEncoder(f).Encode(manifest{SnapshotSeq: seq, Snapshot: name})
 	}); err != nil {
 		return fmt.Errorf("durable: compact manifest: %w", err)
@@ -604,11 +839,15 @@ func (s *Store) checkpointLocked(cs *core.Store, seq uint64) error {
 	//    before Create leaves the old log in place; replay then skips all
 	//    of it via the manifest.
 	if err := s.w.Close(); err != nil {
-		return fmt.Errorf("durable: compact close log: %w", err)
+		err = fmt.Errorf("durable: compact close log: %w", err)
+		s.degradeLocked(err)
+		return err
 	}
-	w, err := wal.Create(filepath.Join(s.dir, logFile), wal.Options{NoSync: s.opts.NoSync})
+	w, err := wal.Create(filepath.Join(s.dir, logFile), s.walOptions())
 	if err != nil {
-		return fmt.Errorf("durable: compact rotate log: %w", err)
+		err = fmt.Errorf("durable: compact rotate log: %w", err)
+		s.degradeLocked(err)
+		return err
 	}
 	s.w = w
 	s.compactions++
@@ -654,6 +893,8 @@ func (s *Store) Stats() Stats {
 		CompactThreshold: s.opts.CompactThreshold,
 		CompactFailures:  s.compactFailures,
 		LastCompactError: s.lastCompactErr,
+		Health:           s.healthLocked(),
+		Reopens:          s.reopens,
 	}
 	if !s.closed {
 		st.WAL = s.w.Stats()
@@ -702,9 +943,13 @@ func (s *Store) Close() error {
 }
 
 // writeFileSync writes path atomically: tmp file, fill, fdatasync, rename
-// over path, fsync the directory so the rename itself is durable.
-func writeFileSync(path string, fill func(*os.File) error) error {
+// over path, fsync the directory so the rename itself is durable. Each
+// step consults the optional fault injector the way the WAL writer does.
+func writeFileSync(inj faultfs.Injector, path string, fill func(*os.File) error) error {
 	tmp := path + ".tmp"
+	if err := faultfs.Check(inj, faultfs.OpCreate, tmp); err != nil {
+		return err
+	}
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
@@ -714,7 +959,11 @@ func writeFileSync(path string, fill func(*os.File) error) error {
 		os.Remove(tmp)
 		return err
 	}
-	if err := f.Sync(); err != nil {
+	err = faultfs.Check(inj, faultfs.OpSync, tmp)
+	if err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -723,8 +972,15 @@ func writeFileSync(path string, fill func(*os.File) error) error {
 		os.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	err = faultfs.Check(inj, faultfs.OpRename, path)
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
 		os.Remove(tmp)
+		return err
+	}
+	if err := faultfs.Check(inj, faultfs.OpDirSync, filepath.Dir(path)); err != nil {
 		return err
 	}
 	if d, err := os.Open(filepath.Dir(path)); err == nil {

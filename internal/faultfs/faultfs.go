@@ -1,0 +1,290 @@
+// Package faultfs injects disk faults into the durable storage stack.
+//
+// The WAL writer and the durable store's checkpoint path consult an
+// optional Injector before every file operation they perform — write,
+// fdatasync, file create, rename, truncate, directory sync. A nil
+// injector costs one pointer comparison; a non-nil one can fail any
+// chosen operation with EIO, ENOSPC, a torn (short) write, or any other
+// error, deterministically (Script: the Nth occurrence of an op) or
+// randomly under a fixed seed (Flaky). Production code never sets an
+// injector; the fault-injection harness in internal/durable drives
+// everything through it.
+//
+// The injected error stands in for the real syscall failing: the callee
+// must react exactly as it would to a genuine EIO — poison the WAL
+// writer, refuse the compaction, degrade the store — which is what the
+// harness asserts.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// Op identifies one fault-injectable file operation.
+type Op uint8
+
+const (
+	// OpWrite is a data write to an open file (WAL frames, the file
+	// header). A Fault with Short > 0 tears it: a prefix reaches the
+	// file before the error.
+	OpWrite Op = iota
+	// OpSync is fdatasync/fsync of an open file — the durability point.
+	OpSync
+	// OpCreate is opening a file for writing (WAL creation, snapshot and
+	// manifest tmp files).
+	OpCreate
+	// OpRename is the atomic rename that commits a snapshot or manifest.
+	OpRename
+	// OpTruncate is truncating the WAL's torn tail at open.
+	OpTruncate
+	// OpDirSync is fsyncing a directory to persist creates/renames.
+	OpDirSync
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpCreate:
+		return "create"
+	case OpRename:
+		return "rename"
+	case OpTruncate:
+		return "truncate"
+	case OpDirSync:
+		return "dirsync"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// ErrInjected marks every error produced by this package; errors.Is
+// distinguishes an injected fault from a real disk failure in tests.
+var ErrInjected = errors.New("injected fault")
+
+// Errno builds an injected error carrying a syscall errno; errors.Is
+// matches both ErrInjected and the errno (so code mapping ENOSPC
+// specially sees the injected one too).
+func Errno(op Op, errno syscall.Errno) error {
+	return fmt.Errorf("faultfs: %s: %w: %w", op, ErrInjected, errno)
+}
+
+// Fault is what an injector returns to fail one operation.
+type Fault struct {
+	// Err is returned in place of performing the operation.
+	Err error
+	// Short applies to OpWrite only: this many leading bytes are
+	// actually written before Err is returned — a torn write, as a
+	// partial block flush before power-lossy media errors out.
+	Short int
+}
+
+// Injector decides, immediately before each file operation, whether to
+// fail it. Implementations must be safe for concurrent use: the WAL
+// flusher goroutine and a compacting writer touch disk concurrently.
+// Returning nil performs the real operation.
+type Injector interface {
+	Decide(op Op, path string) *Fault
+}
+
+// Check consults an optional injector and returns the injected error,
+// if any. It is the nil-safe form callers without torn-write handling
+// use.
+func Check(inj Injector, op Op, path string) error {
+	if inj == nil {
+		return nil
+	}
+	if f := inj.Decide(op, path); f != nil {
+		return f.Err
+	}
+	return nil
+}
+
+// scriptRule is one scheduled fault: the Nth matching operation
+// observed after the rule was added fails.
+type scriptRule struct {
+	op   Op
+	sub  string // substring of the path; empty matches every path
+	n    int    // 1-based occurrence
+	seen int
+	f    Fault
+	used bool
+}
+
+// Script injects faults at exact operation counts: FailAt(op, n, f)
+// fails the nth occurrence of op observed after the call (counting only
+// ops that match), so a test can run a store past its setup phase, arm
+// a fault, and know precisely which syscall dies. Zero value is a
+// pass-through injector that merely counts.
+type Script struct {
+	mu     sync.Mutex
+	counts map[Op]int
+	rules  []*scriptRule
+}
+
+// NewScript returns an empty (pass-through) script.
+func NewScript() *Script { return &Script{} }
+
+// FailAt schedules the nth occurrence (1-based) of op from now on to
+// fail with f. Returns the script for chaining.
+func (s *Script) FailAt(op Op, n int, f Fault) *Script {
+	return s.FailPath(op, "", n, f)
+}
+
+// FailPath is FailAt restricted to operations whose path contains sub.
+func (s *Script) FailPath(op Op, sub string, n int, f Fault) *Script {
+	if n < 1 {
+		n = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rules = append(s.rules, &scriptRule{op: op, sub: sub, n: n, f: f})
+	return s
+}
+
+// Clear drops every scheduled fault — the disk is repaired. Counters
+// keep running.
+func (s *Script) Clear() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rules = nil
+}
+
+// Count reports how many operations of a kind have been observed.
+func (s *Script) Count(op Op) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts[op]
+}
+
+// Decide implements Injector.
+func (s *Script) Decide(op Op, path string) *Fault {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.counts == nil {
+		s.counts = make(map[Op]int)
+	}
+	s.counts[op]++
+	for _, r := range s.rules {
+		if r.used || r.op != op {
+			continue
+		}
+		if r.sub != "" && !strings.Contains(path, r.sub) {
+			continue
+		}
+		r.seen++
+		if r.seen == r.n {
+			r.used = true
+			f := r.f
+			return &f
+		}
+	}
+	return nil
+}
+
+// FlakyConfig sizes a Flaky injector.
+type FlakyConfig struct {
+	// Seed fixes the randomness: same seed, same faults at the same
+	// operation indices.
+	Seed int64
+	// SkipOps passes through this many eligible operations before any
+	// fault can fire (lets a store open cleanly).
+	SkipOps int
+	// FailProb is the per-operation fault probability once SkipOps is
+	// exhausted.
+	FailProb float64
+	// MaxFaults bounds the total faults injected (0 = 1).
+	MaxFaults int
+	// Kinds restricts which operations are eligible; empty = all.
+	Kinds []Op
+}
+
+// Flaky injects randomized faults under a fixed seed: after a warm-up,
+// each eligible operation fails with the configured probability until
+// the fault budget is spent, choosing EIO, ENOSPC, or (for writes) a
+// torn write at random. Disable turns it into a pass-through — the
+// repaired-disk phase of a recovery test.
+type Flaky struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	skip     int
+	prob     float64
+	budget   int
+	kinds    map[Op]bool
+	disabled bool
+	injected []string
+}
+
+// NewFlaky builds a seeded randomized injector.
+func NewFlaky(cfg FlakyConfig) *Flaky {
+	f := &Flaky{
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		skip:   cfg.SkipOps,
+		prob:   cfg.FailProb,
+		budget: cfg.MaxFaults,
+	}
+	if f.budget <= 0 {
+		f.budget = 1
+	}
+	if len(cfg.Kinds) > 0 {
+		f.kinds = make(map[Op]bool, len(cfg.Kinds))
+		for _, k := range cfg.Kinds {
+			f.kinds[k] = true
+		}
+	}
+	return f
+}
+
+// Disable stops all further injection (the disk is repaired).
+func (f *Flaky) Disable() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.disabled = true
+}
+
+// Injected lists the faults fired so far, for test logging.
+func (f *Flaky) Injected() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.injected...)
+}
+
+// Decide implements Injector.
+func (f *Flaky) Decide(op Op, path string) *Fault {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.disabled || f.budget == 0 {
+		return nil
+	}
+	if f.kinds != nil && !f.kinds[op] {
+		return nil
+	}
+	if f.skip > 0 {
+		f.skip--
+		return nil
+	}
+	if f.rng.Float64() >= f.prob {
+		return nil
+	}
+	f.budget--
+	flt := &Fault{}
+	switch f.rng.Intn(3) {
+	case 0:
+		flt.Err = Errno(op, syscall.EIO)
+	case 1:
+		flt.Err = Errno(op, syscall.ENOSPC)
+	default:
+		flt.Err = Errno(op, syscall.EIO)
+		if op == OpWrite {
+			flt.Short = f.rng.Intn(64) // tear the frame a few bytes in
+		}
+	}
+	f.injected = append(f.injected, fmt.Sprintf("%s %s short=%d (%v)", op, path, flt.Short, flt.Err))
+	return flt
+}

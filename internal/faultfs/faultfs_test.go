@@ -1,0 +1,126 @@
+package faultfs
+
+import (
+	"errors"
+	"sync"
+	"syscall"
+	"testing"
+)
+
+func TestScriptFailsExactOccurrence(t *testing.T) {
+	s := NewScript().FailAt(OpSync, 3, Fault{Err: Errno(OpSync, syscall.EIO)})
+	for i := 1; i <= 5; i++ {
+		f := s.Decide(OpSync, "x.wal")
+		if (i == 3) != (f != nil) {
+			t.Fatalf("occurrence %d: fault=%v", i, f)
+		}
+		if i == 3 {
+			if !errors.Is(f.Err, ErrInjected) || !errors.Is(f.Err, syscall.EIO) {
+				t.Fatalf("fault error chain broken: %v", f.Err)
+			}
+		}
+	}
+	// The rule fired once; it never fires again.
+	if f := s.Decide(OpSync, "x.wal"); f != nil {
+		t.Fatalf("rule fired twice: %v", f)
+	}
+	if got := s.Count(OpSync); got != 6 {
+		t.Fatalf("count = %d, want 6", got)
+	}
+}
+
+func TestScriptCountsFromArming(t *testing.T) {
+	s := NewScript()
+	// Ops before arming don't count toward the rule.
+	s.Decide(OpRename, "a.snap")
+	s.Decide(OpRename, "b.snap")
+	s.FailPath(OpRename, ".snap", 1, Fault{Err: Errno(OpRename, syscall.ENOSPC)})
+	if f := s.Decide(OpRename, "MANIFEST.json"); f != nil {
+		t.Fatalf("non-matching path faulted: %v", f)
+	}
+	if f := s.Decide(OpRename, "c.snap"); f == nil {
+		t.Fatal("first matching rename after arming should fault")
+	}
+}
+
+func TestScriptClearRepairs(t *testing.T) {
+	s := NewScript().FailAt(OpWrite, 1, Fault{Err: Errno(OpWrite, syscall.EIO)})
+	s.Clear()
+	if f := s.Decide(OpWrite, "x"); f != nil {
+		t.Fatalf("cleared script still faults: %v", f)
+	}
+}
+
+func TestFlakyDeterministicAndBounded(t *testing.T) {
+	run := func() []string {
+		f := NewFlaky(FlakyConfig{Seed: 7, SkipOps: 10, FailProb: 0.2, MaxFaults: 2})
+		for i := 0; i < 500; i++ {
+			f.Decide(OpWrite, "log")
+			f.Decide(OpSync, "log")
+		}
+		return f.Injected()
+	}
+	a, b := run(), run()
+	if len(a) != 2 {
+		t.Fatalf("budget not honored: %d faults (%v)", len(a), a)
+	}
+	if len(a) != len(b) || a[0] != b[0] || a[1] != b[1] {
+		t.Fatalf("same seed diverged:\n%v\n%v", a, b)
+	}
+}
+
+func TestFlakyDisable(t *testing.T) {
+	f := NewFlaky(FlakyConfig{Seed: 1, FailProb: 1, MaxFaults: 100})
+	if f.Decide(OpSync, "x") == nil {
+		t.Fatal("p=1 injector did not fault")
+	}
+	f.Disable()
+	for i := 0; i < 50; i++ {
+		if f.Decide(OpSync, "x") != nil {
+			t.Fatal("disabled injector faulted")
+		}
+	}
+}
+
+func TestFlakyKindsFilter(t *testing.T) {
+	f := NewFlaky(FlakyConfig{Seed: 1, FailProb: 1, MaxFaults: 100, Kinds: []Op{OpRename}})
+	for i := 0; i < 20; i++ {
+		if f.Decide(OpSync, "x") != nil {
+			t.Fatal("ineligible op faulted")
+		}
+	}
+	if f.Decide(OpRename, "x") == nil {
+		t.Fatal("eligible op did not fault")
+	}
+}
+
+func TestCheckNilInjector(t *testing.T) {
+	if err := Check(nil, OpSync, "x"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScriptConcurrentUse(t *testing.T) {
+	s := NewScript().FailAt(OpWrite, 100, Fault{Err: Errno(OpWrite, syscall.EIO)})
+	var wg sync.WaitGroup
+	hits := make([]int, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if s.Decide(OpWrite, "x") != nil {
+					hits[g]++
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, h := range hits {
+		total += h
+	}
+	if total != 1 {
+		t.Fatalf("rule fired %d times across goroutines, want exactly 1", total)
+	}
+}

@@ -18,6 +18,14 @@
 // write-ahead logged before they are acknowledged, /api/stats grows a
 // "durability" section (WAL and compaction counters), and /api/restore
 // checkpoints the restored state immediately.
+//
+// Operational endpoints: GET /healthz (liveness — always 200 while the
+// process serves) and GET /readyz (readiness — 503 + Retry-After while
+// the store is degraded to read-only after a disk fault; reads keep
+// answering 200 throughout). Mutations against a degraded store return
+// 503 JSON with Retry-After; POST /api/recover runs the store's Reopen
+// path and restores readiness once the directory re-validates. All JSON
+// bodies are size-capped (413 beyond the limit).
 package httpapi
 
 import (
@@ -46,7 +54,29 @@ type Options struct {
 	// execution either way (the request context is plumbed through query
 	// and search evaluation).
 	QueryTimeout time.Duration
+	// MaxBodyBytes caps every JSON request body except the restore
+	// upload; oversized requests get 413 instead of an unbounded read.
+	// 0 means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// MaxRestoreBytes caps the POST /api/restore snapshot upload.
+	// 0 means DefaultMaxRestoreBytes.
+	MaxRestoreBytes int64
 }
+
+const (
+	// DefaultMaxBodyBytes bounds mutation/query bodies: far above any
+	// legitimate annotation or query, far below a memory-exhaustion
+	// payload.
+	DefaultMaxBodyBytes = 8 << 20
+	// DefaultMaxRestoreBytes bounds snapshot uploads, which carry whole
+	// stores.
+	DefaultMaxRestoreBytes = 1 << 30
+)
+
+// retryAfterSeconds is the Retry-After hint attached to 503 responses:
+// long enough for an operator (or orchestrator) to notice /readyz and
+// run recovery, short enough that clients re-probe promptly.
+const retryAfterSeconds = "10"
 
 // NewHandler returns an http.Handler serving the API for one in-memory
 // store. Writes do not survive a restart; see NewDurableHandler.
@@ -73,6 +103,9 @@ func NewDurableHandlerWithOptions(d *durable.Store, opts Options) http.Handler {
 
 func newMux(api *server) http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", api.healthz)
+	mux.HandleFunc("GET /readyz", api.readyz)
+	mux.HandleFunc("POST /api/recover", api.recoverStore)
 	mux.HandleFunc("GET /api/stats", api.stats)
 	mux.HandleFunc("GET /api/annotations", api.listAnnotations)
 	mux.HandleFunc("POST /api/annotations", api.createAnnotation)
@@ -137,6 +170,11 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 func writeErr(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
+	case errors.Is(err, durable.ErrDegraded):
+		// The store is read-only until recovery; tell clients when to
+		// retry rather than letting them hammer a wedged writer.
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", retryAfterSeconds)
 	case errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusRequestTimeout
 	case errors.Is(err, context.Canceled):
@@ -159,6 +197,100 @@ func writeErr(w http.ResponseWriter, err error) {
 		status = http.StatusNotFound
 	}
 	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// healthView is the /healthz and /readyz payload: the degradation state
+// plus what the server can still do about it. A degraded store serves
+// reads but not writes.
+type healthView struct {
+	Status string `json:"status"` // ok | degraded | closed
+	State  string `json:"state"`
+	Reads  bool   `json:"reads"`
+	Writes bool   `json:"writes"`
+	Reason string `json:"reason,omitempty"`
+}
+
+func (s *server) health() healthView {
+	if s.durable == nil {
+		// In-memory mode has no disk to fail.
+		return healthView{Status: "ok", State: durable.StateHealthy.String(), Reads: true, Writes: true}
+	}
+	h := s.durable.Health()
+	v := healthView{State: h.State.String(), Reason: h.Reason}
+	switch h.State {
+	case durable.StateHealthy:
+		v.Status, v.Reads, v.Writes = "ok", true, true
+	case durable.StateDegraded:
+		v.Status, v.Reads = "degraded", true
+	case durable.StateClosed:
+		v.Status = "closed"
+	}
+	return v
+}
+
+// healthz is liveness: the process is up and serving HTTP, so always
+// 200 — a degraded store is still alive (and answering reads), and
+// restarting the process would not repair the disk. The state rides
+// along for operators.
+func (s *server) healthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.health())
+}
+
+// readyz is readiness for full read-write service: 503 + Retry-After
+// while degraded or closed, so load balancers stop routing writes; the
+// body says reads are still served. POST /api/recover flips it back.
+func (s *server) readyz(w http.ResponseWriter, _ *http.Request) {
+	v := s.health()
+	if v.Writes {
+		writeJSON(w, http.StatusOK, v)
+		return
+	}
+	w.Header().Set("Retry-After", retryAfterSeconds)
+	writeJSON(w, http.StatusServiceUnavailable, v)
+}
+
+// recoverStore runs the durable store's explicit recovery path —
+// re-validating the data directory and probing the log — and on success
+// swaps the reloaded core in, exactly as restore does.
+func (s *server) recoverStore(w http.ResponseWriter, _ *http.Request) {
+	if s.durable == nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "recover requires a durable store (-data-dir)"})
+		return
+	}
+	s.mu.Lock()
+	store, err := s.durable.Reopen()
+	if err != nil {
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", retryAfterSeconds)
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		return
+	}
+	s.store = store
+	s.proc = query.NewProcessor(store)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, s.health())
+}
+
+// decodeJSON decodes a size-capped JSON request body into v, writing
+// the HTTP error itself on failure: 413 when the cap is hit, 400 for
+// malformed JSON.
+func (s *server) decodeJSON(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	limit := s.opts.MaxBodyBytes
+	if limit <= 0 {
+		limit = DefaultMaxBodyBytes
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorBody{Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
+		} else {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad JSON: " + err.Error()})
+		}
+		return false
+	}
+	return true
 }
 
 // statsView is the /api/stats payload: the store's component sizes plus,
@@ -284,8 +416,7 @@ type annotationRequest struct {
 
 func (s *server) createAnnotation(w http.ResponseWriter, r *http.Request) {
 	var req annotationRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad JSON: " + err.Error()})
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	store, _ := s.view()
@@ -415,8 +546,7 @@ type searchRequest struct {
 
 func (s *server) search(w http.ResponseWriter, r *http.Request) {
 	var req searchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad JSON: " + err.Error()})
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	ctx, cancel := s.queryCtx(r)
@@ -473,8 +603,7 @@ type subgraphView struct {
 
 func (s *server) runQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad JSON: " + err.Error()})
+	if !s.decodeJSON(w, r, &req) {
 		return
 	}
 	ctx, cancel := s.queryCtx(r)
@@ -566,8 +695,19 @@ func (s *server) snapshot(w http.ResponseWriter, _ *http.Request) {
 // restored state is checkpointed (snapshot + empty WAL) before the
 // request is acknowledged; the previous state is discarded either way.
 func (s *server) restore(w http.ResponseWriter, r *http.Request) {
+	limit := s.opts.MaxRestoreBytes
+	if limit <= 0 {
+		limit = DefaultMaxRestoreBytes
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
 	snap, err := persist.Decode(r.Body)
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorBody{Error: fmt.Sprintf("snapshot exceeds %d bytes", tooBig.Limit)})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	}
@@ -590,6 +730,10 @@ func (s *server) restore(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		s.mu.Unlock()
+		if errors.Is(err, durable.ErrDegraded) {
+			writeErr(w, err) // 503 + Retry-After, like any degraded write
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	}
@@ -635,8 +779,7 @@ func (s *server) listRules(w http.ResponseWriter, _ *http.Request) {
 
 func (s *server) addRule(w http.ResponseWriter, r *http.Request) {
 	var rule prop.Rule
-	if err := json.NewDecoder(r.Body).Decode(&rule); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad JSON: " + err.Error()})
+	if !s.decodeJSON(w, r, &rule) {
 		return
 	}
 	if err := s.addRuleOp(rule); err != nil {

@@ -35,6 +35,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"graphitti/internal/faultfs"
 )
 
 // Magic starts every log file, followed by the format version byte.
@@ -81,6 +83,7 @@ type Writer struct {
 	cond    *sync.Cond
 	f       *os.File
 	nosync  bool
+	inject  faultfs.Injector
 	closed  bool
 	err     error // sticky I/O error; fails all subsequent appends
 	buf     []byte
@@ -95,6 +98,11 @@ type Options struct {
 	// NoSync skips fdatasync; the OS may reorder or lose acknowledged
 	// records on crash. For benchmarks and tests only.
 	NoSync bool
+	// Inject, when non-nil, is consulted before every file operation the
+	// writer performs (create, write, fdatasync, truncate, directory
+	// sync) and can fail it — the fault-injection hook the durable
+	// layer's harness drives. Nil injects nothing.
+	Inject faultfs.Injector
 }
 
 // Create creates a fresh log at path (truncating any existing file),
@@ -102,20 +110,23 @@ type Options struct {
 // fsynced so the new file's directory entry — and with it every record
 // later acknowledged into the file — survives power loss.
 func Create(path string, opts Options) (*Writer, error) {
+	if err := faultfs.Check(opts.Inject, faultfs.OpCreate, path); err != nil {
+		return nil, err
+	}
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := f.Write(Magic[:]); err != nil {
+	if err := injectedWrite(opts.Inject, f, Magic[:]); err != nil {
 		f.Close()
 		return nil, err
 	}
 	if !opts.NoSync {
-		if err := fdatasync(f); err != nil {
+		if err := injectedSync(opts.Inject, f); err != nil {
 			f.Close()
 			return nil, err
 		}
-		if err := syncDir(filepath.Dir(path)); err != nil {
+		if err := syncDir(opts.Inject, filepath.Dir(path)); err != nil {
 			f.Close()
 			return nil, err
 		}
@@ -124,7 +135,10 @@ func Create(path string, opts Options) (*Writer, error) {
 }
 
 // syncDir fsyncs a directory so renames/creates within it are durable.
-func syncDir(dir string) error {
+func syncDir(inj faultfs.Injector, dir string) error {
+	if err := faultfs.Check(inj, faultfs.OpDirSync, dir); err != nil {
+		return err
+	}
 	d, err := os.Open(dir)
 	if err != nil {
 		return err
@@ -134,6 +148,33 @@ func syncDir(dir string) error {
 		err = cerr
 	}
 	return err
+}
+
+// injectedWrite writes buf through the optional injector; an injected
+// torn write puts Fault.Short leading bytes into the file before the
+// error, as a partially flushed block would.
+func injectedWrite(inj faultfs.Injector, f *os.File, buf []byte) error {
+	if inj != nil {
+		if flt := inj.Decide(faultfs.OpWrite, f.Name()); flt != nil {
+			if n := flt.Short; n > 0 {
+				if n > len(buf) {
+					n = len(buf)
+				}
+				_, _ = f.Write(buf[:n])
+			}
+			return flt.Err
+		}
+	}
+	_, err := f.Write(buf)
+	return err
+}
+
+// injectedSync fdatasyncs through the optional injector.
+func injectedSync(inj faultfs.Injector, f *os.File) error {
+	if err := faultfs.Check(inj, faultfs.OpSync, f.Name()); err != nil {
+		return err
+	}
+	return fdatasync(f)
 }
 
 // OpenAt opens an existing log for appending at offset valid (typically
@@ -148,6 +189,10 @@ func OpenAt(path string, valid int64, opts Options) (*Writer, error) {
 		f.Close()
 		return nil, fmt.Errorf("wal: valid size %d below header size", valid)
 	}
+	if err := faultfs.Check(opts.Inject, faultfs.OpTruncate, path); err != nil {
+		f.Close()
+		return nil, err
+	}
 	if err := f.Truncate(valid); err != nil {
 		f.Close()
 		return nil, err
@@ -157,7 +202,7 @@ func OpenAt(path string, valid int64, opts Options) (*Writer, error) {
 		return nil, err
 	}
 	if !opts.NoSync {
-		if err := fdatasync(f); err != nil {
+		if err := injectedSync(opts.Inject, f); err != nil {
 			f.Close()
 			return nil, err
 		}
@@ -166,7 +211,7 @@ func OpenAt(path string, valid int64, opts Options) (*Writer, error) {
 }
 
 func newWriter(f *os.File, size int64, opts Options) *Writer {
-	w := &Writer{f: f, nosync: opts.NoSync, size: size, done: make(chan struct{})}
+	w := &Writer{f: f, nosync: opts.NoSync, inject: opts.Inject, size: size, done: make(chan struct{})}
 	w.cond = sync.NewCond(&w.mu)
 	go w.flushLoop()
 	return w
@@ -213,6 +258,13 @@ func (w *Writer) Append(payload []byte) error {
 
 // flushLoop is the single flusher: it drains the pending buffer, writes
 // it with one write call, fdatasyncs once, and wakes the whole batch.
+//
+// A flush failure is terminal for the file (the fsyncgate rule): a
+// failed fdatasync may have dropped the dirty pages it covered, so a
+// later write+fdatasync that succeeded would acknowledge new records
+// over a silently lost tail. Once the sticky error is set, no batch —
+// including ones already enqueued when the failure happened — touches
+// the file again; every waiter gets the original error.
 func (w *Writer) flushLoop() {
 	defer close(w.done)
 	for {
@@ -232,18 +284,20 @@ func (w *Writer) flushLoop() {
 		if n := uint64(len(waiters)); n > w.stats.MaxBatch {
 			w.stats.MaxBatch = n
 		}
+		err := w.err
 		w.mu.Unlock()
 
-		var err error
-		if _, werr := w.f.Write(buf); werr != nil {
-			err = werr
-		} else if !w.nosync {
-			err = fdatasync(w.f)
-		}
-		if err != nil {
-			w.mu.Lock()
-			w.err = err // sticky: the log tail is now undefined
-			w.mu.Unlock()
+		if err == nil {
+			if werr := injectedWrite(w.inject, w.f, buf); werr != nil {
+				err = werr
+			} else if !w.nosync {
+				err = injectedSync(w.inject, w.f)
+			}
+			if err != nil {
+				w.mu.Lock()
+				w.err = err // sticky: the log tail is now undefined
+				w.mu.Unlock()
+			}
 		}
 		for _, ch := range waiters {
 			ch <- err

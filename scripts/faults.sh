@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# faults.sh — run the robustness gauntlet: the fault-injection harness
+# (randomized flaky-disk runs plus the deterministic degradation tests),
+# the degraded-server HTTP tests, and the graceful-shutdown test, all
+# under the race detector and repeated to shake out schedule-dependent
+# bugs.
+#
+# Usage:
+#   scripts/faults.sh            # default: -count=3
+#   COUNT=10 scripts/faults.sh   # more repetitions
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+COUNT="${COUNT:-3}"
+
+go test -race -count="$COUNT" -v \
+    -run 'TestFaultInjectionRecovery|TestDegradeOnFsyncError|TestTornWriteRecovered|TestReopenFailsWhileDiskBroken|TestCompactionFaultKeepsPriorCheckpoint|TestRotationFaultDegradesButRecovers' \
+    ./internal/durable/
+
+go test -race -count="$COUNT" ./internal/faultfs/
+
+go test -race -count="$COUNT" \
+    -run 'TestDegradedServerServesReadsRefusesWrites|TestRecoverRequiresDurableStore|TestBodyCap' \
+    ./internal/httpapi/
+
+go test -race -count="$COUNT" -run 'TestGracefulShutdownClosesStore' ./cmd/graphitti-server/
