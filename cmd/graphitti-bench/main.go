@@ -10,22 +10,36 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand"
+	"os"
 	"time"
 
 	"graphitti"
 	"graphitti/internal/agraph"
+	"graphitti/internal/durable"
 	"graphitti/internal/interval"
+	"graphitti/internal/obs"
 	"graphitti/internal/ontology"
 	"graphitti/internal/query"
 	"graphitti/internal/rtree"
 	"graphitti/internal/workload"
-	"math/rand"
 )
 
-var quick = flag.Bool("quick", false, "smaller sweeps for a fast pass")
+var (
+	quick       = flag.Bool("quick", false, "smaller sweeps for a fast pass")
+	metricsDump = flag.String("metrics-dump", "",
+		"run the durable mixed workload plus the paper queries, then write the metric registry as flat CSV to this file (skips the experiment suites)")
+)
 
 func main() {
 	flag.Parse()
+	if *metricsDump != "" {
+		if err := runMetricsDump(*metricsDump); err != nil {
+			fmt.Fprintln(os.Stderr, "graphitti-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	fmt.Println("# Graphitti experiment harness")
 	fmt.Println()
 	runF1()
@@ -637,4 +651,53 @@ func runA7() {
 		fmt.Printf("| %d | %v | %v | %v | %v |\n", n, buildInc, buildStr, qInc, qStr)
 	}
 	fmt.Println()
+}
+
+// runMetricsDump exercises every instrumented layer — the durable mixed
+// recovery stream (WAL, group commit, writer, propagation) followed by
+// the paper's Q1 query and a content search — then flattens the process
+// metric registry to CSV at path. scripts/bench.sh turns selected rows
+// (commit latency quantiles, flush batching) into BENCH_*.json entries.
+func runMetricsDump(path string) error {
+	dir, err := os.MkdirTemp("", "graphitti-bench-metrics-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	d, err := durable.Open(dir, durable.Options{})
+	if err != nil {
+		return err
+	}
+	ops := workload.RecoveryScenario(workload.DefaultRecovery)
+	for _, op := range ops {
+		if err := op.Apply(d); err != nil {
+			return fmt.Errorf("%s: %w", op.Name, err)
+		}
+	}
+	q := query.MustParse(`
+		select graph
+		where {
+		  ?a isa annotation ; contains "protein.TP53" .
+		  ?r isa referent ; kind region .
+		  ?a annotates ?r .
+		}
+	`)
+	p := query.NewProcessor(d.Core())
+	for i := 0; i < 20; i++ {
+		if _, err := p.ExecuteParsed(q, query.DefaultOptions); err != nil {
+			return err
+		}
+		if _, err := d.Core().View().SearchContents("TP53"); err != nil {
+			return err
+		}
+	}
+	if err := d.Close(); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return obs.Default.WriteCSV(f)
 }

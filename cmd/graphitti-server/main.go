@@ -18,7 +18,11 @@
 // -shutdown-timeout) before the durable store is flushed and closed, and
 // GET /healthz / GET /readyz report liveness and the store's
 // healthy/degraded state for orchestrators. Startup and shutdown are
-// logged structured (key=value) on stderr.
+// logged structured (key=value) on stderr. GET /metrics exposes every
+// internal counter in Prometheus text format (GET /debug/vars serves
+// the same as JSON), every response carries an X-Request-Id, and -pprof
+// mounts the profiling handlers. See docs/OPERATIONS.md for the full
+// operator guide and docs/METRICS.md for the metric reference.
 package main
 
 import (
@@ -55,6 +59,7 @@ func main() {
 	flag.Int64Var(&cfg.opts.MaxBodyBytes, "max-body-bytes", 0, "cap on JSON request bodies (0 = default 8 MiB); larger requests get 413")
 	flag.StringVar(&cfg.rulesFile, "rules", "", "JSON file of propagation rules to install at startup (rules already present are kept)")
 	flag.DurationVar(&cfg.shutdownTimeout, "shutdown-timeout", 15*time.Second, "graceful drain limit on SIGINT/SIGTERM before open requests are aborted")
+	flag.BoolVar(&cfg.opts.EnablePprof, "pprof", false, "mount net/http/pprof under /debug/pprof (CPU/heap profiles; off by default)")
 	flag.Parse()
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -85,6 +90,9 @@ type serverConfig struct {
 // drains in-flight requests and closes the durable store so the WAL is
 // flushed before exit.
 func run(ctx context.Context, cfg serverConfig, logger *slog.Logger) error {
+	// The API layer logs failed (5xx) requests with their request IDs on
+	// the same structured stream as startup/shutdown events.
+	cfg.opts.Logger = logger
 	handler, store, report, err := buildHandler(cfg)
 	if err != nil {
 		return err

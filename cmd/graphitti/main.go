@@ -18,11 +18,16 @@
 //	correlated -ann ID             correlated-data view of an annotation
 //	q1                             the paper's intro query (neuro study)
 //	q2 [-k K] [-keyword W]         the query-tab query (influenza study)
+//	metrics [-format prom|json|csv]
+//	                               dump the process metric registry
+//	metrics-lint                   validate the Prometheus exposition format
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -30,6 +35,7 @@ import (
 	"graphitti"
 	"graphitti/internal/biodata/phylo"
 	"graphitti/internal/biodata/seq"
+	"graphitti/internal/obs"
 	"graphitti/internal/ontology"
 	"graphitti/internal/persist"
 	"graphitti/internal/workload"
@@ -55,7 +61,12 @@ func run(args []string) error {
 	rest := global.Args()
 	if len(rest) == 0 {
 		global.Usage()
-		return fmt.Errorf("missing command (stats|search|query|annotate|related|correlated|q1|q2)")
+		return fmt.Errorf("missing command (stats|search|query|annotate|related|correlated|q1|q2|metrics|metrics-lint)")
+	}
+	// metrics-lint inspects the registry or a scraped file only; don't
+	// build a store for it.
+	if rest[0] == "metrics-lint" {
+		return cmdMetricsLint(os.Stdout, rest[1:])
 	}
 
 	var store *graphitti.Store
@@ -130,9 +141,74 @@ func run(args []string) error {
 		return cmdConnect(store, cmdArgs)
 	case "ontology":
 		return cmdOntology(store, cmdArgs)
+	case "metrics":
+		return cmdMetrics(cmdArgs)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// cmdMetrics dumps the process metric registry. Building the study above
+// already exercised the store, so the gauges and commit counters reflect
+// it — useful for eyeballing instrument output without a server.
+func cmdMetrics(args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ContinueOnError)
+	format := fs.String("format", "prom", "output format: prom (Prometheus text), json, or csv")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch *format {
+	case "prom":
+		return obs.Default.WritePrometheus(os.Stdout)
+	case "json":
+		return obs.Default.WriteJSON(os.Stdout)
+	case "csv":
+		return obs.Default.WriteCSV(os.Stdout)
+	default:
+		return fmt.Errorf("unknown format %q (want prom, json or csv)", *format)
+	}
+}
+
+// cmdMetricsLint runs the strict Prometheus exposition validator — the
+// offline form of the CI scrape check. By default it serializes the
+// in-process registry (package imports alone register every metric, so a
+// name or label defect fails before a server ever runs); -f validates a
+// scraped file instead, and -min-families guards against a server that
+// silently stopped exposing whole subsystems.
+func cmdMetricsLint(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("metrics-lint", flag.ContinueOnError)
+	file := fs.String("f", "", "validate this scraped exposition file ('-' for stdin) instead of the in-process registry")
+	minFamilies := fs.Int("min-families", 0, "fail unless at least this many metric families are present")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var src io.Reader
+	switch *file {
+	case "":
+		var buf bytes.Buffer
+		if err := obs.Default.WritePrometheus(&buf); err != nil {
+			return err
+		}
+		src = &buf
+	case "-":
+		src = os.Stdin
+	default:
+		f, err := os.Open(*file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	exp, err := obs.ValidateExposition(src)
+	if err != nil {
+		return fmt.Errorf("metrics-lint: %w", err)
+	}
+	if len(exp.Families) < *minFamilies {
+		return fmt.Errorf("metrics-lint: %d metric families, want at least %d", len(exp.Families), *minFamilies)
+	}
+	fmt.Fprintf(w, "metrics-lint: ok — %d families, %d samples\n", len(exp.Families), exp.Samples)
+	return nil
 }
 
 // cmdOntology browses a registered ontology: the CLI form of the

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"graphitti/internal/agraph"
 	"graphitti/internal/dublincore"
@@ -143,6 +144,7 @@ func (s *Store) CommitWithIDs(b *Builder, annID uint64, refIDs []uint64) (*Annot
 }
 
 func (s *Store) commit(b *Builder, pinnedAnn uint64, pinnedRefs []uint64) (*Annotation, error) {
+	start := time.Now()
 	if b.store != s {
 		return nil, fmt.Errorf("core: builder belongs to a different store")
 	}
@@ -330,9 +332,13 @@ func (s *Store) commit(b *Builder, pinnedAnn uint64, pinnedRefs []uint64) (*Anno
 	// view and returns the delta for every affected source, so the new
 	// annotation and its derived consequences publish as one view.
 	if p := s.getPropagator(); p != nil {
+		deltaStart := time.Now()
 		s.applyDerivedDelta(nv, p.Delta(v, nv, ann, false))
+		mPropDeltaSeconds.Observe(time.Since(deltaStart).Seconds())
 	}
 	s.publish(nv)
+	mCommits.Inc()
+	mCommitSeconds.Observe(time.Since(start).Seconds())
 	return ann, nil
 }
 

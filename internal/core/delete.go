@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"graphitti/internal/agraph"
 )
 
@@ -16,6 +18,7 @@ import (
 // still hold (they never surface one its tables lack; see the View
 // contract in view.go).
 func (s *Store) DeleteAnnotation(id uint64) error {
+	start := time.Now()
 	s.w.Lock()
 	defer s.w.Unlock()
 	v := s.v.Load()
@@ -82,8 +85,12 @@ func (s *Store) DeleteAnnotation(id uint64) error {
 	// GC'd referents in its tree snapshots, which is how the propagator
 	// finds the affected neighbors.
 	if p := s.getPropagator(); p != nil {
+		deltaStart := time.Now()
 		s.applyDerivedDelta(nv, p.Delta(v, nv, ann, true))
+		mPropDeltaSeconds.Observe(time.Since(deltaStart).Seconds())
 	}
 	s.publish(nv)
+	mDeletes.Inc()
+	mDeleteSeconds.Observe(time.Since(start).Seconds())
 	return nil
 }

@@ -1,0 +1,29 @@
+package core
+
+import "graphitti/internal/obs"
+
+// Process-wide writer-path metrics (see internal/obs for the scope
+// model): commit/delete latency covers the full critical section —
+// validation, indexing, graph wiring, propagation delta, publish — and
+// the gauges track the latest published view. All are documented in
+// docs/METRICS.md, which a test keeps in sync.
+var (
+	mCommits = obs.NewCounter("graphitti_store_commits_total",
+		"Annotations committed.")
+	mCommitSeconds = obs.NewHistogram("graphitti_store_commit_duration_seconds",
+		"Annotation commit latency, critical section end to end.", nil)
+	mDeletes = obs.NewCounter("graphitti_store_deletes_total",
+		"Annotations deleted.")
+	mDeleteSeconds = obs.NewHistogram("graphitti_store_delete_duration_seconds",
+		"Annotation delete latency, critical section end to end.", nil)
+	mPropDeltaSeconds = obs.NewHistogram("graphitti_store_propagation_delta_seconds",
+		"Time computing the incremental derived-annotation delta inside a commit or delete.", nil)
+	mSearchSeconds = obs.NewHistogram("graphitti_store_search_duration_seconds",
+		"Keyword/content search latency against a pinned view.", nil)
+	mViewEpoch = obs.NewGauge("graphitti_store_view_epoch",
+		"Publication number of the current view; increments on every mutation.")
+	mAnnotations = obs.NewGauge("graphitti_store_annotations",
+		"Annotations in the current view.")
+	mDerivedFacts = obs.NewGauge("graphitti_store_derived_facts",
+		"Materialized derived facts in the current view.")
+)

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"graphitti/internal/agraph"
 	"graphitti/internal/xmldoc"
@@ -36,6 +37,8 @@ func (v *View) SearchContents(expr string) ([]*Annotation, error) {
 // serial scan. The first evaluation error (or a context cancellation)
 // stops all workers.
 func (v *View) SearchContentsCtx(ctx context.Context, expr string) ([]*Annotation, error) {
+	start := time.Now()
+	defer func() { mSearchSeconds.Observe(time.Since(start).Seconds()) }()
 	q, err := xquery.Compile(expr)
 	if err != nil {
 		return nil, err

@@ -129,8 +129,15 @@ func NewStore() *Store {
 // mutually consistent.
 func (s *Store) View() *View { return s.v.Load() }
 
-// publish installs nv as the current view. Caller holds w.
-func (s *Store) publish(nv *View) { s.v.Store(nv) }
+// publish installs nv as the current view, stamping its epoch and
+// updating the view gauges. Caller holds w.
+func (s *Store) publish(nv *View) {
+	nv.epoch = s.v.Load().epoch + 1
+	s.v.Store(nv)
+	mViewEpoch.Set(int64(nv.epoch))
+	mAnnotations.Set(int64(nv.annotations.len()))
+	mDerivedFacts.Set(int64(nv.derivedCount))
+}
 
 // Rel exposes the underlying relational store (read-mostly; used by the
 // admin workflow and the record-table API).

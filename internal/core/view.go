@@ -103,7 +103,17 @@ type View struct {
 	derivedByTarget smap[[]DerivedFact]
 
 	nextAnn, nextRef uint64
+
+	// epoch numbers this view in publication order: the empty view is 0
+	// and every publish increments it, so readers (and the view-epoch
+	// gauge) can tell how far a pinned snapshot lags the live store.
+	epoch uint64
 }
+
+// Epoch returns the view's publication number: 0 for a fresh store,
+// incremented by every committed mutation. The difference between two
+// epochs is the number of mutations published between them.
+func (v *View) Epoch() uint64 { return v.epoch }
 
 // emptyView returns the view of a fresh store.
 func emptyView(rel *relstore.Store, graph *agraph.Graph) *View {

@@ -66,6 +66,7 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"graphitti/internal/biodata/imaging"
 	"graphitti/internal/biodata/interact"
@@ -285,6 +286,8 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := s.load(); err != nil {
 		return nil, err
 	}
+	setHealthGauge(StateHealthy)
+	mSeq.Set(int64(s.seq))
 	return s, nil
 }
 
@@ -521,6 +524,7 @@ func (s *Store) logApply(rec *record, applyFn func(cs *core.Store) error) error 
 	size := s.w.Size()
 	s.mu.Unlock()
 
+	waitStart := time.Now()
 	if err := <-ack; err != nil {
 		// The record may or may not have reached the platter — the ack is
 		// withheld either way (fsyncgate: a failed fdatasync never acks).
@@ -533,6 +537,9 @@ func (s *Store) logApply(rec *record, applyFn func(cs *core.Store) error) error 
 		s.mu.Unlock()
 		return fmt.Errorf("%w: log op %d: %w", ErrDegraded, rec.Seq, err)
 	}
+	mCommitWait.Observe(time.Since(waitStart).Seconds())
+	mOps.With(rec.Kind.String()).Inc()
+	mSeq.Set(int64(rec.Seq))
 	// The mutation is durable from here on: a compaction failure is
 	// recorded in Stats (and wedges the log for later mutations if the
 	// writer died), but must not report this op as failed — callers would
@@ -543,6 +550,7 @@ func (s *Store) logApply(rec *record, applyFn func(cs *core.Store) error) error 
 			s.compactFailures++
 			s.lastCompactErr = err.Error()
 			s.mu.Unlock()
+			mCompactFailures.Inc()
 		}
 	}
 	return nil
@@ -553,6 +561,7 @@ func (s *Store) logApply(rec *record, applyFn func(cs *core.Store) error) error 
 func (s *Store) degradeLocked(cause error) {
 	if s.degradeErr == nil && !s.closed {
 		s.degradeErr = cause
+		setHealthGauge(StateDegraded)
 	}
 }
 
@@ -617,6 +626,9 @@ func (s *Store) Reopen() (*core.Store, error) {
 	s.tornBytes = fresh.tornBytes
 	s.degradeErr = nil
 	s.reopens++
+	setHealthGauge(StateHealthy)
+	mReopens.Inc()
+	mSeq.Set(int64(s.seq))
 	return fresh.Core(), nil
 }
 
@@ -851,6 +863,7 @@ func (s *Store) checkpointLocked(cs *core.Store, seq uint64) error {
 	}
 	s.w = w
 	s.compactions++
+	mCompactions.Inc()
 	s.removeStaleSnapshots(name)
 	return nil
 }
@@ -939,6 +952,7 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
+	setHealthGauge(StateClosed)
 	return s.w.Close()
 }
 

@@ -1,0 +1,27 @@
+package durable
+
+import "graphitti/internal/obs"
+
+// Process-wide durability metrics (see internal/obs for the scope
+// model). The health-state and seq gauges are last-writer-wins, which
+// matches the one-durable-store-per-process server deployment. All are
+// documented in docs/METRICS.md, which a test keeps in sync.
+var (
+	mOps = obs.NewCounterVec("graphitti_durable_ops_total",
+		"Durably acknowledged mutations by op kind.", "kind")
+	mCommitWait = obs.NewHistogram("graphitti_durable_commit_wait_seconds",
+		"Time a mutation waited for its group-committed fdatasync acknowledgement.", nil)
+	mHealthState = obs.NewGauge("graphitti_durable_health_state",
+		"Degradation state machine position: 0 healthy, 1 degraded, 2 closed.")
+	mReopens = obs.NewCounter("graphitti_durable_reopens_total",
+		"Successful recoveries from the degraded state.")
+	mCompactions = obs.NewCounter("graphitti_durable_compactions_total",
+		"Snapshot+rotate checkpoint cycles.")
+	mCompactFailures = obs.NewCounter("graphitti_durable_compaction_failures_total",
+		"Automatic compactions that failed after a durably committed mutation.")
+	mSeq = obs.NewGauge("graphitti_durable_seq",
+		"Sequence number of the latest applied mutation.")
+)
+
+// setHealthGauge mirrors a state transition into the health gauge.
+func setHealthGauge(st State) { mHealthState.Set(int64(st)) }

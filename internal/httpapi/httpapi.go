@@ -33,6 +33,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
@@ -61,6 +62,12 @@ type Options struct {
 	// MaxRestoreBytes caps the POST /api/restore snapshot upload.
 	// 0 means DefaultMaxRestoreBytes.
 	MaxRestoreBytes int64
+	// Logger, when set, receives a structured line (with the request ID)
+	// for every 5xx response. Nil disables request logging.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (the -pprof
+	// server flag). Off by default: profiles expose internals.
+	EnablePprof bool
 }
 
 const (
@@ -101,29 +108,46 @@ func NewDurableHandlerWithOptions(d *durable.Store, opts Options) http.Handler {
 	return newMux(&server{store: s, proc: query.NewProcessor(s), durable: d, opts: opts})
 }
 
+// routeDefs is the single registration table: newMux mounts every entry
+// and the middleware conformance test walks the same list, so a route
+// can't be added without being counted by the metrics middleware.
+var routeDefs = []struct {
+	pattern string
+	handler func(*server) http.HandlerFunc
+}{
+	{"GET /healthz", func(s *server) http.HandlerFunc { return s.healthz }},
+	{"GET /readyz", func(s *server) http.HandlerFunc { return s.readyz }},
+	{"POST /api/recover", func(s *server) http.HandlerFunc { return s.recoverStore }},
+	{"GET /api/stats", func(s *server) http.HandlerFunc { return s.stats }},
+	{"GET /metrics", func(s *server) http.HandlerFunc { return s.metrics }},
+	{"GET /debug/vars", func(s *server) http.HandlerFunc { return s.debugVars }},
+	{"GET /api/annotations", func(s *server) http.HandlerFunc { return s.listAnnotations }},
+	{"POST /api/annotations", func(s *server) http.HandlerFunc { return s.createAnnotation }},
+	{"GET /api/annotations/{id}", func(s *server) http.HandlerFunc { return s.getAnnotation }},
+	{"DELETE /api/annotations/{id}", func(s *server) http.HandlerFunc { return s.deleteAnnotation }},
+	{"GET /api/annotations/{id}/related", func(s *server) http.HandlerFunc { return s.related }},
+	{"GET /api/annotations/{id}/correlated", func(s *server) http.HandlerFunc { return s.correlated }},
+	{"POST /api/search", func(s *server) http.HandlerFunc { return s.search }},
+	{"POST /api/query", func(s *server) http.HandlerFunc { return s.runQuery }},
+	{"GET /api/referents", func(s *server) http.HandlerFunc { return s.referents }},
+	{"GET /api/objects", func(s *server) http.HandlerFunc { return s.objects }},
+	{"GET /api/snapshot", func(s *server) http.HandlerFunc { return s.snapshot }},
+	{"POST /api/restore", func(s *server) http.HandlerFunc { return s.restore }},
+	{"GET /api/rules", func(s *server) http.HandlerFunc { return s.listRules }},
+	{"POST /api/rules", func(s *server) http.HandlerFunc { return s.addRule }},
+	{"DELETE /api/rules/{id}", func(s *server) http.HandlerFunc { return s.deleteRule }},
+	{"GET /api/provenance/{id}", func(s *server) http.HandlerFunc { return s.provenance }},
+}
+
 func newMux(api *server) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", api.healthz)
-	mux.HandleFunc("GET /readyz", api.readyz)
-	mux.HandleFunc("POST /api/recover", api.recoverStore)
-	mux.HandleFunc("GET /api/stats", api.stats)
-	mux.HandleFunc("GET /api/annotations", api.listAnnotations)
-	mux.HandleFunc("POST /api/annotations", api.createAnnotation)
-	mux.HandleFunc("GET /api/annotations/{id}", api.getAnnotation)
-	mux.HandleFunc("DELETE /api/annotations/{id}", api.deleteAnnotation)
-	mux.HandleFunc("GET /api/annotations/{id}/related", api.related)
-	mux.HandleFunc("GET /api/annotations/{id}/correlated", api.correlated)
-	mux.HandleFunc("POST /api/search", api.search)
-	mux.HandleFunc("POST /api/query", api.runQuery)
-	mux.HandleFunc("GET /api/referents", api.referents)
-	mux.HandleFunc("GET /api/objects", api.objects)
-	mux.HandleFunc("GET /api/snapshot", api.snapshot)
-	mux.HandleFunc("POST /api/restore", api.restore)
-	mux.HandleFunc("GET /api/rules", api.listRules)
-	mux.HandleFunc("POST /api/rules", api.addRule)
-	mux.HandleFunc("DELETE /api/rules/{id}", api.deleteRule)
-	mux.HandleFunc("GET /api/provenance/{id}", api.provenance)
-	return mux
+	for _, def := range routeDefs {
+		mux.HandleFunc(def.pattern, def.handler(api))
+	}
+	if api.opts.EnablePprof {
+		mountPprof(mux)
+	}
+	return api.instrument(mux)
 }
 
 type server struct {
@@ -155,6 +179,10 @@ func (s *server) queryCtx(r *http.Request) (context.Context, context.CancelFunc)
 
 type errorBody struct {
 	Error string `json:"error"`
+	// RequestID is the correlation ID the middleware assigned (also in
+	// the X-Request-Id response header), so a client-reported failure can
+	// be matched to its server log line.
+	RequestID string `json:"requestId,omitempty"`
 }
 
 // statusClientClosedRequest is the de-facto status (nginx's 499) for a
@@ -167,7 +195,12 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, err error) {
+// jsonError writes a JSON error envelope carrying the request ID.
+func jsonError(w http.ResponseWriter, r *http.Request, status int, msg string) {
+	writeJSON(w, status, errorBody{Error: msg, RequestID: RequestID(r.Context())})
+}
+
+func writeErr(w http.ResponseWriter, r *http.Request, err error) {
 	status := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, durable.ErrDegraded):
@@ -196,7 +229,7 @@ func writeErr(w http.ResponseWriter, err error) {
 	case errors.Is(err, prop.ErrNoSuchRule):
 		status = http.StatusNotFound
 	}
-	writeJSON(w, status, errorBody{Error: err.Error()})
+	jsonError(w, r, status, err.Error())
 }
 
 // healthView is the /healthz and /readyz payload: the degradation state
@@ -252,9 +285,9 @@ func (s *server) readyz(w http.ResponseWriter, _ *http.Request) {
 // recoverStore runs the durable store's explicit recovery path —
 // re-validating the data directory and probing the log — and on success
 // swaps the reloaded core in, exactly as restore does.
-func (s *server) recoverStore(w http.ResponseWriter, _ *http.Request) {
+func (s *server) recoverStore(w http.ResponseWriter, r *http.Request) {
 	if s.durable == nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "recover requires a durable store (-data-dir)"})
+		jsonError(w, r, http.StatusBadRequest, "recover requires a durable store (-data-dir)")
 		return
 	}
 	s.mu.Lock()
@@ -262,7 +295,7 @@ func (s *server) recoverStore(w http.ResponseWriter, _ *http.Request) {
 	if err != nil {
 		s.mu.Unlock()
 		w.Header().Set("Retry-After", retryAfterSeconds)
-		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		jsonError(w, r, http.StatusServiceUnavailable, err.Error())
 		return
 	}
 	s.store = store
@@ -283,26 +316,27 @@ func (s *server) decodeJSON(w http.ResponseWriter, r *http.Request, v interface{
 	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeJSON(w, http.StatusRequestEntityTooLarge,
-				errorBody{Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)})
+			jsonError(w, r, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
 		} else {
-			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad JSON: " + err.Error()})
+			jsonError(w, r, http.StatusBadRequest, "bad JSON: "+err.Error())
 		}
 		return false
 	}
 	return true
 }
 
-// statsView is the /api/stats payload: the store's component sizes plus,
-// in durable mode, the durability counters.
+// statsView is the /api/stats payload: the store's component sizes plus
+// the published view epoch and, in durable mode, the durability counters.
 type statsView struct {
 	core.Stats
+	Epoch      uint64         `json:"epoch"`
 	Durability *durable.Stats `json:"durability,omitempty"`
 }
 
 func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
 	store, _ := s.view()
-	out := statsView{Stats: store.Stats()}
+	out := statsView{Stats: store.Stats(), Epoch: store.View().Epoch()}
 	if s.durable != nil {
 		ds := s.durable.Stats()
 		out.Durability = &ds
@@ -352,13 +386,13 @@ func (s *server) listAnnotations(w http.ResponseWriter, r *http.Request) {
 func (s *server) getAnnotation(w http.ResponseWriter, r *http.Request) {
 	id, err := pathID(r)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	store, _ := s.view()
 	ann, err := store.Annotation(id)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, viewOf(ann))
@@ -367,11 +401,11 @@ func (s *server) getAnnotation(w http.ResponseWriter, r *http.Request) {
 func (s *server) deleteAnnotation(w http.ResponseWriter, r *http.Request) {
 	id, err := pathID(r)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	if err := s.deleteAnnotationOp(id); err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -430,7 +464,7 @@ func (s *server) createAnnotation(w http.ResponseWriter, r *http.Request) {
 	for i, m := range req.Marks {
 		ref, err := resolveMark(store, m)
 		if err != nil {
-			writeErr(w, fmt.Errorf("mark %d: %w", i, err))
+			writeErr(w, r, fmt.Errorf("mark %d: %w", i, err))
 			return
 		}
 		b.Refer(ref)
@@ -440,7 +474,7 @@ func (s *server) createAnnotation(w http.ResponseWriter, r *http.Request) {
 	}
 	ann, err := s.commitOp(store, b)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, viewOf(ann))
@@ -496,13 +530,13 @@ func rectOf(coords []float64) (rtree.Rect, error) {
 func (s *server) related(w http.ResponseWriter, r *http.Request) {
 	id, err := pathID(r)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	store, _ := s.view()
 	rel, err := store.RelatedAnnotations(id)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	out := make([]annotationView, 0, len(rel))
@@ -515,13 +549,13 @@ func (s *server) related(w http.ResponseWriter, r *http.Request) {
 func (s *server) correlated(w http.ResponseWriter, r *http.Request) {
 	id, err := pathID(r)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	store, _ := s.view()
 	items, err := store.CorrelatedData(id)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	type item struct {
@@ -557,10 +591,10 @@ func (s *server) search(w http.ResponseWriter, r *http.Request) {
 	anns, err := store.View().SearchContentsCtx(ctx, req.Expr)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			writeErr(w, err)
+			writeErr(w, r, err)
 			return
 		}
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		jsonError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	out := make([]annotationView, 0, len(anns))
@@ -613,7 +647,7 @@ func (s *server) runQuery(w http.ResponseWriter, r *http.Request) {
 	opts.MaxResults = req.MaxResults
 	res, err := proc.ExecuteCtx(ctx, req.Query, opts)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	resp := queryResponse{Matches: res.Stats.Matches, Order: res.Stats.Order}
@@ -646,12 +680,12 @@ func (s *server) referents(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	domain := q.Get("domain")
 	if domain == "" {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "domain parameter required"})
+		jsonError(w, r, http.StatusBadRequest, "domain parameter required")
 		return
 	}
 	pos, err := strconv.ParseInt(q.Get("pos"), 10, 64)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: "pos parameter required"})
+		jsonError(w, r, http.StatusBadRequest, "pos parameter required")
 		return
 	}
 	store, _ := s.view()
@@ -704,18 +738,18 @@ func (s *server) restore(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeJSON(w, http.StatusRequestEntityTooLarge,
-				errorBody{Error: fmt.Sprintf("snapshot exceeds %d bytes", tooBig.Limit)})
+			jsonError(w, r, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("snapshot exceeds %d bytes", tooBig.Limit))
 			return
 		}
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		jsonError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	// An aborted upload cancels the request context; don't swap in a
 	// store the client no longer wants (decoding above fails on a torn
 	// body, but a complete body with a gone client lands here).
 	if err := r.Context().Err(); err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	// The durable restore and the handler's store swap happen under one
@@ -731,10 +765,10 @@ func (s *server) restore(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.mu.Unlock()
 		if errors.Is(err, durable.ErrDegraded) {
-			writeErr(w, err) // 503 + Retry-After, like any degraded write
+			writeErr(w, r, err) // 503 + Retry-After, like any degraded write
 			return
 		}
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		jsonError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	s.store = store
@@ -783,7 +817,7 @@ func (s *server) addRule(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.addRuleOp(rule); err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, rule)
@@ -801,7 +835,7 @@ func (s *server) addRuleOp(rule prop.Rule) error {
 func (s *server) deleteRule(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if err := s.deleteRuleOp(id); err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -821,14 +855,14 @@ func (s *server) deleteRuleOp(id string) error {
 func (s *server) provenance(w http.ResponseWriter, r *http.Request) {
 	id, err := pathID(r)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	store, _ := s.view()
 	v := store.View()
 	onto, err := v.DerivedOnto(id)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	type provenanceView struct {

@@ -1,0 +1,155 @@
+// Request instrumentation: the metrics middleware every route is
+// wrapped in, request-ID propagation, and the observability endpoints
+// (GET /metrics, GET /debug/vars, optional /debug/pprof).
+
+package httpapi
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"graphitti/internal/obs"
+)
+
+// Process-wide HTTP metrics (see internal/obs for the scope model). All
+// are documented in docs/METRICS.md, which a test keeps in sync.
+var (
+	mHTTPRequests = obs.NewCounterVec("graphitti_http_requests_total",
+		"HTTP requests served, by route pattern, method and status code.",
+		"route", "method", "status")
+	mHTTPDuration = obs.NewHistogramVec("graphitti_http_request_duration_seconds",
+		"HTTP request latency, handler entry to response completion, by route pattern.",
+		nil, "route")
+	mHTTPInFlight = obs.NewGauge("graphitti_http_in_flight_requests",
+		"HTTP requests currently being served.")
+)
+
+// requestIDHeader is honored on ingress (so upstream proxies correlate)
+// and always set on the response.
+const requestIDHeader = "X-Request-Id"
+
+type ctxKey int
+
+const requestIDKey ctxKey = 0
+
+// RequestID returns the request's correlation ID, or "" outside an
+// instrumented request. Every JSON error envelope and 5xx log line
+// carries the same value, so client reports match server logs.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// newRequestID returns a fresh 16-hex-char correlation ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "rand-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// acceptRequestID reports whether a client-supplied ID is safe to echo:
+// short and printable ASCII (it lands in headers, JSON and logs).
+func acceptRequestID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] <= ' ' || id[i] > '~' {
+			return false
+		}
+	}
+	return true
+}
+
+// statusWriter captures the response status for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// instrument wraps the whole mux: it assigns (or honors) the request ID,
+// tracks the in-flight gauge, and — after dispatch, when ServeMux has
+// populated r.Pattern — records the route-labelled counter and latency
+// sample. 5xx responses are logged with the request ID.
+func (s *server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get(requestIDHeader)
+		if !acceptRequestID(id) {
+			id = newRequestID()
+		}
+		w.Header().Set(requestIDHeader, id)
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey, id))
+
+		sw := &statusWriter{ResponseWriter: w}
+		mHTTPInFlight.Add(1)
+		next.ServeHTTP(sw, r)
+		mHTTPInFlight.Add(-1)
+
+		// ServeMux fills r.Pattern on the request it dispatched; an empty
+		// pattern is a 404/405 that matched no route.
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched"
+		}
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		mHTTPRequests.With(route, r.Method, strconv.Itoa(status)).Inc()
+		mHTTPDuration.With(route).Observe(elapsed.Seconds())
+		if status >= 500 && s.opts.Logger != nil {
+			s.opts.Logger.Error("request failed",
+				"requestId", id, "route", route, "method", r.Method,
+				"status", status, "duration", elapsed)
+		}
+	})
+}
+
+// metrics serves the registry in Prometheus text exposition format.
+func (s *server) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.Default.WritePrometheus(w)
+}
+
+// debugVars serves the registry as one JSON object, expvar-style.
+func (s *server) debugVars(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = obs.Default.WriteJSON(w)
+}
+
+// mountPprof registers the net/http/pprof handlers; gated behind
+// Options.EnablePprof (the -pprof server flag) because profiles expose
+// internals and cost CPU.
+func mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}

@@ -81,6 +81,7 @@ func (e *Engine) AddRules(rules ...Rule) error {
 		for _, r := range rules {
 			e.rules[r.ID] = r
 		}
+		mRules.Set(int64(len(e.rules)))
 		return nil
 	})
 }
@@ -95,6 +96,7 @@ func (e *Engine) DeleteRule(id string) error {
 			return fmt.Errorf("%w: %s", ErrNoSuchRule, id)
 		}
 		delete(e.rules, id)
+		mRules.Set(int64(len(e.rules)))
 		return nil
 	})
 }
@@ -184,6 +186,8 @@ func (e *Engine) Delta(pre, post *core.View, ann *core.Annotation, deleted bool)
 		}
 	}
 
+	mDeltas.Inc()
+	mAffectedSources.Observe(float64(len(affected)))
 	out := make(map[uint64][]core.DerivedFact, len(affected))
 	for src := range affected {
 		if deleted && src == ann.ID {
@@ -208,6 +212,7 @@ func (e *Engine) Recompute(v *core.View) map[uint64][]core.DerivedFact {
 	if len(rules) == 0 {
 		return nil
 	}
+	mRecomputes.Inc()
 	out := make(map[uint64][]core.DerivedFact)
 	for _, ann := range v.Annotations() {
 		if facts := e.evalSource(v, ann, rules); len(facts) > 0 {

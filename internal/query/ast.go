@@ -139,6 +139,46 @@ const (
 	PropProvenance
 )
 
+// String names the predicate as it appears in query source — the label
+// the per-predicate query metrics and validation errors use.
+func (k PropKind) String() string {
+	switch k {
+	case PropContains:
+		return "contains"
+	case PropCreator:
+		return "creator"
+	case PropXPath:
+		return "xpath"
+	case PropKindIs:
+		return "kind"
+	case PropDomain:
+		return "domain"
+	case PropObjectIs:
+		return "object"
+	case PropOverlapsIv:
+		return "overlaps-interval"
+	case PropOverlapsRect:
+		return "overlaps-region"
+	case PropType:
+		return "type"
+	case PropID:
+		return "id"
+	case PropOntology:
+		return "ontology"
+	case PropTermIs:
+		return "term"
+	case PropUnder:
+		return "under"
+	case PropNamed:
+		return "named"
+	case PropDerived:
+		return "derived"
+	case PropProvenance:
+		return "provenance"
+	}
+	return fmt.Sprintf("prop(%d)", uint8(k))
+}
+
 // Prop is one property predicate attached to a variable.
 type Prop struct {
 	Kind PropKind
@@ -276,7 +316,7 @@ func (q *Query) validate() error {
 	for _, v := range q.Vars {
 		for _, p := range v.Props {
 			if !propAllowed(v.Class, p.Kind) {
-				return fmt.Errorf("query: property %d not valid on %s ?%s", p.Kind, v.Class, v.Name)
+				return fmt.Errorf("query: property %s not valid on %s ?%s", p.Kind, v.Class, v.Name)
 			}
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"graphitti/internal/agraph"
 	"graphitti/internal/core"
@@ -112,6 +113,7 @@ func (e *execution) execute(q *Query, opts Options) (*Result, error) {
 // (the differential tests replay legacy orders through it; nil lets the
 // planner decide).
 func (e *execution) executeOrdered(q *Query, opts Options, forcedOrder []string) (*Result, error) {
+	start := time.Now()
 	// Phase 1 — sub-query separation: resolve per-type candidate sets.
 	// The per-variable sub-queries are independent reads of the same
 	// immutable view, so they fan out across the available cores; results
@@ -153,7 +155,28 @@ func (e *execution) executeOrdered(q *Query, opts Options, forcedOrder []string)
 	if err := e.collate(q, res); err != nil {
 		return nil, err
 	}
+	observeQuery(q, &stats, time.Since(start))
 	return res, nil
+}
+
+// observeQuery records one completed execution into the query metrics.
+func observeQuery(q *Query, stats *Stats, elapsed time.Duration) {
+	mQueries.Inc()
+	mQuerySeconds.With(q.Select.String()).Observe(elapsed.Seconds())
+	mBindingsTried.Add(uint64(stats.BindingsTried))
+	var cost float64
+	for _, c := range stats.Costs {
+		cost += c
+	}
+	mPlanCost.Observe(cost)
+	for _, s := range stats.Strategies {
+		mStrategy.With(strategyLabel(s)).Inc()
+	}
+	for i := range q.Vars {
+		for _, p := range q.Vars[i].Props {
+			mPredicates.With(p.Kind.String()).Inc()
+		}
+	}
 }
 
 // candidateSets resolves every variable's sub-query, in parallel when the

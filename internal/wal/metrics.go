@@ -1,0 +1,24 @@
+package wal
+
+import "graphitti/internal/obs"
+
+// Process-wide WAL metrics (see internal/obs: counters and histograms
+// are cumulative across writer instances; the size gauge is
+// last-writer-wins, meaningful in the one-store-per-process server).
+// All are documented in docs/METRICS.md, which a test keeps in sync.
+var (
+	mRecords = obs.NewCounter("graphitti_wal_records_total",
+		"Records appended to the write-ahead log.")
+	mBytes = obs.NewCounter("graphitti_wal_appended_bytes_total",
+		"Frame bytes appended to the write-ahead log, excluding the file header.")
+	mFlushes = obs.NewCounter("graphitti_wal_flushes_total",
+		"Write+fdatasync batches (the fsync count); records/flushes is the group-commit amortisation factor.")
+	mFlushErrors = obs.NewCounter("graphitti_wal_flush_errors_total",
+		"Flush batches that failed; each one sets the writer's sticky error.")
+	mBatchRecords = obs.NewHistogram("graphitti_wal_flush_batch_records",
+		"Records covered by one flush batch.", obs.CountBuckets)
+	mFsyncSeconds = obs.NewHistogram("graphitti_wal_fsync_duration_seconds",
+		"fdatasync latency per flush batch.", nil)
+	mSizeBytes = obs.NewGauge("graphitti_wal_size_bytes",
+		"Current log file size in bytes, header included, pending appends counted.")
+)

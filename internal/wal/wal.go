@@ -35,6 +35,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"graphitti/internal/faultfs"
 )
@@ -245,8 +246,12 @@ func (w *Writer) AppendAsync(payload []byte) <-chan error {
 	w.size += int64(frameHeaderSize + len(payload))
 	w.stats.Records++
 	w.stats.Bytes += uint64(frameHeaderSize + len(payload))
+	size := w.size
 	w.cond.Signal()
 	w.mu.Unlock()
+	mRecords.Inc()
+	mBytes.Add(uint64(frameHeaderSize + len(payload)))
+	mSizeBytes.Set(size)
 	return ch
 }
 
@@ -286,17 +291,22 @@ func (w *Writer) flushLoop() {
 		}
 		err := w.err
 		w.mu.Unlock()
+		mFlushes.Inc()
+		mBatchRecords.Observe(float64(len(waiters)))
 
 		if err == nil {
 			if werr := injectedWrite(w.inject, w.f, buf); werr != nil {
 				err = werr
 			} else if !w.nosync {
+				start := time.Now()
 				err = injectedSync(w.inject, w.f)
+				mFsyncSeconds.Observe(time.Since(start).Seconds())
 			}
 			if err != nil {
 				w.mu.Lock()
 				w.err = err // sticky: the log tail is now undefined
 				w.mu.Unlock()
+				mFlushErrors.Inc()
 			}
 		}
 		for _, ch := range waiters {

@@ -1,0 +1,66 @@
+package graphitti
+
+import (
+	"bufio"
+	"os"
+	"regexp"
+	"sort"
+	"testing"
+
+	"graphitti/internal/obs"
+
+	// The registry fills at package init; importing the API layer pulls
+	// in every instrumented package (core, durable, wal, query, obs).
+	_ "graphitti/internal/httpapi"
+)
+
+// docRow matches the first column of a metric table row in
+// docs/METRICS.md: `| `graphitti_…` | …`.
+var docRow = regexp.MustCompile("^\\| `(graphitti_[a-zA-Z0-9_:]+)` \\|")
+
+// TestMetricsDocParity keeps docs/METRICS.md honest: every registered
+// metric family must have a table row, and every table row must name a
+// registered family. A metric added without documentation — or a doc row
+// for a metric that was renamed or removed — fails here.
+func TestMetricsDocParity(t *testing.T) {
+	f, err := os.Open("docs/METRICS.md")
+	if err != nil {
+		t.Fatalf("metric reference missing: %v", err)
+	}
+	defer f.Close()
+
+	documented := make(map[string]bool)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if m := docRow.FindStringSubmatch(sc.Text()); m != nil {
+			if documented[m[1]] {
+				t.Errorf("docs/METRICS.md documents %s twice", m[1])
+			}
+			documented[m[1]] = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(documented) == 0 {
+		t.Fatal("no metric rows found in docs/METRICS.md — table format changed?")
+	}
+
+	registered := obs.Default.Names()
+	for _, name := range registered {
+		if !documented[name] {
+			t.Errorf("metric %s is registered but not documented in docs/METRICS.md", name)
+		}
+		delete(documented, name)
+	}
+	if len(documented) > 0 {
+		var stale []string
+		for name := range documented {
+			stale = append(stale, name)
+		}
+		sort.Strings(stale)
+		for _, name := range stale {
+			t.Errorf("docs/METRICS.md documents %s, which is not registered", name)
+		}
+	}
+}
