@@ -35,6 +35,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -43,6 +44,7 @@ import (
 	"graphitti/internal/httpapi"
 	"graphitti/internal/persist"
 	"graphitti/internal/prop"
+	"graphitti/internal/shard"
 	"graphitti/internal/workload"
 )
 
@@ -55,6 +57,7 @@ func main() {
 	flag.StringVar(&cfg.snapshot, "snapshot", "", "load the store from a persist snapshot file instead")
 	flag.StringVar(&cfg.dataDir, "data-dir", "", "durable mode: WAL + snapshot directory (created if missing)")
 	flag.Int64Var(&cfg.compactMiB, "compact-threshold-mib", 0, "durable mode: WAL size triggering compaction (0 = default)")
+	flag.IntVar(&cfg.shards, "shards", 1, "writer pipelines: >1 shards the store (per-shard WAL/snapshot under -data-dir); a durable directory pins its count, 0 adopts it")
 	flag.DurationVar(&cfg.opts.QueryTimeout, "query-timeout", 0, "per-request limit for /api/search and /api/query (0 = none); timed-out requests get a 408 JSON error")
 	flag.Int64Var(&cfg.opts.MaxBodyBytes, "max-body-bytes", 0, "cap on JSON request bodies (0 = default 8 MiB); larger requests get 413")
 	flag.StringVar(&cfg.rulesFile, "rules", "", "JSON file of propagation rules to install at startup (rules already present are kept)")
@@ -78,6 +81,7 @@ type serverConfig struct {
 	snapshot        string
 	dataDir         string
 	compactMiB      int64
+	shards          int
 	rulesFile       string
 	shutdownTimeout time.Duration
 	opts            httpapi.Options
@@ -148,18 +152,35 @@ func run(ctx context.Context, cfg serverConfig, logger *slog.Logger) error {
 				err = cerr
 			}
 		} else {
-			logger.Info("durable store closed", "dataDir", cfg.dataDir, "seq", store.Stats().Seq)
+			switch st := store.(type) {
+			case *durable.Store:
+				logger.Info("durable store closed", "dataDir", cfg.dataDir, "seq", st.Stats().Seq)
+			default:
+				logger.Info("durable store closed", "dataDir", cfg.dataDir)
+			}
 		}
 	}
 	return err
 }
 
+// closableStore is what run flushes and closes on exit: the durable
+// store, or the sharded store closing every pipeline.
+type closableStore interface {
+	Close() error
+}
+
 // buildHandler assembles the HTTP handler and, in durable mode, returns
 // the store so run can close it on exit.
-func buildHandler(cfg serverConfig) (http.Handler, *durable.Store, string, error) {
+func buildHandler(cfg serverConfig) (http.Handler, closableStore, string, error) {
 	rules, err := loadRules(cfg.rulesFile)
 	if err != nil {
 		return nil, nil, "", err
+	}
+	// -shards >1 runs the sharded pipeline; 0 adopts a directory that was
+	// created sharded (its SHARDS.json names the count). 1 — the default —
+	// is the single-writer layout below.
+	if cfg.shards > 1 || (cfg.shards == 0 && hasShardsManifest(cfg.dataDir)) {
+		return buildShardedHandler(cfg, rules)
 	}
 	if cfg.dataDir == "" {
 		store, err := buildStore(cfg.study, cfg.anns, cfg.images, cfg.snapshot)
@@ -212,6 +233,60 @@ func buildHandler(cfg serverConfig) (http.Handler, *durable.Store, string, error
 	return httpapi.NewDurableHandlerWithOptions(d, cfg.opts), d, report, nil
 }
 
+// buildShardedHandler assembles the sharded deployment: -shards writer
+// pipelines behind the router, in-memory or (with -data-dir) each with
+// its own WAL + snapshot chain under dir/shard-<k>/.
+func buildShardedHandler(cfg serverConfig, rules []prop.Rule) (http.Handler, closableStore, string, error) {
+	var (
+		sh  *shard.Store
+		err error
+	)
+	if cfg.dataDir == "" {
+		sh = shard.New(cfg.shards)
+	} else {
+		sh, err = shard.Open(cfg.dataDir, cfg.shards, durable.Options{CompactThreshold: cfg.compactMiB << 20})
+		if err != nil {
+			return nil, nil, "", err
+		}
+	}
+	report := fmt.Sprintf("graphitti-server: %d shards", sh.NumShards())
+	fresh := true
+	if sh.Durable() {
+		var seq uint64
+		for _, st := range sh.DurabilityStats() {
+			seq += st.Seq
+		}
+		fresh = seq == 0
+		report += fmt.Sprintf(" in %s (summed seq %d)", cfg.dataDir, seq)
+	}
+	report += "\n"
+	if fresh && (cfg.snapshot != "" || cfg.study != "") {
+		seed, err := buildStore(cfg.study, cfg.anns, cfg.images, cfg.snapshot)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		snap, err := persist.Export(seed)
+		if err != nil {
+			return nil, nil, "", err
+		}
+		if err := sh.Restore(snap); err != nil {
+			return nil, nil, "", err
+		}
+		report += fmt.Sprintf("seeded shards from %s\n", seedSource(cfg.study, cfg.snapshot))
+	}
+	if err := installRules(rules, sh.AddRule); err != nil {
+		return nil, nil, "", err
+	}
+	st := sh.Stats()
+	report += fmt.Sprintf("serving %d annotations, %d referents, %d a-graph edges, %d derived facts via %d rules (%d shards)\n",
+		st.Annotations, st.Referents, st.GraphEdges, st.Derived, len(sh.Rules()), sh.NumShards())
+	var closer closableStore
+	if sh.Durable() {
+		closer = sh
+	}
+	return httpapi.NewShardedHandlerWithOptions(sh, cfg.opts), closer, report, nil
+}
+
 // loadRules parses the -rules file (nil when the flag is unset).
 func loadRules(path string) ([]prop.Rule, error) {
 	if path == "" {
@@ -234,6 +309,16 @@ func installRules(rules []prop.Rule, add func(prop.Rule) error) error {
 		}
 	}
 	return nil
+}
+
+// hasShardsManifest reports whether dir was initialised as a sharded
+// data directory.
+func hasShardsManifest(dir string) bool {
+	if dir == "" {
+		return false
+	}
+	_, err := os.Stat(filepath.Join(dir, "SHARDS.json"))
+	return err == nil
 }
 
 func seedSource(study, snapshot string) string {

@@ -48,6 +48,19 @@ func (s *Store) NewAnnotation() *Builder {
 	return &Builder{store: s}
 }
 
+// NewBuilder starts a store-free annotation builder: any store can commit
+// it. A sharded router uses this to assemble the annotation first and
+// pick the owning shard from the referents afterwards.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Referents returns the referents attached so far, in builder order. The
+// slice is shared with the builder; callers must not mutate it.
+func (b *Builder) Referents() []*Referent { return b.refs }
+
+// TermRefs returns the ontology references attached so far, in builder
+// order. The slice is shared with the builder; callers must not mutate it.
+func (b *Builder) TermRefs() []TermRef { return b.terms }
+
 // Creator sets the Dublin Core creator element.
 func (b *Builder) Creator(name string) *Builder {
 	b.recordErr(b.dc.Add(dublincore.Creator, name))
@@ -145,7 +158,7 @@ func (s *Store) CommitWithIDs(b *Builder, annID uint64, refIDs []uint64) (*Annot
 
 func (s *Store) commit(b *Builder, pinnedAnn uint64, pinnedRefs []uint64) (*Annotation, error) {
 	start := time.Now()
-	if b.store != s {
+	if b.store != nil && b.store != s {
 		return nil, fmt.Errorf("core: builder belongs to a different store")
 	}
 	if len(b.errs) > 0 {
@@ -181,7 +194,8 @@ func (s *Store) commit(b *Builder, pinnedAnn uint64, pinnedRefs []uint64) (*Anno
 
 	nextAnn := v.nextAnn
 	var annID uint64
-	if pinnedAnn != 0 {
+	switch {
+	case pinnedAnn != 0:
 		if v.annotations.get(pinnedAnn) != nil {
 			return nil, fmt.Errorf("core: pinned annotation ID %d already committed", pinnedAnn)
 		}
@@ -189,7 +203,14 @@ func (s *Store) commit(b *Builder, pinnedAnn uint64, pinnedRefs []uint64) (*Anno
 		if annID > nextAnn {
 			nextAnn = annID
 		}
-	} else {
+	case s.ids != nil:
+		// Shared allocator: IDs are globally unique and monotone across
+		// shards, so within this shard annID always exceeds the counter.
+		annID = s.ids.AllocAnnotationID()
+		if annID > nextAnn {
+			nextAnn = annID
+		}
+	default:
 		nextAnn++
 		annID = nextAnn
 	}
@@ -235,7 +256,8 @@ func (s *Store) commit(b *Builder, pinnedAnn uint64, pinnedRefs []uint64) (*Anno
 			continue
 		}
 		stored := *r
-		if pin != 0 {
+		switch {
+		case pin != 0:
 			if v.referents.get(pin) != nil || pendingByID[pin] {
 				return nil, fmt.Errorf("core: pinned referent ID %d already used by a different mark", pin)
 			}
@@ -243,7 +265,12 @@ func (s *Store) commit(b *Builder, pinnedAnn uint64, pinnedRefs []uint64) (*Anno
 			if pin > nextRef {
 				nextRef = pin
 			}
-		} else {
+		case s.ids != nil:
+			stored.ID = s.ids.AllocReferentID()
+			if stored.ID > nextRef {
+				nextRef = stored.ID
+			}
+		default:
 			nextRef++
 			stored.ID = nextRef
 		}
@@ -334,11 +361,11 @@ func (s *Store) commit(b *Builder, pinnedAnn uint64, pinnedRefs []uint64) (*Anno
 	if p := s.getPropagator(); p != nil {
 		deltaStart := time.Now()
 		s.applyDerivedDelta(nv, p.Delta(v, nv, ann, false))
-		mPropDeltaSeconds.Observe(time.Since(deltaStart).Seconds())
+		s.m.propDelta.Observe(time.Since(deltaStart).Seconds())
 	}
 	s.publish(nv)
-	mCommits.Inc()
-	mCommitSeconds.Observe(time.Since(start).Seconds())
+	s.m.commits.Inc()
+	s.m.commitSeconds.Observe(time.Since(start).Seconds())
 	return ann, nil
 }
 

@@ -87,10 +87,10 @@ func (s *Store) DeleteAnnotation(id uint64) error {
 	if p := s.getPropagator(); p != nil {
 		deltaStart := time.Now()
 		s.applyDerivedDelta(nv, p.Delta(v, nv, ann, true))
-		mPropDeltaSeconds.Observe(time.Since(deltaStart).Seconds())
+		s.m.propDelta.Observe(time.Since(deltaStart).Seconds())
 	}
 	s.publish(nv)
-	mDeletes.Inc()
-	mDeleteSeconds.Observe(time.Since(start).Seconds())
+	s.m.deletes.Inc()
+	s.m.deleteSeconds.Observe(time.Since(start).Seconds())
 	return nil
 }

@@ -38,7 +38,9 @@ func (v *View) SearchContents(expr string) ([]*Annotation, error) {
 // stops all workers.
 func (v *View) SearchContentsCtx(ctx context.Context, expr string) ([]*Annotation, error) {
 	start := time.Now()
-	defer func() { mSearchSeconds.Observe(time.Since(start).Seconds()) }()
+	if v.m != nil { // zero-value views have no bound metric set
+		defer func() { v.m.searchSeconds.Observe(time.Since(start).Seconds()) }()
+	}
 	q, err := xquery.Compile(expr)
 	if err != nil {
 		return nil, err

@@ -53,6 +53,26 @@ type Store struct {
 	// (Propagator, prop.RulesOf) never block behind a commit or a
 	// long-running derived recompute.
 	propagator atomic.Pointer[Propagator]
+
+	// m holds this store's shard-labelled metric children ("0" when
+	// unsharded). ids, when set, allocates annotation/referent IDs from a
+	// source shared across a set of sharded stores so IDs stay globally
+	// unique; nil means the view's own counters allocate (the unsharded
+	// behaviour). Both are fixed at construction.
+	m   *storeMetrics
+	ids IDSource
+}
+
+// StoreOptions configure NewStoreWithOptions. The zero value reproduces
+// NewStore exactly.
+type StoreOptions struct {
+	// Shard labels this store's metrics; "" means "0" (unsharded).
+	Shard string
+	// IDs, when non-nil, replaces the view-local ID counters with a
+	// shared allocator so several stores can mint non-colliding
+	// annotation and referent IDs. Replayed commits with pinned IDs
+	// (CommitWithIDs) bypass it.
+	IDs IDSource
 }
 
 var (
@@ -103,12 +123,18 @@ func seqSchemaFor(t ObjectType) *relstore.Schema {
 
 // NewStore returns an empty Graphitti store with the type-specific tables
 // of the demonstration studies pre-created.
-func NewStore() *Store {
+func NewStore() *Store { return NewStoreWithOptions(StoreOptions{}) }
+
+// NewStoreWithOptions is NewStore for one shard of a sharded deployment:
+// metrics carry the shard label and IDs come from the shared source.
+func NewStoreWithOptions(opts StoreOptions) *Store {
 	s := &Store{
 		rel:    relstore.NewStore(),
 		graph:  agraph.New(),
 		itrees: make(map[string]*interval.Tree[string]),
 		rtrees: make(map[string]*rtree.Tree[string]),
+		m:      metricsForShard(opts.Shard),
+		ids:    opts.IDs,
 	}
 	for _, t := range []ObjectType{TypeDNA, TypeRNA, TypeProtein} {
 		if _, err := s.rel.CreateTable(seqSchemaFor(t)); err != nil {
@@ -120,7 +146,7 @@ func NewStore() *Store {
 			panic(err)
 		}
 	}
-	s.v.Store(emptyView(s.rel, s.graph))
+	s.v.Store(emptyView(s.rel, s.graph, s.m))
 	return s
 }
 
@@ -134,9 +160,9 @@ func (s *Store) View() *View { return s.v.Load() }
 func (s *Store) publish(nv *View) {
 	nv.epoch = s.v.Load().epoch + 1
 	s.v.Store(nv)
-	mViewEpoch.Set(int64(nv.epoch))
-	mAnnotations.Set(int64(nv.annotations.len()))
-	mDerivedFacts.Set(int64(nv.derivedCount))
+	s.m.viewEpoch.Set(int64(nv.epoch))
+	s.m.annotations.Set(int64(nv.annotations.len()))
+	s.m.derivedFacts.Set(int64(nv.derivedCount))
 }
 
 // Rel exposes the underlying relational store (read-mostly; used by the

@@ -108,6 +108,11 @@ type View struct {
 	// and every publish increments it, so readers (and the view-epoch
 	// gauge) can tell how far a pinned snapshot lags the live store.
 	epoch uint64
+
+	// m is the owning store's shard-labelled metric set; read-side
+	// instruments (search latency) report through it so per-shard
+	// attribution survives into pinned views.
+	m *storeMetrics
 }
 
 // Epoch returns the view's publication number: 0 for a fresh store,
@@ -116,10 +121,11 @@ type View struct {
 func (v *View) Epoch() uint64 { return v.epoch }
 
 // emptyView returns the view of a fresh store.
-func emptyView(rel *relstore.Store, graph *agraph.Graph) *View {
+func emptyView(rel *relstore.Store, graph *agraph.Graph, m *storeMetrics) *View {
 	return &View{
 		rel:          rel,
 		graph:        graph,
+		m:            m,
 		ontologies:   map[string]*ontology.Ontology{},
 		systems:      map[string]*imaging.CoordinateSystem{},
 		itrees:       map[string]interval.Snapshot[string]{},
@@ -287,6 +293,14 @@ func (v *View) Referents() []*Referent {
 // IDCounters returns the annotation and referent ID counters as of this
 // view (the next commit assigns nextAnn+1 / nextRef+1).
 func (v *View) IDCounters() (nextAnn, nextRef uint64) { return v.nextAnn, v.nextRef }
+
+// EachKeyword visits every indexed keyword in unspecified order, stopping
+// early when fn returns false. A sharded deployment uses this to count
+// the distinct-keyword union across shards without materialising posting
+// lists.
+func (v *View) EachKeyword(fn func(word string) bool) {
+	v.keywordIdx.each(func(word string, _ []uint64) bool { return fn(word) })
+}
 
 // Stats returns the view's component sizes.
 func (v *View) Stats() Stats {

@@ -114,6 +114,10 @@ type Options struct {
 	// store and its WAL perform, and can fail it — the fault-injection
 	// hook the robustness harness drives. Nil injects nothing.
 	Inject faultfs.Injector
+	// Store configures the wrapped core store: the shard label for
+	// metrics and the shared ID source of a sharded deployment. The zero
+	// value is the unsharded store.
+	Store core.StoreOptions
 }
 
 // State is the store's position in the degradation state machine.
@@ -271,6 +275,10 @@ type Store struct {
 	replayed        int
 	skipped         int
 	tornBytes       int64
+
+	// m binds the shard-labelled durability metric children ("0" when
+	// unsharded); set at construction from opts.Store.Shard.
+	m *durableMetrics
 }
 
 // Open loads (or initialises) a durable store in dir, replaying any WAL
@@ -282,12 +290,12 @@ func Open(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	s := &Store{dir: dir, opts: opts}
+	s := &Store{dir: dir, opts: opts, m: metricsForShard(opts.Store.Shard)}
 	if err := s.load(); err != nil {
 		return nil, err
 	}
-	setHealthGauge(StateHealthy)
-	mSeq.Set(int64(s.seq))
+	s.m.setHealthGauge(StateHealthy)
+	s.m.seq.Set(int64(s.seq))
 	return s, nil
 }
 
@@ -316,7 +324,7 @@ func (s *Store) load() error {
 			// loss, not a fresh directory.
 			return fmt.Errorf("durable: manifest names snapshot %s: %w", man.Snapshot, err)
 		}
-		cs, lerr := persist.Read(f)
+		cs, lerr := persist.ReadWith(f, s.opts.Store)
 		f.Close()
 		if lerr != nil {
 			return fmt.Errorf("durable: load snapshot: %w", lerr)
@@ -325,7 +333,7 @@ func (s *Store) load() error {
 	case man.SnapshotSeq != 0:
 		return fmt.Errorf("durable: manifest claims checkpoint at seq %d but names no snapshot", man.SnapshotSeq)
 	default:
-		s.core.Store(core.NewStore())
+		s.core.Store(core.NewStoreWithOptions(s.opts.Store))
 	}
 	s.removeStaleSnapshots(man.Snapshot)
 
@@ -353,7 +361,7 @@ func (s *Store) load() error {
 
 // walOptions derives the WAL writer options from the store's own.
 func (s *Store) walOptions() wal.Options {
-	return wal.Options{NoSync: s.opts.NoSync, Inject: s.opts.Inject}
+	return wal.Options{NoSync: s.opts.NoSync, Inject: s.opts.Inject, Shard: s.opts.Store.Shard}
 }
 
 // replayRecord applies one scanned WAL payload during Open.
@@ -537,9 +545,9 @@ func (s *Store) logApply(rec *record, applyFn func(cs *core.Store) error) error 
 		s.mu.Unlock()
 		return fmt.Errorf("%w: log op %d: %w", ErrDegraded, rec.Seq, err)
 	}
-	mCommitWait.Observe(time.Since(waitStart).Seconds())
-	mOps.With(rec.Kind.String()).Inc()
-	mSeq.Set(int64(rec.Seq))
+	s.m.commitWait.Observe(time.Since(waitStart).Seconds())
+	s.m.op(rec.Kind.String()).Inc()
+	s.m.seq.Set(int64(rec.Seq))
 	// The mutation is durable from here on: a compaction failure is
 	// recorded in Stats (and wedges the log for later mutations if the
 	// writer died), but must not report this op as failed — callers would
@@ -550,7 +558,7 @@ func (s *Store) logApply(rec *record, applyFn func(cs *core.Store) error) error 
 			s.compactFailures++
 			s.lastCompactErr = err.Error()
 			s.mu.Unlock()
-			mCompactFailures.Inc()
+			s.m.compactFailures.Inc()
 		}
 	}
 	return nil
@@ -561,7 +569,7 @@ func (s *Store) logApply(rec *record, applyFn func(cs *core.Store) error) error 
 func (s *Store) degradeLocked(cause error) {
 	if s.degradeErr == nil && !s.closed {
 		s.degradeErr = cause
-		setHealthGauge(StateDegraded)
+		s.m.setHealthGauge(StateDegraded)
 	}
 }
 
@@ -607,7 +615,7 @@ func (s *Store) Reopen() (*core.Store, error) {
 	if s.w != nil {
 		_ = s.w.Close()
 	}
-	fresh := &Store{dir: s.dir, opts: s.opts}
+	fresh := &Store{dir: s.dir, opts: s.opts, m: s.m}
 	if err := fresh.load(); err != nil {
 		return nil, fmt.Errorf("durable: reopen: %w", err)
 	}
@@ -626,9 +634,9 @@ func (s *Store) Reopen() (*core.Store, error) {
 	s.tornBytes = fresh.tornBytes
 	s.degradeErr = nil
 	s.reopens++
-	setHealthGauge(StateHealthy)
-	mReopens.Inc()
-	mSeq.Set(int64(s.seq))
+	s.m.setHealthGauge(StateHealthy)
+	s.m.reopens.Inc()
+	s.m.seq.Set(int64(s.seq))
 	return fresh.Core(), nil
 }
 
@@ -863,7 +871,7 @@ func (s *Store) checkpointLocked(cs *core.Store, seq uint64) error {
 	}
 	s.w = w
 	s.compactions++
-	mCompactions.Inc()
+	s.m.compactions.Inc()
 	s.removeStaleSnapshots(name)
 	return nil
 }
@@ -871,7 +879,7 @@ func (s *Store) checkpointLocked(cs *core.Store, seq uint64) error {
 // Restore replaces the store's entire state with snap and checkpoints it
 // immediately (fresh snapshot + empty log). The previous state is gone.
 func (s *Store) Restore(snap *persist.Snapshot) (*core.Store, error) {
-	cs, err := persist.Load(snap)
+	cs, err := persist.LoadWith(snap, s.opts.Store)
 	if err != nil {
 		return nil, err
 	}
@@ -952,7 +960,7 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
-	setHealthGauge(StateClosed)
+	s.m.setHealthGauge(StateClosed)
 	return s.w.Close()
 }
 

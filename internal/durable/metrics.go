@@ -2,26 +2,56 @@ package durable
 
 import "graphitti/internal/obs"
 
-// Process-wide durability metrics (see internal/obs for the scope
-// model). The health-state and seq gauges are last-writer-wins, which
-// matches the one-durable-store-per-process server deployment. All are
+// Durability metric families, labelled by shard (see internal/obs for
+// the scope model). The health-state and seq gauges are last-writer-wins
+// per shard, which matches the one-durable-store-per-shard server
+// deployment; an unsharded store reports as shard "0". All are
 // documented in docs/METRICS.md, which a test keeps in sync.
 var (
-	mOps = obs.NewCounterVec("graphitti_durable_ops_total",
-		"Durably acknowledged mutations by op kind.", "kind")
-	mCommitWait = obs.NewHistogram("graphitti_durable_commit_wait_seconds",
-		"Time a mutation waited for its group-committed fdatasync acknowledgement.", nil)
-	mHealthState = obs.NewGauge("graphitti_durable_health_state",
-		"Degradation state machine position: 0 healthy, 1 degraded, 2 closed.")
-	mReopens = obs.NewCounter("graphitti_durable_reopens_total",
-		"Successful recoveries from the degraded state.")
-	mCompactions = obs.NewCounter("graphitti_durable_compactions_total",
-		"Snapshot+rotate checkpoint cycles.")
-	mCompactFailures = obs.NewCounter("graphitti_durable_compaction_failures_total",
-		"Automatic compactions that failed after a durably committed mutation.")
-	mSeq = obs.NewGauge("graphitti_durable_seq",
-		"Sequence number of the latest applied mutation.")
+	mOpsVec = obs.NewCounterVec("graphitti_durable_ops_total",
+		"Durably acknowledged mutations by op kind.", "kind", "shard")
+	mCommitWaitVec = obs.NewHistogramVec("graphitti_durable_commit_wait_seconds",
+		"Time a mutation waited for its group-committed fdatasync acknowledgement.", nil, "shard")
+	mHealthStateVec = obs.NewGaugeVec("graphitti_durable_health_state",
+		"Degradation state machine position: 0 healthy, 1 degraded, 2 closed.", "shard")
+	mReopensVec = obs.NewCounterVec("graphitti_durable_reopens_total",
+		"Successful recoveries from the degraded state.", "shard")
+	mCompactionsVec = obs.NewCounterVec("graphitti_durable_compactions_total",
+		"Snapshot+rotate checkpoint cycles.", "shard")
+	mCompactFailuresVec = obs.NewCounterVec("graphitti_durable_compaction_failures_total",
+		"Automatic compactions that failed after a durably committed mutation.", "shard")
+	mSeqVec = obs.NewGaugeVec("graphitti_durable_seq",
+		"Sequence number of the latest applied mutation.", "shard")
 )
 
+// durableMetrics binds one shard's children of the durability families.
+// ops keeps its kind dimension, so the child is resolved per append.
+type durableMetrics struct {
+	shard           string
+	commitWait      *obs.Histogram
+	healthState     *obs.Gauge
+	reopens         *obs.Counter
+	compactions     *obs.Counter
+	compactFailures *obs.Counter
+	seq             *obs.Gauge
+}
+
+func metricsForShard(shard string) *durableMetrics {
+	if shard == "" {
+		shard = "0"
+	}
+	return &durableMetrics{
+		shard:           shard,
+		commitWait:      mCommitWaitVec.With(shard),
+		healthState:     mHealthStateVec.With(shard),
+		reopens:         mReopensVec.With(shard),
+		compactions:     mCompactionsVec.With(shard),
+		compactFailures: mCompactFailuresVec.With(shard),
+		seq:             mSeqVec.With(shard),
+	}
+}
+
+func (m *durableMetrics) op(kind string) *obs.Counter { return mOpsVec.With(kind, m.shard) }
+
 // setHealthGauge mirrors a state transition into the health gauge.
-func setHealthGauge(st State) { mHealthState.Set(int64(st)) }
+func (m *durableMetrics) setHealthGauge(st State) { m.healthState.Set(int64(st)) }

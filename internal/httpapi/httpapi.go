@@ -46,6 +46,7 @@ import (
 	"graphitti/internal/prop"
 	"graphitti/internal/query"
 	"graphitti/internal/rtree"
+	"graphitti/internal/shard"
 )
 
 // Options tune the handler.
@@ -108,6 +109,19 @@ func NewDurableHandlerWithOptions(d *durable.Store, opts Options) http.Handler {
 	return newMux(&server{store: s, proc: query.NewProcessor(s), durable: d, opts: opts})
 }
 
+// NewShardedHandler serves a sharded store (in-memory or durable): every
+// endpoint answers over the merged view set, mutations route to their
+// home shard, and a degraded shard's 503 names the shard while healthy
+// shards keep writing.
+func NewShardedHandler(sh *shard.Store) http.Handler {
+	return NewShardedHandlerWithOptions(sh, Options{})
+}
+
+// NewShardedHandlerWithOptions is NewShardedHandler with explicit options.
+func NewShardedHandlerWithOptions(sh *shard.Store, opts Options) http.Handler {
+	return newMux(&server{sh: sh, opts: opts})
+}
+
 // routeDefs is the single registration table: newMux mounts every entry
 // and the middleware conformance test walks the same list, so a route
 // can't be added without being counted by the metrics middleware.
@@ -152,19 +166,68 @@ func newMux(api *server) http.Handler {
 
 type server struct {
 	// mu guards store/proc, which /api/restore swaps wholesale; handlers
-	// snapshot both via view(). durable is set once and never changes.
+	// snapshot both via view(). durable and sh are set once and never
+	// change; in sharded mode store/proc/durable stay nil (the shard
+	// store swaps its pipelines internally).
 	mu      sync.RWMutex
 	store   *core.Store
 	proc    *query.Processor
 	durable *durable.Store
+	sh      *shard.Store
 	opts    Options
 }
 
-// view returns the current store and query processor.
-func (s *server) view() (*core.Store, *query.Processor) {
+// backend is the read-and-mark surface the handlers share between one
+// core store and a sharded deployment. Mutations go through the *Op
+// helpers, which pick the WAL/router path.
+type backend interface {
+	Stats() core.Stats
+	Epoch() uint64
+	Annotation(uint64) (*core.Annotation, error)
+	Annotations() []*core.Annotation
+	SearchKeyword(string, bool) []*core.Annotation
+	SearchContentsCtx(context.Context, string) ([]*core.Annotation, error)
+	RelatedAnnotations(uint64) ([]*core.Annotation, error)
+	CorrelatedData(uint64) ([]core.CorrelatedItem, error)
+	ReferentsAt(string, int64) []*core.Referent
+	ObjectList() []core.ObjectHandle
+	NewAnnotation() *core.Builder
+	DerivedFrom(uint64) []core.DerivedFact
+	DerivedOnto(uint64) ([]core.DerivedFact, error)
+	DerivedSourceEpoch(uint64) uint64
+	MarkDomainInterval(string, interval.Interval) (*core.Referent, error)
+	MarkSequenceInterval(string, interval.Interval) (*core.Referent, error)
+	MarkImageRegion(string, rtree.Rect) (*core.Referent, error)
+	MarkClade(string, ...string) (*core.Referent, error)
+	MarkSubgraph(string, ...string) (*core.Referent, error)
+	MarkAlignmentBlock(string, []string, interval.Interval) (*core.Referent, error)
+	MarkObject(core.ObjectType, string) (*core.Referent, error)
+}
+
+// coreBackend adapts *core.Store to backend: the handful of reads the
+// handlers used to reach through a pinned View become store-level calls.
+type coreBackend struct{ *core.Store }
+
+func (b coreBackend) Epoch() uint64 { return b.Store.View().Epoch() }
+func (b coreBackend) SearchContentsCtx(ctx context.Context, expr string) ([]*core.Annotation, error) {
+	return b.Store.View().SearchContentsCtx(ctx, expr)
+}
+func (b coreBackend) DerivedOnto(id uint64) ([]core.DerivedFact, error) {
+	return b.Store.View().DerivedOnto(id)
+}
+func (b coreBackend) DerivedSourceEpoch(id uint64) uint64 {
+	return b.Store.View().DerivedSourceEpoch(id)
+}
+
+// view returns the current backend and query processor (nil processor in
+// sharded mode: runQuery fans out through the shard store instead).
+func (s *server) view() (backend, *query.Processor) {
+	if s.sh != nil {
+		return s.sh, nil
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.store, s.proc
+	return coreBackend{s.store}, s.proc
 }
 
 // queryCtx derives the execution context of a search/query request: the
@@ -183,6 +246,10 @@ type errorBody struct {
 	// the X-Request-Id response header), so a client-reported failure can
 	// be matched to its server log line.
 	RequestID string `json:"requestId,omitempty"`
+	// Shard names the pipeline that refused a sharded-mode mutation
+	// (e.g. the degraded shard behind a 503), so operators can recover
+	// that shard while the rest keep writing.
+	Shard *int `json:"shard,omitempty"`
 }
 
 // statusClientClosedRequest is the de-facto status (nginx's 499) for a
@@ -229,7 +296,12 @@ func writeErr(w http.ResponseWriter, r *http.Request, err error) {
 	case errors.Is(err, prop.ErrNoSuchRule):
 		status = http.StatusNotFound
 	}
-	jsonError(w, r, status, err.Error())
+	body := errorBody{Error: err.Error(), RequestID: RequestID(r.Context())}
+	var se *shard.Error
+	if errors.As(err, &se) {
+		body.Shard = &se.Shard
+	}
+	writeJSON(w, status, body)
 }
 
 // healthView is the /healthz and /readyz payload: the degradation state
@@ -241,9 +313,17 @@ type healthView struct {
 	Reads  bool   `json:"reads"`
 	Writes bool   `json:"writes"`
 	Reason string `json:"reason,omitempty"`
+	// DegradedShards lists the pipelines refusing writes in sharded mode.
+	// Writes routed to any other shard still succeed, so partial
+	// degradation keeps Reads true and most writes flowing even while
+	// /readyz reports 503.
+	DegradedShards []int `json:"degradedShards,omitempty"`
 }
 
 func (s *server) health() healthView {
+	if s.sh != nil {
+		return s.shardedHealth()
+	}
 	if s.durable == nil {
 		// In-memory mode has no disk to fail.
 		return healthView{Status: "ok", State: durable.StateHealthy.String(), Reads: true, Writes: true}
@@ -257,6 +337,32 @@ func (s *server) health() healthView {
 		v.Status, v.Reads = "degraded", true
 	case durable.StateClosed:
 		v.Status = "closed"
+	}
+	return v
+}
+
+// shardedHealth folds the per-shard states: any degraded shard flips
+// readiness (Writes false → /readyz 503) and is named in the reason,
+// but reads — and writes routed to healthy shards — keep working.
+func (s *server) shardedHealth() healthView {
+	v := healthView{Status: "ok", State: durable.StateHealthy.String(), Reads: true, Writes: true}
+	for _, h := range s.sh.Health() {
+		if h.State == durable.StateHealthy {
+			continue
+		}
+		v.DegradedShards = append(v.DegradedShards, h.Shard)
+		v.Status, v.State, v.Writes = "degraded", durable.StateDegraded.String(), false
+		if h.State == durable.StateClosed {
+			v.Status, v.State = "closed", durable.StateClosed.String()
+		}
+		part := fmt.Sprintf("shard %d %s", h.Shard, h.State)
+		if h.Reason != "" {
+			part += ": " + h.Reason
+		}
+		if v.Reason != "" {
+			v.Reason += "; "
+		}
+		v.Reason += part
 	}
 	return v
 }
@@ -286,6 +392,10 @@ func (s *server) readyz(w http.ResponseWriter, _ *http.Request) {
 // re-validating the data directory and probing the log — and on success
 // swaps the reloaded core in, exactly as restore does.
 func (s *server) recoverStore(w http.ResponseWriter, r *http.Request) {
+	if s.sh != nil {
+		s.recoverShards(w, r)
+		return
+	}
 	if s.durable == nil {
 		jsonError(w, r, http.StatusBadRequest, "recover requires a durable store (-data-dir)")
 		return
@@ -301,6 +411,41 @@ func (s *server) recoverStore(w http.ResponseWriter, r *http.Request) {
 	s.store = store
 	s.proc = query.NewProcessor(store)
 	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, s.health())
+}
+
+// recoverShards reopens one shard (?shard=k) or every degraded shard.
+// Each shard recovers independently; the first failure is reported with
+// its shard ID and a Retry-After, like any degraded-shard write.
+func (s *server) recoverShards(w http.ResponseWriter, r *http.Request) {
+	if !s.sh.Durable() {
+		jsonError(w, r, http.StatusBadRequest, "recover requires a durable store (-data-dir)")
+		return
+	}
+	var targets []int
+	if raw := r.URL.Query().Get("shard"); raw != "" {
+		k, err := strconv.Atoi(raw)
+		if err != nil || k < 0 || k >= s.sh.NumShards() {
+			jsonError(w, r, http.StatusBadRequest,
+				fmt.Sprintf("bad shard %q: want 0..%d", raw, s.sh.NumShards()-1))
+			return
+		}
+		targets = []int{k}
+	} else {
+		targets = s.sh.DegradedShards()
+	}
+	for _, k := range targets {
+		if err := s.sh.Reopen(k); err != nil {
+			w.Header().Set("Retry-After", retryAfterSeconds)
+			body := errorBody{Error: err.Error(), RequestID: RequestID(r.Context())}
+			var se *shard.Error
+			if errors.As(err, &se) {
+				body.Shard = &se.Shard
+			}
+			writeJSON(w, http.StatusServiceUnavailable, body)
+			return
+		}
+	}
 	writeJSON(w, http.StatusOK, s.health())
 }
 
@@ -332,14 +477,33 @@ type statsView struct {
 	core.Stats
 	Epoch      uint64         `json:"epoch"`
 	Durability *durable.Stats `json:"durability,omitempty"`
+	Sharding   *shardingView  `json:"sharding,omitempty"`
+}
+
+// shardingView is the sharded-mode /api/stats section: the shard count,
+// the inter-shard channel counters, and (durable mode) each shard's
+// durability stats indexed by shard.
+type shardingView struct {
+	Shards            int             `json:"shards"`
+	CrossShardCommits uint64          `json:"crossShardCommits"`
+	DeltaSeq          uint64          `json:"deltaSeq"`
+	Durability        []durable.Stats `json:"durability,omitempty"`
 }
 
 func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
 	store, _ := s.view()
-	out := statsView{Stats: store.Stats(), Epoch: store.View().Epoch()}
+	out := statsView{Stats: store.Stats(), Epoch: store.Epoch()}
 	if s.durable != nil {
 		ds := s.durable.Stats()
 		out.Durability = &ds
+	}
+	if s.sh != nil {
+		out.Sharding = &shardingView{
+			Shards:            s.sh.NumShards(),
+			CrossShardCommits: s.sh.CrossShardCommits(),
+			DeltaSeq:          s.sh.DeltaSeq(),
+			Durability:        s.sh.DurabilityStats(),
+		}
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -411,13 +575,19 @@ func (s *server) deleteAnnotation(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// deleteAnnotationOp routes the mutation through the WAL when present.
+// deleteAnnotationOp routes the mutation through the router/WAL when
+// present.
 func (s *server) deleteAnnotationOp(id uint64) error {
-	if s.durable != nil {
+	switch {
+	case s.sh != nil:
+		return s.sh.DeleteAnnotation(id)
+	case s.durable != nil:
 		return s.durable.DeleteAnnotation(id)
+	default:
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return s.store.DeleteAnnotation(id)
 	}
-	store, _ := s.view()
-	return store.DeleteAnnotation(id)
 }
 
 // markSpec describes one referent in an annotation request.
@@ -472,7 +642,7 @@ func (s *server) createAnnotation(w http.ResponseWriter, r *http.Request) {
 	for _, tr := range req.Terms {
 		b.OntologyRef(tr.Ontology, tr.TermID)
 	}
-	ann, err := s.commitOp(store, b)
+	ann, err := s.commitOp(b)
 	if err != nil {
 		writeErr(w, r, err)
 		return
@@ -480,17 +650,23 @@ func (s *server) createAnnotation(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, viewOf(ann))
 }
 
-// commitOp routes the commit through the WAL when present.
-func (s *server) commitOp(store *core.Store, b *core.Builder) (*core.Annotation, error) {
-	if s.durable != nil {
+// commitOp routes the commit through the router/WAL when present.
+func (s *server) commitOp(b *core.Builder) (*core.Annotation, error) {
+	switch {
+	case s.sh != nil:
+		return s.sh.Commit(b)
+	case s.durable != nil:
 		return s.durable.Commit(b)
+	default:
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return s.store.Commit(b)
 	}
-	return store.Commit(b)
 }
 
 // resolveMark builds a referent from a mark spec (read-only: marks are
 // only registered at commit).
-func resolveMark(store *core.Store, m markSpec) (*core.Referent, error) {
+func resolveMark(store backend, m markSpec) (*core.Referent, error) {
 	switch m.Type {
 	case "interval":
 		return store.MarkDomainInterval(m.Domain, interval.Interval{Lo: m.Lo, Hi: m.Hi})
@@ -586,9 +762,9 @@ func (s *server) search(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.queryCtx(r)
 	defer cancel()
 	store, _ := s.view()
-	// The whole scan runs against one pinned snapshot, cancellable at
-	// every evaluation stride.
-	anns, err := store.View().SearchContentsCtx(ctx, req.Expr)
+	// The whole scan runs against one pinned snapshot per shard,
+	// cancellable at every evaluation stride.
+	anns, err := store.SearchContentsCtx(ctx, req.Expr)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			writeErr(w, r, err)
@@ -642,10 +818,16 @@ func (s *server) runQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.queryCtx(r)
 	defer cancel()
-	_, proc := s.view()
 	opts := query.DefaultOptions
 	opts.MaxResults = req.MaxResults
-	res, err := proc.ExecuteCtx(ctx, req.Query, opts)
+	var res *query.Result
+	var err error
+	if s.sh != nil {
+		res, err = s.sh.Query(ctx, req.Query, opts)
+	} else {
+		_, proc := s.view()
+		res, err = proc.ExecuteCtx(ctx, req.Query, opts)
+	}
 	if err != nil {
 		writeErr(w, r, err)
 		return
@@ -716,9 +898,20 @@ func (s *server) objects(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) snapshot(w http.ResponseWriter, _ *http.Request) {
-	store, _ := s.view()
+	var err error
 	w.Header().Set("Content-Type", "application/json")
-	if err := persist.Write(store, w); err != nil {
+	if s.sh != nil {
+		var snap *persist.Snapshot
+		if snap, err = s.sh.Export(); err == nil {
+			err = persist.WriteSnapshot(snap, w)
+		}
+	} else {
+		s.mu.RLock()
+		store := s.store
+		s.mu.RUnlock()
+		err = persist.Write(store, w)
+	}
+	if err != nil {
 		// Headers are gone; best effort.
 		fmt.Fprintf(w, `{"error":%q}`, err.Error())
 	}
@@ -750,6 +943,20 @@ func (s *server) restore(w http.ResponseWriter, r *http.Request) {
 	// body, but a complete body with a gone client lands here).
 	if err := r.Context().Err(); err != nil {
 		writeErr(w, r, err)
+		return
+	}
+	if s.sh != nil {
+		// The shard store partitions the snapshot and swaps its
+		// pipelines internally, under the inter-shard channel.
+		if err := s.sh.Restore(snap); err != nil {
+			if errors.Is(err, durable.ErrDegraded) {
+				writeErr(w, r, err) // 503 + Retry-After, shard named
+				return
+			}
+			jsonError(w, r, http.StatusBadRequest, err.Error())
+			return
+		}
+		s.stats(w, r)
 		return
 	}
 	// The durable restore and the handler's store swap happen under one
@@ -803,8 +1010,15 @@ func factViews(facts []core.DerivedFact) []factView {
 }
 
 func (s *server) listRules(w http.ResponseWriter, _ *http.Request) {
-	store, _ := s.view()
-	rules := prop.RulesOf(store)
+	var rules []prop.Rule
+	if s.sh != nil {
+		rules = s.sh.Rules()
+	} else {
+		s.mu.RLock()
+		store := s.store
+		s.mu.RUnlock()
+		rules = prop.RulesOf(store)
+	}
 	if rules == nil {
 		rules = []prop.Rule{}
 	}
@@ -823,13 +1037,19 @@ func (s *server) addRule(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, rule)
 }
 
-// addRuleOp routes the mutation through the WAL when present.
+// addRuleOp routes the mutation through the router/WAL when present
+// (sharded mode broadcasts the rule to every shard).
 func (s *server) addRuleOp(rule prop.Rule) error {
-	if s.durable != nil {
+	switch {
+	case s.sh != nil:
+		return s.sh.AddRule(rule)
+	case s.durable != nil:
 		return s.durable.AddRule(rule)
+	default:
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return prop.Attach(s.store).AddRule(rule)
 	}
-	store, _ := s.view()
-	return prop.Attach(store).AddRule(rule)
 }
 
 func (s *server) deleteRule(w http.ResponseWriter, r *http.Request) {
@@ -842,11 +1062,16 @@ func (s *server) deleteRule(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) deleteRuleOp(id string) error {
-	if s.durable != nil {
+	switch {
+	case s.sh != nil:
+		return s.sh.DeleteRule(id)
+	case s.durable != nil:
 		return s.durable.DeleteRule(id)
+	default:
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return prop.Attach(s.store).DeleteRule(id)
 	}
-	store, _ := s.view()
-	return prop.Attach(store).DeleteRule(id)
 }
 
 // provenance traces derived annotations through one annotation: the
@@ -859,8 +1084,7 @@ func (s *server) provenance(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	store, _ := s.view()
-	v := store.View()
-	onto, err := v.DerivedOnto(id)
+	onto, err := store.DerivedOnto(id)
 	if err != nil {
 		writeErr(w, r, err)
 		return
@@ -873,8 +1097,8 @@ func (s *server) provenance(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, provenanceView{
 		ID:         id,
-		Epoch:      v.DerivedSourceEpoch(id),
-		Derives:    factViews(v.DerivedFrom(id)),
+		Epoch:      store.DerivedSourceEpoch(id),
+		Derives:    factViews(store.DerivedFrom(id)),
 		Provenance: factViews(onto),
 	})
 }

@@ -319,6 +319,13 @@ func Write(s *core.Store, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	return WriteSnapshot(snap, w)
+}
+
+// WriteSnapshot serializes an already-exported snapshot in the same
+// format Write produces — the sharded store merges per-shard exports and
+// emits the result through this.
+func WriteSnapshot(snap *Snapshot, w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(snap)
@@ -731,10 +738,16 @@ func ApplyAnnotation(s *core.Store, ad AnnotationDump) error {
 // Load rebuilds a store from a snapshot by replaying registrations and
 // commits through the normal pipeline.
 func Load(snap *Snapshot) (*core.Store, error) {
+	return LoadWith(snap, core.StoreOptions{})
+}
+
+// LoadWith is Load into a store built with opts — how one shard of a
+// sharded deployment rebuilds with its shard label and shared ID source.
+func LoadWith(snap *Snapshot, opts core.StoreOptions) (*core.Store, error) {
 	if snap.Version < 1 || snap.Version > Version {
 		return nil, fmt.Errorf("persist: snapshot version %d, want 1..%d", snap.Version, Version)
 	}
-	s := core.NewStore()
+	s := core.NewStoreWithOptions(opts)
 	for _, od := range snap.Ontologies {
 		if err := ApplyOntology(s, od); err != nil {
 			return nil, err
@@ -812,9 +825,14 @@ func Decode(r io.Reader) (*Snapshot, error) {
 
 // Read loads a snapshot from JSON and rebuilds the store.
 func Read(r io.Reader) (*core.Store, error) {
+	return ReadWith(r, core.StoreOptions{})
+}
+
+// ReadWith is Read into a store built with opts.
+func ReadWith(r io.Reader, opts core.StoreOptions) (*core.Store, error) {
 	snap, err := Decode(r)
 	if err != nil {
 		return nil, err
 	}
-	return Load(snap)
+	return LoadWith(snap, opts)
 }

@@ -1,0 +1,601 @@
+// Package shard runs N independent Graphitti writer pipelines behind one
+// router, so commits to disjoint coordinate domains spend separate cores
+// instead of funnelling through a single serialized writer.
+//
+// Placement. Every mutation is routed by a stable key (core.Router,
+// FNV-1a): sequences by coordinate domain, coordinate systems by name,
+// images by their system, alignments/trees/interaction graphs by ID,
+// record tables by name, and annotations by their first mark's route key
+// (see core.Referent.RouteKey). Domain-keyed placement keeps the
+// propagation engine exact without cross-shard evaluation: SUB_X overlap
+// is intra-domain, co-registration is intra-system, and shared-referent
+// hops are intra-shard because identical marks always route identically.
+// Ontologies and propagation rules are broadcast to every shard (shard 0
+// first), so ontology-closure propagation and rule recomputation see the
+// same rule set everywhere.
+//
+// The sequenced inter-shard channel. Broadcasts and cross-shard commits
+// (an annotation whose marks span shards) serialize through one global
+// mutex with a monotone sequence number — the bounded fallback the
+// design allows instead of asynchronous delta shipping. A cross-shard
+// annotation commits whole to its home shard (no dangling references, no
+// partial visibility); the completeness bound is that its marks dedup
+// per-shard rather than globally, and derived facts pairing it with
+// referents homed elsewhere are not materialized. Workloads that keep
+// each annotation's marks in one routing domain — the paper's studies
+// all do — get semantics identical to the unsharded store, which the
+// differential export test asserts byte-for-byte.
+//
+// IDs. All shards share one core.AtomicIDs allocator, so annotation and
+// referent IDs are globally unique and merged reads can order by ID.
+// Reads pin one view per shard and merge deterministically in ID order.
+//
+// Durability. Each shard owns a full durable pipeline (WAL segment,
+// snapshot chain, degradation state machine) under dir/shard-<k>/;
+// SHARDS.json at the root pins the shard count. Recovery replays all
+// shards in parallel. A degraded shard refuses its own writes — wrapped
+// in *Error so callers can name the shard — while healthy shards keep
+// accepting theirs.
+package shard
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"graphitti/internal/biodata/imaging"
+	"graphitti/internal/biodata/interact"
+	"graphitti/internal/biodata/msa"
+	"graphitti/internal/biodata/phylo"
+	"graphitti/internal/biodata/seq"
+	"graphitti/internal/core"
+	"graphitti/internal/durable"
+	"graphitti/internal/interval"
+	"graphitti/internal/ontology"
+	"graphitti/internal/prop"
+	"graphitti/internal/relstore"
+	"graphitti/internal/rtree"
+)
+
+// shardsFile pins the shard count of a durable data directory; opening
+// with a different count would scatter routing keys across the wrong
+// WALs.
+const shardsFile = "SHARDS.json"
+
+type shardsManifest struct {
+	Shards int `json:"shards"`
+}
+
+// Error tags a failed shard operation with the shard that refused it, so
+// a partially degraded deployment can name the broken pipeline while the
+// rest keep writing. Unwrap exposes the underlying error (errors.Is with
+// durable.ErrDegraded keeps working).
+type Error struct {
+	Shard int
+	Err   error
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("shard %d: %v", e.Shard, e.Err) }
+func (e *Error) Unwrap() error { return e.Err }
+
+// Store is a sharded Graphitti store: N independent writer pipelines
+// (in-memory or durable) behind a router. All methods are safe for
+// concurrent use.
+type Store struct {
+	router core.Router
+	ids    *core.AtomicIDs
+
+	// Exactly one of cores/durs is set: cores for in-memory shards
+	// (atomic so Restore can swap them under readers), durs for durable
+	// ones (whose core stores are reached via Core(), which Reopen and
+	// Restore swap).
+	cores []atomic.Pointer[core.Store]
+	durs  []*durable.Store
+
+	// gmu is the sequenced inter-shard channel: broadcasts (ontologies,
+	// rules) and cross-shard commits serialize through it, stamped by
+	// gseq. Routed single-shard mutations never take it.
+	gmu   sync.Mutex
+	gseq  atomic.Uint64
+	cross atomic.Uint64
+}
+
+// New returns an in-memory sharded store with n writer pipelines
+// (n < 1 is treated as 1).
+func New(n int) *Store {
+	if n < 1 {
+		n = 1
+	}
+	s := &Store{router: core.Router{Shards: n}, ids: &core.AtomicIDs{}}
+	s.cores = make([]atomic.Pointer[core.Store], n)
+	for k := 0; k < n; k++ {
+		s.cores[k].Store(core.NewStoreWithOptions(core.StoreOptions{
+			Shard: strconv.Itoa(k), IDs: s.ids,
+		}))
+	}
+	return s
+}
+
+// Open opens (or initialises) a durable sharded store under dir with n
+// shards, replaying all shard WALs in parallel. A directory that was
+// created with a different shard count refuses to open — routing keys
+// would land in the wrong segments; n = 0 adopts the directory's
+// recorded count (1 for a fresh directory).
+func Open(dir string, n int, opts durable.Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	recorded, err := readShardsFile(dir)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case recorded == 0:
+		// Fresh directory: record the count before any shard writes.
+		if n == 0 {
+			n = 1
+		}
+		if err := writeShardsFile(dir, n); err != nil {
+			return nil, err
+		}
+	case n == 0:
+		n = recorded
+	case n != recorded:
+		return nil, fmt.Errorf("shard: directory %s has %d shards, asked to open %d", dir, recorded, n)
+	}
+
+	s := &Store{router: core.Router{Shards: n}, ids: &core.AtomicIDs{}}
+	s.durs = make([]*durable.Store, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for k := 0; k < n; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			o := opts
+			o.Store = core.StoreOptions{Shard: strconv.Itoa(k), IDs: s.ids}
+			s.durs[k], errs[k] = durable.Open(filepath.Join(dir, shardDir(k)), o)
+		}(k)
+	}
+	wg.Wait()
+	for k, err := range errs {
+		if err != nil {
+			for _, d := range s.durs {
+				if d != nil {
+					_ = d.Close()
+				}
+			}
+			return nil, &Error{Shard: k, Err: err}
+		}
+	}
+	s.advanceIDs()
+	return s, nil
+}
+
+func shardDir(k int) string { return fmt.Sprintf("shard-%d", k) }
+
+func readShardsFile(dir string) (int, error) {
+	data, err := os.ReadFile(filepath.Join(dir, shardsFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	var m shardsManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return 0, fmt.Errorf("shard: corrupt %s: %w", shardsFile, err)
+	}
+	if m.Shards < 1 {
+		return 0, fmt.Errorf("shard: %s records %d shards", shardsFile, m.Shards)
+	}
+	return m.Shards, nil
+}
+
+func writeShardsFile(dir string, n int) error {
+	data, err := json.Marshal(shardsManifest{Shards: n})
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, shardsFile+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, shardsFile))
+}
+
+// advanceIDs raises the shared allocator past every ID any shard has
+// assigned (the recovery path: replay pins IDs without allocating).
+func (s *Store) advanceIDs() {
+	var maxAnn, maxRef uint64
+	for _, v := range s.Views() {
+		na, nr := v.IDCounters()
+		if na > maxAnn {
+			maxAnn = na
+		}
+		if nr > maxRef {
+			maxRef = nr
+		}
+	}
+	s.ids.Advance(maxAnn, maxRef)
+}
+
+// NumShards returns the shard count.
+func (s *Store) NumShards() int { return s.router.Shards }
+
+// Durable reports whether the store persists (was built by Open).
+func (s *Store) Durable() bool { return s.durs != nil }
+
+// DeltaSeq returns the sequence number of the inter-shard channel: the
+// count of broadcasts and cross-shard commits sequenced so far.
+func (s *Store) DeltaSeq() uint64 { return s.gseq.Load() }
+
+// CrossShardCommits counts annotations whose marks spanned shards and
+// were serialized through the inter-shard channel.
+func (s *Store) CrossShardCommits() uint64 { return s.cross.Load() }
+
+// shardCore returns shard k's current core store.
+func (s *Store) shardCore(k int) *core.Store {
+	if s.durs != nil {
+		return s.durs[k].Core()
+	}
+	return s.cores[k].Load()
+}
+
+// mutator is the mutation surface shared by *core.Store and
+// *durable.Store; rule ops differ and are handled explicitly.
+type mutator interface {
+	RegisterOntology(*ontology.Ontology) error
+	RegisterCoordinateSystem(*imaging.CoordinateSystem) error
+	RegisterSequence(*seq.Sequence) error
+	RegisterAlignment(*msa.Alignment) error
+	RegisterTree(*phylo.Tree) error
+	RegisterInteractionGraph(*interact.Graph) error
+	RegisterImage(*imaging.Image) error
+	CreateRecordTable(*relstore.Schema) (*relstore.Table, error)
+	InsertRecord(string, relstore.Row) error
+	Commit(*core.Builder) (*core.Annotation, error)
+	DeleteAnnotation(uint64) error
+}
+
+func (s *Store) pipe(k int) mutator {
+	if s.durs != nil {
+		return s.durs[k]
+	}
+	return s.cores[k].Load()
+}
+
+// tag wraps a shard's error with its shard ID; nil stays nil.
+func tag(k int, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &Error{Shard: k, Err: err}
+}
+
+// broadcast applies one mutation to every shard, shard 0 first, under
+// the sequenced inter-shard channel. A real failure on one shard stops
+// the walk (later shards are not touched), but an "already applied"
+// answer — duplicate registration, duplicate rule, rule already gone —
+// is skipped and remembered instead: a crash between the per-shard
+// applications of one broadcast leaves it on a prefix of the shards,
+// and re-issuing it after recovery must converge the rest rather than
+// abort on the shards that already have it. Only if EVERY shard
+// reports already-applied is that error returned, which is exactly the
+// answer an unsharded store gives to a true duplicate.
+func (s *Store) broadcast(fn func(k int) error) error {
+	s.gmu.Lock()
+	defer s.gmu.Unlock()
+	s.gseq.Add(1)
+	var dup error
+	dups := 0
+	for k := 0; k < s.NumShards(); k++ {
+		err := fn(k)
+		switch {
+		case err == nil:
+		case errors.Is(err, core.ErrDuplicate),
+			errors.Is(err, prop.ErrDuplicateRule),
+			errors.Is(err, prop.ErrNoSuchRule):
+			dup, dups = tag(k, err), dups+1
+		default:
+			return tag(k, err)
+		}
+	}
+	if dups == s.NumShards() {
+		return dup
+	}
+	return nil
+}
+
+// RegisterOntology broadcasts the ontology to every shard: term-closure
+// propagation and commit-time term validation are shard-local.
+func (s *Store) RegisterOntology(o *ontology.Ontology) error {
+	return s.broadcast(func(k int) error { return s.pipe(k).RegisterOntology(o) })
+}
+
+// AddRule broadcasts a propagation rule to every shard, so each shard's
+// engine derives over its own annotations with the full rule set.
+func (s *Store) AddRule(r prop.Rule) error {
+	return s.broadcast(func(k int) error {
+		if s.durs != nil {
+			return s.durs[k].AddRule(r)
+		}
+		return prop.Attach(s.cores[k].Load()).AddRule(r)
+	})
+}
+
+// DeleteRule broadcasts a rule deletion to every shard.
+func (s *Store) DeleteRule(id string) error {
+	return s.broadcast(func(k int) error {
+		if s.durs != nil {
+			return s.durs[k].DeleteRule(id)
+		}
+		return prop.Attach(s.cores[k].Load()).DeleteRule(id)
+	})
+}
+
+// Rules returns the installed propagation rules (identical on every
+// shard; read from shard 0).
+func (s *Store) Rules() []prop.Rule { return prop.RulesOf(s.shardCore(0)) }
+
+// RegisterCoordinateSystem routes by system name; the system's images
+// and their region marks follow it to the same shard.
+func (s *Store) RegisterCoordinateSystem(cs *imaging.CoordinateSystem) error {
+	k := s.router.ShardOfKey(cs.Name)
+	return tag(k, s.pipe(k).RegisterCoordinateSystem(cs))
+}
+
+// RegisterSequence routes by coordinate domain, so all sequences of one
+// domain — and every interval mark in it — share a shard.
+func (s *Store) RegisterSequence(sq *seq.Sequence) error {
+	key := sq.Domain
+	if key == "" {
+		key = sq.ID // core adopts the ID as the domain
+	}
+	k := s.router.ShardOfKey(key)
+	return tag(k, s.pipe(k).RegisterSequence(sq))
+}
+
+// RegisterAlignment routes by alignment ID.
+func (s *Store) RegisterAlignment(a *msa.Alignment) error {
+	k := s.router.ShardOfKey(a.ID)
+	return tag(k, s.pipe(k).RegisterAlignment(a))
+}
+
+// RegisterTree routes by tree ID.
+func (s *Store) RegisterTree(t *phylo.Tree) error {
+	k := s.router.ShardOfKey(t.ID)
+	return tag(k, s.pipe(k).RegisterTree(t))
+}
+
+// RegisterInteractionGraph routes by graph ID.
+func (s *Store) RegisterInteractionGraph(g *interact.Graph) error {
+	k := s.router.ShardOfKey(g.ID)
+	return tag(k, s.pipe(k).RegisterInteractionGraph(g))
+}
+
+// RegisterImage routes by the image's coordinate system, co-locating it
+// with the system and every other image registered into it (which keeps
+// co-registration propagation intra-shard).
+func (s *Store) RegisterImage(im *imaging.Image) error {
+	k := s.router.ShardOfKey(im.System)
+	return tag(k, s.pipe(k).RegisterImage(im))
+}
+
+// CreateRecordTable routes by table name.
+func (s *Store) CreateRecordTable(schema *relstore.Schema) (*relstore.Table, error) {
+	k := s.router.ShardOfKey(schema.Name)
+	tbl, err := s.pipe(k).CreateRecordTable(schema)
+	return tbl, tag(k, err)
+}
+
+// InsertRecord routes by table name.
+func (s *Store) InsertRecord(table string, row relstore.Row) error {
+	k := s.router.ShardOfKey(table)
+	return tag(k, s.pipe(k).InsertRecord(table, row))
+}
+
+// NewAnnotation starts a store-free builder; Commit picks the shard from
+// the attached marks.
+func (s *Store) NewAnnotation() *core.Builder { return core.NewBuilder() }
+
+// Commit routes the annotation to its home shard — the owner of its
+// first mark's routing key (first term's ontology for term-only
+// annotations). An annotation whose marks span shards serializes through
+// the inter-shard channel and still commits whole to the home shard; see
+// the package comment for the exact semantics.
+func (s *Store) Commit(b *core.Builder) (*core.Annotation, error) {
+	home, span, err := s.routeBuilder(b)
+	if err != nil {
+		return nil, err
+	}
+	if span > 1 {
+		s.gmu.Lock()
+		defer s.gmu.Unlock()
+		s.gseq.Add(1)
+		s.cross.Add(1)
+	}
+	ann, err := s.pipe(home).Commit(b)
+	return ann, tag(home, err)
+}
+
+// routeBuilder resolves the builder's home shard and how many distinct
+// shards its marks touch.
+func (s *Store) routeBuilder(b *core.Builder) (home, span int, err error) {
+	home = -1
+	var seen [64]bool // shard counts are small; avoids a map per commit
+	var seenMap map[int]bool
+	mark := func(k int) {
+		if home == -1 {
+			home = k
+		}
+		if k < len(seen) {
+			if !seen[k] {
+				seen[k] = true
+				span++
+			}
+			return
+		}
+		if seenMap == nil {
+			seenMap = make(map[int]bool)
+		}
+		if !seenMap[k] {
+			seenMap[k] = true
+			span++
+		}
+	}
+	for _, r := range b.Referents() {
+		if r == nil {
+			continue // commit reports the builder error
+		}
+		if r.ID != 0 {
+			k, ok := s.ownerOfReferent(r.ID)
+			if !ok {
+				return 0, 0, fmt.Errorf("%w: %d", core.ErrNoSuchReferent, r.ID)
+			}
+			mark(k)
+			continue
+		}
+		mark(s.router.ShardOfReferent(r))
+	}
+	if home == -1 {
+		if ts := b.TermRefs(); len(ts) > 0 {
+			// Term-only annotations have no spatial affinity; every shard
+			// holds every ontology, so the hash only spreads load.
+			home = s.router.ShardOfKey(ts[0].Ontology)
+		} else {
+			home = 0 // empty; Commit rejects with ErrEmptyAnnotation
+		}
+		span = 1
+	}
+	return home, span, nil
+}
+
+// ownerOfReferent finds the shard holding a committed referent.
+func (s *Store) ownerOfReferent(id uint64) (int, bool) {
+	for k := 0; k < s.NumShards(); k++ {
+		if _, err := s.shardCore(k).View().Referent(id); err == nil {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// ownerOfAnnotation finds the shard holding a committed annotation.
+func (s *Store) ownerOfAnnotation(id uint64) (int, bool) {
+	for k := 0; k < s.NumShards(); k++ {
+		if _, err := s.shardCore(k).View().Annotation(id); err == nil {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// DeleteAnnotation routes the deletion to the annotation's owner shard.
+func (s *Store) DeleteAnnotation(id uint64) error {
+	k, ok := s.ownerOfAnnotation(id)
+	if !ok {
+		return fmt.Errorf("%w: %d", core.ErrNoSuchAnnotation, id)
+	}
+	return tag(k, s.pipe(k).DeleteAnnotation(id))
+}
+
+// Mark constructors. Marks are read-only (registered at commit); each is
+// resolved against the view of the shard that owns the underlying
+// object, found by routing key where the key is part of the call and by
+// probing otherwise.
+
+// MarkDomainInterval marks an interval in a coordinate domain.
+func (s *Store) MarkDomainInterval(domain string, iv interval.Interval) (*core.Referent, error) {
+	return s.shardCore(s.router.ShardOfKey(domain)).MarkDomainInterval(domain, iv)
+}
+
+// MarkSequenceInterval marks an interval of a registered sequence.
+func (s *Store) MarkSequenceInterval(seqID string, local interval.Interval) (*core.Referent, error) {
+	for k := 0; k < s.NumShards(); k++ {
+		v := s.shardCore(k).View()
+		if _, _, err := v.Sequence(seqID); err == nil {
+			return v.MarkSequenceInterval(seqID, local)
+		}
+	}
+	return nil, fmt.Errorf("%w: sequence %s", core.ErrNoSuchObject, seqID)
+}
+
+// MarkImageRegion marks a rectangle in image-local coordinates.
+func (s *Store) MarkImageRegion(imageID string, local rtree.Rect) (*core.Referent, error) {
+	for k := 0; k < s.NumShards(); k++ {
+		v := s.shardCore(k).View()
+		if _, err := v.Image(imageID); err == nil {
+			return v.MarkImageRegion(imageID, local)
+		}
+	}
+	return nil, fmt.Errorf("%w: image %s", core.ErrNoSuchObject, imageID)
+}
+
+// MarkClade marks a clade of a registered tree.
+func (s *Store) MarkClade(treeID string, leaves ...string) (*core.Referent, error) {
+	return s.shardCore(s.router.ShardOfKey(treeID)).MarkClade(treeID, leaves...)
+}
+
+// MarkSubgraph marks an induced subgraph of an interaction graph.
+func (s *Store) MarkSubgraph(graphID string, molecules ...string) (*core.Referent, error) {
+	return s.shardCore(s.router.ShardOfKey(graphID)).MarkSubgraph(graphID, molecules...)
+}
+
+// MarkAlignmentBlock marks a block of a registered alignment.
+func (s *Store) MarkAlignmentBlock(alnID string, rows []string, cols interval.Interval) (*core.Referent, error) {
+	return s.shardCore(s.router.ShardOfKey(alnID)).MarkAlignmentBlock(alnID, rows, cols)
+}
+
+// MarkRecords marks a set of rows of a user record table.
+func (s *Store) MarkRecords(table string, keys ...relstore.Value) (*core.Referent, error) {
+	return s.shardCore(s.router.ShardOfKey(table)).MarkRecords(table, keys...)
+}
+
+// MarkObject marks a whole registered data object.
+func (s *Store) MarkObject(typ core.ObjectType, objectID string) (*core.Referent, error) {
+	var firstErr error
+	for k := 0; k < s.NumShards(); k++ {
+		r, err := s.shardCore(k).View().MarkObject(typ, objectID)
+		if err == nil {
+			return r, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return nil, firstErr
+}
+
+// Sync flushes every shard's WAL (durable only).
+func (s *Store) Sync() error {
+	if s.durs == nil {
+		return nil
+	}
+	for k, d := range s.durs {
+		if err := d.Sync(); err != nil {
+			return tag(k, err)
+		}
+	}
+	return nil
+}
+
+// Close closes every shard; the first error is reported, but all shards
+// are closed regardless.
+func (s *Store) Close() error {
+	if s.durs == nil {
+		return nil
+	}
+	var firstErr error
+	for k, d := range s.durs {
+		if err := d.Close(); err != nil && firstErr == nil {
+			firstErr = tag(k, err)
+		}
+	}
+	return firstErr
+}

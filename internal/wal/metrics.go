@@ -2,23 +2,50 @@ package wal
 
 import "graphitti/internal/obs"
 
-// Process-wide WAL metrics (see internal/obs: counters and histograms
-// are cumulative across writer instances; the size gauge is
-// last-writer-wins, meaningful in the one-store-per-process server).
-// All are documented in docs/METRICS.md, which a test keeps in sync.
+// WAL metric families, labelled by shard (see internal/obs: counters and
+// histograms are cumulative across writer instances of the same shard;
+// the size gauge is last-writer-wins per shard, meaningful in the
+// one-store-per-shard server). An unsharded deployment reports as shard
+// "0". All are documented in docs/METRICS.md, which a test keeps in sync.
 var (
-	mRecords = obs.NewCounter("graphitti_wal_records_total",
-		"Records appended to the write-ahead log.")
-	mBytes = obs.NewCounter("graphitti_wal_appended_bytes_total",
-		"Frame bytes appended to the write-ahead log, excluding the file header.")
-	mFlushes = obs.NewCounter("graphitti_wal_flushes_total",
-		"Write+fdatasync batches (the fsync count); records/flushes is the group-commit amortisation factor.")
-	mFlushErrors = obs.NewCounter("graphitti_wal_flush_errors_total",
-		"Flush batches that failed; each one sets the writer's sticky error.")
-	mBatchRecords = obs.NewHistogram("graphitti_wal_flush_batch_records",
-		"Records covered by one flush batch.", obs.CountBuckets)
-	mFsyncSeconds = obs.NewHistogram("graphitti_wal_fsync_duration_seconds",
-		"fdatasync latency per flush batch.", nil)
-	mSizeBytes = obs.NewGauge("graphitti_wal_size_bytes",
-		"Current log file size in bytes, header included, pending appends counted.")
+	mRecordsVec = obs.NewCounterVec("graphitti_wal_records_total",
+		"Records appended to the write-ahead log.", "shard")
+	mBytesVec = obs.NewCounterVec("graphitti_wal_appended_bytes_total",
+		"Frame bytes appended to the write-ahead log, excluding the file header.", "shard")
+	mFlushesVec = obs.NewCounterVec("graphitti_wal_flushes_total",
+		"Write+fdatasync batches (the fsync count); records/flushes is the group-commit amortisation factor.", "shard")
+	mFlushErrorsVec = obs.NewCounterVec("graphitti_wal_flush_errors_total",
+		"Flush batches that failed; each one sets the writer's sticky error.", "shard")
+	mBatchRecordsVec = obs.NewHistogramVec("graphitti_wal_flush_batch_records",
+		"Records covered by one flush batch.", obs.CountBuckets, "shard")
+	mFsyncSecondsVec = obs.NewHistogramVec("graphitti_wal_fsync_duration_seconds",
+		"fdatasync latency per flush batch.", nil, "shard")
+	mSizeBytesVec = obs.NewGaugeVec("graphitti_wal_size_bytes",
+		"Current log file size in bytes, header included, pending appends counted.", "shard")
 )
+
+// walMetrics binds one shard's children of the WAL families.
+type walMetrics struct {
+	records      *obs.Counter
+	bytes        *obs.Counter
+	flushes      *obs.Counter
+	flushErrors  *obs.Counter
+	batchRecords *obs.Histogram
+	fsyncSeconds *obs.Histogram
+	sizeBytes    *obs.Gauge
+}
+
+func metricsForShard(shard string) *walMetrics {
+	if shard == "" {
+		shard = "0"
+	}
+	return &walMetrics{
+		records:      mRecordsVec.With(shard),
+		bytes:        mBytesVec.With(shard),
+		flushes:      mFlushesVec.With(shard),
+		flushErrors:  mFlushErrorsVec.With(shard),
+		batchRecords: mBatchRecordsVec.With(shard),
+		fsyncSeconds: mFsyncSecondsVec.With(shard),
+		sizeBytes:    mSizeBytesVec.With(shard),
+	}
+}

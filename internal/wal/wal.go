@@ -92,6 +92,7 @@ type Writer struct {
 	size    int64 // durable+pending file size
 	stats   Stats
 	done    chan struct{}
+	m       *walMetrics
 }
 
 // Options tune a Writer.
@@ -104,6 +105,8 @@ type Options struct {
 	// sync) and can fail it — the fault-injection hook the durable
 	// layer's harness drives. Nil injects nothing.
 	Inject faultfs.Injector
+	// Shard labels this writer's metrics; "" means "0" (unsharded).
+	Shard string
 }
 
 // Create creates a fresh log at path (truncating any existing file),
@@ -212,7 +215,8 @@ func OpenAt(path string, valid int64, opts Options) (*Writer, error) {
 }
 
 func newWriter(f *os.File, size int64, opts Options) *Writer {
-	w := &Writer{f: f, nosync: opts.NoSync, inject: opts.Inject, size: size, done: make(chan struct{})}
+	w := &Writer{f: f, nosync: opts.NoSync, inject: opts.Inject, size: size,
+		done: make(chan struct{}), m: metricsForShard(opts.Shard)}
 	w.cond = sync.NewCond(&w.mu)
 	go w.flushLoop()
 	return w
@@ -249,9 +253,9 @@ func (w *Writer) AppendAsync(payload []byte) <-chan error {
 	size := w.size
 	w.cond.Signal()
 	w.mu.Unlock()
-	mRecords.Inc()
-	mBytes.Add(uint64(frameHeaderSize + len(payload)))
-	mSizeBytes.Set(size)
+	w.m.records.Inc()
+	w.m.bytes.Add(uint64(frameHeaderSize + len(payload)))
+	w.m.sizeBytes.Set(size)
 	return ch
 }
 
@@ -291,8 +295,8 @@ func (w *Writer) flushLoop() {
 		}
 		err := w.err
 		w.mu.Unlock()
-		mFlushes.Inc()
-		mBatchRecords.Observe(float64(len(waiters)))
+		w.m.flushes.Inc()
+		w.m.batchRecords.Observe(float64(len(waiters)))
 
 		if err == nil {
 			if werr := injectedWrite(w.inject, w.f, buf); werr != nil {
@@ -300,13 +304,13 @@ func (w *Writer) flushLoop() {
 			} else if !w.nosync {
 				start := time.Now()
 				err = injectedSync(w.inject, w.f)
-				mFsyncSeconds.Observe(time.Since(start).Seconds())
+				w.m.fsyncSeconds.Observe(time.Since(start).Seconds())
 			}
 			if err != nil {
 				w.mu.Lock()
 				w.err = err // sticky: the log tail is now undefined
 				w.mu.Unlock()
-				mFlushErrors.Inc()
+				w.m.flushErrors.Inc()
 			}
 		}
 		for _, ch := range waiters {

@@ -76,6 +76,36 @@ END { print "\n]" }
 
 echo "wrote $TXT and $JSON" >&2
 
+# Sharded scaling matrix: the W2 write side and durable commits at
+# 1/2/4/8 writer pipelines, recorded as "shards:<bench>" rows plus a
+# derived "shards:commits_per_sec:<bench>" rate for each point. The
+# names carry the shards: prefix so the --check guard below (which
+# matches on the pre-/ root of the name) never treats the scaling curve
+# as a regression floor.
+SHARD_PATTERN='BenchmarkW2ShardedCommits|BenchmarkW1ShardedDurableCommit'
+SHARD_TXT="${TXT%.txt}.shards.txt"
+echo "running sharded scaling matrix (benchtime=${BENCHTIME}, count=${COUNT})…" >&2
+go test -run '^$' -bench "$SHARD_PATTERN" -benchmem \
+    -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$SHARD_TXT"
+awk -v date="$DATE" '
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    nsop = ""
+    for (i = 2; i < NF; i++) if ($(i + 1) == "ns/op") nsop = $i
+    if (nsop == "") next
+    printf ",\n  {\"date\": \"%s\", \"name\": \"shards:%s\", \"iterations\": %s, \"ns_per_op\": %s}", date, name, $2, nsop
+    printf ",\n  {\"date\": \"%s\", \"name\": \"shards:commits_per_sec:%s\", \"value\": %.1f}", date, name, 1e9 / nsop
+}
+' "$SHARD_TXT" >"$JSON.shards"
+if [ -s "$JSON.shards" ]; then
+    head -n -1 "$JSON" >"$JSON.tmp"
+    cat "$JSON.shards" >>"$JSON.tmp"
+    printf '\n]\n' >>"$JSON.tmp"
+    mv "$JSON.tmp" "$JSON"
+    echo "recorded $(grep -c '"name": "shards:' "$JSON") sharded scaling rows into $JSON" >&2
+fi
+rm -f "$JSON.shards"
+
 # Append selected /metrics readings (the durable mixed workload's commit
 # latency quantiles and WAL flush batching) as {"name": "metrics:…",
 # "value": …} rows. They carry no ns_per_op key, so the --check guard
