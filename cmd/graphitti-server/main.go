@@ -57,13 +57,18 @@ func main() {
 	flag.StringVar(&cfg.snapshot, "snapshot", "", "load the store from a persist snapshot file instead")
 	flag.StringVar(&cfg.dataDir, "data-dir", "", "durable mode: WAL + snapshot directory (created if missing)")
 	flag.Int64Var(&cfg.compactMiB, "compact-threshold-mib", 0, "durable mode: WAL size triggering compaction (0 = default)")
-	flag.IntVar(&cfg.shards, "shards", 1, "writer pipelines: >1 shards the store (per-shard WAL/snapshot under -data-dir); a durable directory pins its count, 0 adopts it")
+	flag.IntVar(&cfg.shards, "shards", 1, "writer pipelines: >1 shards the store (per-shard WAL/snapshot under -data-dir); a durable directory pins its count, adopted when the flag is left unset (0 adopts explicitly)")
 	flag.DurationVar(&cfg.opts.QueryTimeout, "query-timeout", 0, "per-request limit for /api/search and /api/query (0 = none); timed-out requests get a 408 JSON error")
 	flag.Int64Var(&cfg.opts.MaxBodyBytes, "max-body-bytes", 0, "cap on JSON request bodies (0 = default 8 MiB); larger requests get 413")
 	flag.StringVar(&cfg.rulesFile, "rules", "", "JSON file of propagation rules to install at startup (rules already present are kept)")
 	flag.DurationVar(&cfg.shutdownTimeout, "shutdown-timeout", 15*time.Second, "graceful drain limit on SIGINT/SIGTERM before open requests are aborted")
 	flag.BoolVar(&cfg.opts.EnablePprof, "pprof", false, "mount net/http/pprof under /debug/pprof (CPU/heap profiles; off by default)")
 	flag.Parse()
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "shards" {
+			cfg.shardsSet = true
+		}
+	})
 
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -75,13 +80,17 @@ func main() {
 }
 
 type serverConfig struct {
-	addr            string
-	study           string
-	anns, images    int
-	snapshot        string
-	dataDir         string
-	compactMiB      int64
-	shards          int
+	addr         string
+	study        string
+	anns, images int
+	snapshot     string
+	dataDir      string
+	compactMiB   int64
+	shards       int
+	// shardsSet records whether -shards was given explicitly: a durable
+	// directory's recorded count is adopted when it was not, and an
+	// explicit value must match the directory.
+	shardsSet       bool
 	rulesFile       string
 	shutdownTimeout time.Duration
 	opts            httpapi.Options
@@ -176,10 +185,13 @@ func buildHandler(cfg serverConfig) (http.Handler, closableStore, string, error)
 	if err != nil {
 		return nil, nil, "", err
 	}
-	// -shards >1 runs the sharded pipeline; 0 adopts a directory that was
-	// created sharded (its SHARDS.json names the count). 1 — the default —
-	// is the single-writer layout below.
-	if cfg.shards > 1 || (cfg.shards == 0 && hasShardsManifest(cfg.dataDir)) {
+	// -shards >1 runs the sharded pipeline. So does a data directory that
+	// was created sharded (its SHARDS.json names the count), whatever the
+	// flag says: falling through to the unsharded path would serve an
+	// empty store and fork the directory with a second top-level WAL
+	// beside the untouched shard-<k>/ data. A defaulted flag adopts the
+	// recorded count; an explicit mismatch is refused by shard.Open.
+	if cfg.shards > 1 || hasShardsManifest(cfg.dataDir) {
 		return buildShardedHandler(cfg, rules)
 	}
 	if cfg.dataDir == "" {
@@ -198,6 +210,13 @@ func buildHandler(cfg serverConfig) (http.Handler, closableStore, string, error)
 		return httpapi.NewHandlerWithOptions(store, cfg.opts), nil, report, nil
 	}
 
+	// A directory with shard-<k>/ data but no manifest is a sharded
+	// deployment whose SHARDS.json was lost, not an unsharded store:
+	// opening it here would fork it with a top-level WAL while the shard
+	// data sits invisible.
+	if hasShardDirs(cfg.dataDir) {
+		return nil, nil, "", fmt.Errorf("data directory %s contains shard-* data but no SHARDS.json; restore the manifest with the original shard count", cfg.dataDir)
+	}
 	d, err := durable.Open(cfg.dataDir, durable.Options{CompactThreshold: cfg.compactMiB << 20})
 	if err != nil {
 		return nil, nil, "", err
@@ -244,7 +263,13 @@ func buildShardedHandler(cfg serverConfig, rules []prop.Rule) (http.Handler, clo
 	if cfg.dataDir == "" {
 		sh = shard.New(cfg.shards)
 	} else {
-		sh, err = shard.Open(cfg.dataDir, cfg.shards, durable.Options{CompactThreshold: cfg.compactMiB << 20})
+		n := cfg.shards
+		if !cfg.shardsSet && hasShardsManifest(cfg.dataDir) {
+			// Restart with the flag left at its default: adopt the
+			// directory's recorded count instead of imposing 1.
+			n = 0
+		}
+		sh, err = shard.Open(cfg.dataDir, n, durable.Options{CompactThreshold: cfg.compactMiB << 20})
 		if err != nil {
 			return nil, nil, "", err
 		}
@@ -319,6 +344,17 @@ func hasShardsManifest(dir string) bool {
 	}
 	_, err := os.Stat(filepath.Join(dir, "SHARDS.json"))
 	return err == nil
+}
+
+// hasShardDirs reports whether dir holds shard-<k> subdirectories.
+func hasShardDirs(dir string) bool {
+	matches, _ := filepath.Glob(filepath.Join(dir, "shard-*"))
+	for _, m := range matches {
+		if fi, err := os.Stat(m); err == nil && fi.IsDir() {
+			return true
+		}
+	}
+	return false
 }
 
 func seedSource(study, snapshot string) string {

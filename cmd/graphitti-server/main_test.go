@@ -7,10 +7,14 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
 	"graphitti/internal/durable"
+	"graphitti/internal/prop"
+	"graphitti/internal/shard"
 )
 
 // TestGracefulShutdownClosesStore runs the real server loop against a
@@ -86,5 +90,59 @@ func TestBuildHandlerUnknownStudy(t *testing.T) {
 	_, _, _, err := buildHandler(serverConfig{study: "no-such-study"})
 	if err == nil {
 		t.Fatal("unknown study accepted")
+	}
+}
+
+// TestShardedDirSurvivesDefaultFlags pins the restart contract for a
+// sharded data directory: rerunning the server with -shards left at its
+// default must adopt the count SHARDS.json records and serve the shard
+// data — not fall through to the unsharded path, which would serve an
+// empty store and fork the directory with a second top-level WAL. An
+// explicit mismatching -shards must refuse outright.
+func TestShardedDirSurvivesDefaultFlags(t *testing.T) {
+	dir := t.TempDir()
+	sh, err := shard.Open(dir, 2, durable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.AddRule(prop.Rule{ID: "ov", Edge: "overlap", Domain: "atlas"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The CLI default: -shards 1, not explicitly set.
+	_, store, _, err := buildHandler(serverConfig{dataDir: dir, shards: 1})
+	if err != nil {
+		t.Fatalf("restart with default flags: %v", err)
+	}
+	s2, ok := store.(*shard.Store)
+	if !ok {
+		t.Fatalf("restart served a %T, want the sharded store", store)
+	}
+	if got := s2.NumShards(); got != 2 {
+		t.Fatalf("adopted %d shards, want the directory's 2", got)
+	}
+	if got := len(s2.Rules()); got != 1 {
+		t.Fatalf("recovered %d rules, want 1", got)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// An explicit -shards 1 over a 2-shard directory is a mismatch: the
+	// open must refuse with shard.Open's count error, never fork.
+	if _, _, _, err := buildHandler(serverConfig{dataDir: dir, shards: 1, shardsSet: true}); err == nil {
+		t.Fatal("explicit -shards 1 over a 2-shard directory was accepted")
+	}
+
+	// A directory whose manifest was lost must refuse the unsharded path
+	// too, instead of opening a fresh WAL beside the shard data.
+	if err := os.Remove(filepath.Join(dir, "SHARDS.json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := buildHandler(serverConfig{dataDir: dir, shards: 1}); err == nil {
+		t.Fatal("manifest-less shard directory opened as an unsharded store")
 	}
 }

@@ -93,6 +93,20 @@ const (
 // snapName returns the checkpoint file name for an op sequence.
 func snapName(seq uint64) string { return fmt.Sprintf("graphitti-%016d.snap", seq) }
 
+// HasStore reports whether dir already holds durable-store state — a
+// WAL, manifest, or checkpoint file. Callers laying out a different
+// store format over the same path (e.g. a sharded layout) use it to
+// refuse rather than silently ignore the existing data.
+func HasStore(dir string) bool {
+	for _, name := range []string{logFile, manifestFile} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err == nil {
+			return true
+		}
+	}
+	snaps, _ := filepath.Glob(filepath.Join(dir, snapPattern))
+	return len(snaps) > 0
+}
+
 // maxRecordSize mirrors the WAL's frame bound; checked before a sequence
 // number is consumed so an oversize op cannot leave a seq gap.
 const maxRecordSize = wal.MaxRecordSize

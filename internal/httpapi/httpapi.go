@@ -289,7 +289,8 @@ func writeErr(w http.ResponseWriter, r *http.Request, err error) {
 	case errors.Is(err, core.ErrBadMark),
 		errors.Is(err, core.ErrEmptyAnnotation),
 		errors.Is(err, query.ErrSyntax),
-		errors.Is(err, prop.ErrBadRule):
+		errors.Is(err, prop.ErrBadRule),
+		errors.Is(err, shard.ErrCrossShardReferent):
 		status = http.StatusBadRequest
 	case errors.Is(err, prop.ErrDuplicateRule):
 		status = http.StatusConflict

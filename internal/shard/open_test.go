@@ -1,0 +1,140 @@
+package shard_test
+
+// Directory-layout safety: shard.Open may only lay a sharded store over
+// a directory with no prior store state. A legacy unsharded durable
+// directory and a sharded directory whose SHARDS.json was lost must
+// both refuse — silently initialising would serve an empty store while
+// the existing WAL/snapshot (or shard-<k>/) data sits ignored, forking
+// the directory.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"graphitti/internal/biodata/seq"
+	"graphitti/internal/core"
+	"graphitti/internal/durable"
+	"graphitti/internal/interval"
+	"graphitti/internal/shard"
+)
+
+func TestOpenRefusesUnshardedDirectory(t *testing.T) {
+	dir := t.TempDir()
+	d, err := durable.Open(dir, durable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 1, 2} {
+		if _, err := shard.Open(dir, n, durable.Options{}); err == nil {
+			t.Fatalf("n=%d: sharded Open initialised over an unsharded durable directory", n)
+		}
+	}
+	// The refused directory is untouched: still no SHARDS.json, and the
+	// unsharded store still opens.
+	if _, err := os.Stat(filepath.Join(dir, "SHARDS.json")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("refused Open left a SHARDS.json behind (stat err %v)", err)
+	}
+	d, err = durable.Open(dir, durable.Options{})
+	if err != nil {
+		t.Fatalf("unsharded reopen after refused sharded Open: %v", err)
+	}
+	d.Close()
+}
+
+func TestOpenRefusesOrphanShardDirs(t *testing.T) {
+	dir := t.TempDir()
+	s, err := shard.Open(dir, 2, durable.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash that lost the manifest.
+	if err := os.Remove(filepath.Join(dir, "SHARDS.json")); err != nil {
+		t.Fatal(err)
+	}
+	// n=0 must not re-pin the count to 1 (hiding shard-1's data), and no
+	// count may re-initialise over the orphaned shard directories.
+	for _, n := range []int{0, 1, 2} {
+		if _, err := shard.Open(dir, n, durable.Options{}); err == nil {
+			t.Fatalf("n=%d: Open re-initialised over shard-* dirs with no manifest", n)
+		}
+	}
+}
+
+// TestCommitRefusesCrossShardCommittedReferent: reusing a committed
+// referent homed on a different shard than the annotation's home shard
+// is refused up front with ErrCrossShardReferent naming the owner — not
+// a confusing "no such referent" from a home shard that cannot see it.
+// Reuse within the home shard keeps working.
+func TestCommitRefusesCrossShardCommittedReferent(t *testing.T) {
+	s := shard.New(2)
+	router := core.Router{Shards: 2}
+	domA, domB := "", ""
+	for i := 0; domA == "" || domB == ""; i++ {
+		d := fmt.Sprintf("dom-%d", i)
+		switch router.ShardOfKey(d) {
+		case 0:
+			if domA == "" {
+				domA = d
+			}
+		default:
+			if domB == "" {
+				domB = d
+			}
+		}
+	}
+	for i, dom := range []string{domA, domB} {
+		sq, err := seq.New(fmt.Sprintf("seq-%d", i), seq.DNA, strings.Repeat("ACGT", 64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sq.Domain = dom
+		if err := s.RegisterSequence(sq); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ra, err := s.MarkDomainInterval(domA, interval.Interval{Lo: 0, Hi: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	annA, err := s.Commit(s.NewAnnotation().Creator("tester").Date("2026-08-08").Body("on shard 0").Refer(ra))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := s.Referent(annA.ReferentIDs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same-shard reuse of the committed referent works.
+	rb, err := s.MarkDomainInterval(domA, interval.Interval{Lo: 5, Hi: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Commit(s.NewAnnotation().Creator("tester").Date("2026-08-08").Body("shares on shard 0").Refer(rb).Refer(shared)); err != nil {
+		t.Fatalf("same-shard committed-referent reuse: %v", err)
+	}
+
+	// Cross-shard reuse is refused with the dedicated error.
+	rc, err := s.MarkDomainInterval(domB, interval.Interval{Lo: 0, Hi: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Commit(s.NewAnnotation().Creator("tester").Date("2026-08-08").Body("homes on shard 1").Refer(rc).Refer(shared))
+	if !errors.Is(err, shard.ErrCrossShardReferent) {
+		t.Fatalf("cross-shard committed-referent commit: err = %v, want ErrCrossShardReferent", err)
+	}
+	if errors.Is(err, core.ErrNoSuchReferent) {
+		t.Fatalf("cross-shard refusal still reads as no-such-referent: %v", err)
+	}
+}

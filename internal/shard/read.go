@@ -395,12 +395,20 @@ func (s *Store) Export() (*persist.Snapshot, error) {
 // Restore replaces the deployment's entire state with snap: the snapshot
 // is partitioned by the same routing keys live mutations use, and each
 // shard restores (and, when durable, checkpoints) its partition. Runs
-// under the inter-shard channel so no routed mutation interleaves with
-// the swap.
+// under the inter-shard channel (excluding broadcasts and cross-shard
+// commits) and every shard's writer latch (excluding routed mutations),
+// so nothing can be acknowledged into a core this swap replaces — a
+// commit concurrent with Restore either completes before the swap and
+// is replaced with the rest of the old state, or waits and lands in the
+// restored state.
 func (s *Store) Restore(snap *persist.Snapshot) error {
 	parts := s.partition(snap)
 	s.gmu.Lock()
 	defer s.gmu.Unlock()
+	for k := range s.smu {
+		s.smu[k].Lock()
+		defer s.smu[k].Unlock()
+	}
 	s.gseq.Add(1)
 	n := s.NumShards()
 	if s.durs != nil {

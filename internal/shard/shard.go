@@ -21,7 +21,12 @@
 // annotation commits whole to its home shard (no dangling references, no
 // partial visibility); the completeness bound is that its marks dedup
 // per-shard rather than globally, and derived facts pairing it with
-// referents homed elsewhere are not materialized. Workloads that keep
+// referents homed elsewhere are not materialized. Reusing an
+// already-committed referent is stricter: a committed referent homed on
+// a shard other than the annotation's home shard is refused up front
+// with ErrCrossShardReferent (the home shard cannot validate or link a
+// referent it does not hold) — re-mark the location, or keep shared
+// referents within one routing domain. Workloads that keep
 // each annotation's marks in one routing domain — the paper's studies
 // all do — get semantics identical to the unsharded store, which the
 // differential export test asserts byte-for-byte.
@@ -45,6 +50,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -83,6 +89,14 @@ type Error struct {
 func (e *Error) Error() string { return fmt.Sprintf("shard %d: %v", e.Shard, e.Err) }
 func (e *Error) Unwrap() error { return e.Err }
 
+// ErrCrossShardReferent rejects an annotation that reuses a committed
+// referent homed on a different shard than the annotation's own home
+// shard (its first mark's): the home shard's core cannot validate or
+// link a referent it does not hold. Re-mark the location instead of
+// reusing the committed referent, or keep shared referents within one
+// routing domain so they co-home.
+var ErrCrossShardReferent = errors.New("shard: committed referent homed on another shard")
+
 // Store is a sharded Graphitti store: N independent writer pipelines
 // (in-memory or durable) behind a router. All methods are safe for
 // concurrent use.
@@ -103,6 +117,14 @@ type Store struct {
 	gmu   sync.Mutex
 	gseq  atomic.Uint64
 	cross atomic.Uint64
+
+	// smu is the per-shard writer latch: every routed mutation holds its
+	// shard's latch in read mode across load-and-apply, and Restore holds
+	// all of them in write mode across its core-pointer swap, so a
+	// mutation can never be acknowledged into a core the swap has already
+	// replaced. Broadcasts don't need it — they serialize against Restore
+	// through gmu. Read acquisition is uncontended outside a restore.
+	smu []sync.RWMutex
 }
 
 // New returns an in-memory sharded store with n writer pipelines
@@ -111,7 +133,7 @@ func New(n int) *Store {
 	if n < 1 {
 		n = 1
 	}
-	s := &Store{router: core.Router{Shards: n}, ids: &core.AtomicIDs{}}
+	s := &Store{router: core.Router{Shards: n}, ids: &core.AtomicIDs{}, smu: make([]sync.RWMutex, n)}
 	s.cores = make([]atomic.Pointer[core.Store], n)
 	for k := 0; k < n; k++ {
 		s.cores[k].Store(core.NewStoreWithOptions(core.StoreOptions{
@@ -136,7 +158,13 @@ func Open(dir string, n int, opts durable.Options) (*Store, error) {
 	}
 	switch {
 	case recorded == 0:
-		// Fresh directory: record the count before any shard writes.
+		// No manifest: only a directory with no prior store state may be
+		// initialised sharded — anything else would silently ignore (and
+		// then fork) the data already there.
+		if err := checkDirFresh(dir); err != nil {
+			return nil, err
+		}
+		// Record the count before any shard writes.
 		if n == 0 {
 			n = 1
 		}
@@ -149,7 +177,7 @@ func Open(dir string, n int, opts durable.Options) (*Store, error) {
 		return nil, fmt.Errorf("shard: directory %s has %d shards, asked to open %d", dir, recorded, n)
 	}
 
-	s := &Store{router: core.Router{Shards: n}, ids: &core.AtomicIDs{}}
+	s := &Store{router: core.Router{Shards: n}, ids: &core.AtomicIDs{}, smu: make([]sync.RWMutex, n)}
 	s.durs = make([]*durable.Store, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
@@ -197,16 +225,63 @@ func readShardsFile(dir string) (int, error) {
 	return m.Shards, nil
 }
 
+// checkDirFresh refuses to lay a sharded store over a directory that
+// already holds state a manifest-less Open would otherwise silently
+// ignore: a legacy unsharded durable store (its WAL/snapshots would be
+// bypassed while shard-<k>/ dirs grow beside them), or shard-<k>/
+// subdirectories whose SHARDS.json was lost (re-pinning a guessed count
+// would hide or mis-route their data).
+func checkDirFresh(dir string) error {
+	if durable.HasStore(dir) {
+		return fmt.Errorf("shard: directory %s holds an unsharded durable store; open it without -shards, or migrate it via snapshot export/restore", dir)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "shard-") {
+			return fmt.Errorf("shard: directory %s has %s but no %s; restore the manifest with the original shard count instead of re-initialising", dir, e.Name(), shardsFile)
+		}
+	}
+	return nil
+}
+
 func writeShardsFile(dir string, n int) error {
 	data, err := json.Marshal(shardsManifest{Shards: n})
 	if err != nil {
 		return err
 	}
+	// tmp → fsync → rename → fsync(dir): the manifest is what makes
+	// shard-<k>/ data discoverable, so it must survive a crash as
+	// reliably as the data it names.
 	tmp := filepath.Join(dir, shardsFile+".tmp")
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, filepath.Join(dir, shardsFile))
+	if _, err = f.Write(data); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, shardsFile)); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // advanceIDs raises the shared allocator past every ID any shard has
@@ -278,6 +353,14 @@ func tag(k int, err error) error {
 	return &Error{Shard: k, Err: err}
 }
 
+// mutate applies one routed mutation to shard k under the shard's
+// writer latch (see smu), tagging any error with the shard ID.
+func (s *Store) mutate(k int, fn func(m mutator) error) error {
+	s.smu[k].RLock()
+	defer s.smu[k].RUnlock()
+	return tag(k, fn(s.pipe(k)))
+}
+
 // broadcast applies one mutation to every shard, shard 0 first, under
 // the sequenced inter-shard channel. A real failure on one shard stops
 // the walk (later shards are not touched), but an "already applied"
@@ -347,7 +430,7 @@ func (s *Store) Rules() []prop.Rule { return prop.RulesOf(s.shardCore(0)) }
 // and their region marks follow it to the same shard.
 func (s *Store) RegisterCoordinateSystem(cs *imaging.CoordinateSystem) error {
 	k := s.router.ShardOfKey(cs.Name)
-	return tag(k, s.pipe(k).RegisterCoordinateSystem(cs))
+	return s.mutate(k, func(m mutator) error { return m.RegisterCoordinateSystem(cs) })
 }
 
 // RegisterSequence routes by coordinate domain, so all sequences of one
@@ -358,25 +441,25 @@ func (s *Store) RegisterSequence(sq *seq.Sequence) error {
 		key = sq.ID // core adopts the ID as the domain
 	}
 	k := s.router.ShardOfKey(key)
-	return tag(k, s.pipe(k).RegisterSequence(sq))
+	return s.mutate(k, func(m mutator) error { return m.RegisterSequence(sq) })
 }
 
 // RegisterAlignment routes by alignment ID.
 func (s *Store) RegisterAlignment(a *msa.Alignment) error {
 	k := s.router.ShardOfKey(a.ID)
-	return tag(k, s.pipe(k).RegisterAlignment(a))
+	return s.mutate(k, func(m mutator) error { return m.RegisterAlignment(a) })
 }
 
 // RegisterTree routes by tree ID.
 func (s *Store) RegisterTree(t *phylo.Tree) error {
 	k := s.router.ShardOfKey(t.ID)
-	return tag(k, s.pipe(k).RegisterTree(t))
+	return s.mutate(k, func(m mutator) error { return m.RegisterTree(t) })
 }
 
 // RegisterInteractionGraph routes by graph ID.
 func (s *Store) RegisterInteractionGraph(g *interact.Graph) error {
 	k := s.router.ShardOfKey(g.ID)
-	return tag(k, s.pipe(k).RegisterInteractionGraph(g))
+	return s.mutate(k, func(m mutator) error { return m.RegisterInteractionGraph(g) })
 }
 
 // RegisterImage routes by the image's coordinate system, co-locating it
@@ -384,20 +467,25 @@ func (s *Store) RegisterInteractionGraph(g *interact.Graph) error {
 // co-registration propagation intra-shard).
 func (s *Store) RegisterImage(im *imaging.Image) error {
 	k := s.router.ShardOfKey(im.System)
-	return tag(k, s.pipe(k).RegisterImage(im))
+	return s.mutate(k, func(m mutator) error { return m.RegisterImage(im) })
 }
 
 // CreateRecordTable routes by table name.
 func (s *Store) CreateRecordTable(schema *relstore.Schema) (*relstore.Table, error) {
 	k := s.router.ShardOfKey(schema.Name)
-	tbl, err := s.pipe(k).CreateRecordTable(schema)
-	return tbl, tag(k, err)
+	var tbl *relstore.Table
+	err := s.mutate(k, func(m mutator) error {
+		var err error
+		tbl, err = m.CreateRecordTable(schema)
+		return err
+	})
+	return tbl, err
 }
 
 // InsertRecord routes by table name.
 func (s *Store) InsertRecord(table string, row relstore.Row) error {
 	k := s.router.ShardOfKey(table)
-	return tag(k, s.pipe(k).InsertRecord(table, row))
+	return s.mutate(k, func(m mutator) error { return m.InsertRecord(table, row) })
 }
 
 // NewAnnotation starts a store-free builder; Commit picks the shard from
@@ -420,8 +508,13 @@ func (s *Store) Commit(b *core.Builder) (*core.Annotation, error) {
 		s.gseq.Add(1)
 		s.cross.Add(1)
 	}
-	ann, err := s.pipe(home).Commit(b)
-	return ann, tag(home, err)
+	var ann *core.Annotation
+	err = s.mutate(home, func(m mutator) error {
+		var err error
+		ann, err = m.Commit(b)
+		return err
+	})
+	return ann, err
 }
 
 // routeBuilder resolves the builder's home shard and how many distinct
@@ -449,6 +542,11 @@ func (s *Store) routeBuilder(b *core.Builder) (home, span int, err error) {
 			span++
 		}
 	}
+	type owned struct {
+		id    uint64
+		shard int
+	}
+	var committed []owned
 	for _, r := range b.Referents() {
 		if r == nil {
 			continue // commit reports the builder error
@@ -458,6 +556,7 @@ func (s *Store) routeBuilder(b *core.Builder) (home, span int, err error) {
 			if !ok {
 				return 0, 0, fmt.Errorf("%w: %d", core.ErrNoSuchReferent, r.ID)
 			}
+			committed = append(committed, owned{r.ID, k})
 			mark(k)
 			continue
 		}
@@ -472,6 +571,16 @@ func (s *Store) routeBuilder(b *core.Builder) (home, span int, err error) {
 			home = 0 // empty; Commit rejects with ErrEmptyAnnotation
 		}
 		span = 1
+	}
+	// Committed referents must live on the home shard: its core is what
+	// validates and links them at commit, and it cannot see a referent
+	// held elsewhere. Refuse up front with the owner named, rather than
+	// letting the home shard answer "no such referent" for one that
+	// exists.
+	for _, c := range committed {
+		if c.shard != home {
+			return 0, 0, fmt.Errorf("%w: referent %d is homed on shard %d, annotation on shard %d", ErrCrossShardReferent, c.id, c.shard, home)
+		}
 	}
 	return home, span, nil
 }
@@ -502,7 +611,7 @@ func (s *Store) DeleteAnnotation(id uint64) error {
 	if !ok {
 		return fmt.Errorf("%w: %d", core.ErrNoSuchAnnotation, id)
 	}
-	return tag(k, s.pipe(k).DeleteAnnotation(id))
+	return s.mutate(k, func(m mutator) error { return m.DeleteAnnotation(id) })
 }
 
 // Mark constructors. Marks are read-only (registered at commit); each is
