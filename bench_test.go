@@ -8,6 +8,7 @@
 package graphitti
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -22,6 +23,7 @@ import (
 	"graphitti/internal/query"
 	"graphitti/internal/relstore"
 	"graphitti/internal/rtree"
+	"graphitti/internal/trace"
 	"graphitti/internal/workload"
 )
 
@@ -890,6 +892,62 @@ func BenchmarkW2MixedReadWrite(b *testing.B) {
 			if _, err := study.Store.RelatedAnnotations(ids[i%len(ids)]); err != nil {
 				b.Fatal(err)
 			}
+		}
+		b.StopTimer()
+		close(stop)
+		wg.Wait()
+	})
+}
+
+// BenchmarkW2TracedMixedReadWrite is the W2 SearchContents scenario with
+// span tracing fully engaged: every writer commit carries a root span
+// down the pipeline and every measured read runs under a traced context,
+// with finished traces recorded into a live ring. Compared against
+// BenchmarkW2MixedReadWrite/SearchContents by scripts/bench.sh to bound
+// the always-on tracing overhead (recorded as trace:* rows, outside the
+// cross-PR guard set).
+func BenchmarkW2TracedMixedReadWrite(b *testing.B) {
+	const writers = 8
+	b.Run(fmt.Sprintf("SearchContents/anns=1000/writers=%d", writers), func(b *testing.B) {
+		cfg := workload.DefaultInfluenza
+		cfg.Annotations = 1000
+		study, err := workload.Influenza(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tracer := trace.NewTracer(trace.Options{})
+		s := study.Store
+		domain := study.Segments[0]
+		commit := func(w, i int) (uint64, error) {
+			sp := trace.NewRoot("http", "")
+			defer func() {
+				sp.Finish()
+				tracer.Record(sp, false)
+			}()
+			m, err := s.MarkDomainInterval(domain, interval.Interval{Lo: int64(i % 1500), Hi: int64(i%1500 + 20)})
+			if err != nil {
+				return 0, err
+			}
+			ann, err := s.Commit(s.NewAnnotation().WithSpan(sp).Creator(fmt.Sprintf("w%d", w)).
+				Date("2008-01-01").Body(fmt.Sprintf("contention note %d", i)).Refer(m))
+			if err != nil {
+				return 0, err
+			}
+			return ann.ID, nil
+		}
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		contentionWriters(b, writers, stop, &wg, commit, s.DeleteAnnotation)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sp := trace.NewRoot("http", "")
+			ctx := trace.NewContext(context.Background(), sp)
+			if _, err := s.View().SearchContentsCtx(ctx, `contains(/annotation/body, "protease")`); err != nil {
+				b.Fatal(err)
+			}
+			sp.Finish()
+			tracer.Record(sp, false)
 		}
 		b.StopTimer()
 		close(stop)

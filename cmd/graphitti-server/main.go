@@ -63,6 +63,9 @@ func main() {
 	flag.StringVar(&cfg.rulesFile, "rules", "", "JSON file of propagation rules to install at startup (rules already present are kept)")
 	flag.DurationVar(&cfg.shutdownTimeout, "shutdown-timeout", 15*time.Second, "graceful drain limit on SIGINT/SIGTERM before open requests are aborted")
 	flag.BoolVar(&cfg.opts.EnablePprof, "pprof", false, "mount net/http/pprof under /debug/pprof (CPU/heap profiles; off by default)")
+	flag.DurationVar(&cfg.opts.SlowRequest, "slow-request", 0, "log any request at least this slow with its span breakdown (0 = off); traces are browsable at /debug/traces either way")
+	flag.IntVar(&cfg.opts.TraceRingSize, "trace-ring", 0, "per-shard retention of GET /debug/traces (0 = default 256)")
+	flag.IntVar(&cfg.opts.TraceSampleEvery, "trace-sample", 0, "retain every Nth request's trace (0/1 = all; ?trace=1 requests are always kept)")
 	flag.Parse()
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "shards" {

@@ -21,6 +21,8 @@
 //	metrics [-format prom|json|csv]
 //	                               dump the process metric registry
 //	metrics-lint                   validate the Prometheus exposition format
+//	traces [-url U | -f FILE]      render /debug/traces output as ASCII
+//	                               span trees (see docs/TRACING.md)
 package main
 
 import (
@@ -63,10 +65,13 @@ func run(args []string) error {
 		global.Usage()
 		return fmt.Errorf("missing command (stats|search|query|annotate|related|correlated|q1|q2|metrics|metrics-lint)")
 	}
-	// metrics-lint inspects the registry or a scraped file only; don't
-	// build a store for it.
+	// metrics-lint and traces inspect the registry / a server's trace
+	// dump only; don't build a store for them.
 	if rest[0] == "metrics-lint" {
 		return cmdMetricsLint(os.Stdout, rest[1:])
+	}
+	if rest[0] == "traces" {
+		return cmdTraces(os.Stdout, rest[1:])
 	}
 
 	var store *graphitti.Store

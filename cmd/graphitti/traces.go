@@ -1,0 +1,109 @@
+// The traces sub-command: an ASCII span-tree renderer over the JSON that
+// GET /debug/traces (or a ?trace=1 response) serves, so an operator can
+// eyeball where requests spent their time without leaving the terminal.
+// See docs/TRACING.md for the span model.
+
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"graphitti/internal/trace"
+)
+
+// tracesDump mirrors the GET /debug/traces payload; a ?trace=1 envelope
+// (a single trace under "trace") is also accepted.
+type tracesDump struct {
+	Count  int           `json:"count"`
+	Traces []*trace.Node `json:"traces"`
+	Trace  *trace.Node   `json:"trace"`
+}
+
+// cmdTraces fetches (-url) or reads (-f, '-' for stdin) a trace dump and
+// renders each trace as an indented span tree.
+func cmdTraces(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("traces", flag.ContinueOnError)
+	url := fs.String("url", "", "fetch traces from this /debug/traces URL (query params pass through)")
+	file := fs.String("f", "", "read a trace dump from this file ('-' for stdin)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var src io.Reader
+	switch {
+	case *url != "":
+		resp, err := http.Get(*url)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("traces: GET %s: %s", *url, resp.Status)
+		}
+		src = resp.Body
+	case *file == "-" || *file == "":
+		src = os.Stdin
+	default:
+		f, err := os.Open(*file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	var dump tracesDump
+	if err := json.NewDecoder(src).Decode(&dump); err != nil {
+		return fmt.Errorf("traces: bad JSON: %w", err)
+	}
+	if dump.Trace != nil {
+		dump.Traces = append(dump.Traces, dump.Trace)
+	}
+	if len(dump.Traces) == 0 {
+		fmt.Fprintln(w, "no traces")
+		return nil
+	}
+	for i, n := range dump.Traces {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "trace %s\n", n.TraceID)
+		renderSpan(w, n, "", true)
+	}
+	return nil
+}
+
+// renderSpan draws one span line — name, shard tag, duration, attrs —
+// and recurses with box-drawing connectors.
+func renderSpan(w io.Writer, n *trace.Node, prefix string, last bool) {
+	connector := "├─ "
+	childPrefix := prefix + "│  "
+	if last {
+		connector = "└─ "
+		childPrefix = prefix + "   "
+	}
+	line := prefix + connector + n.Name
+	if n.Shard != nil {
+		line += fmt.Sprintf("[%d]", *n.Shard)
+	}
+	line += fmt.Sprintf("  %s", (time.Duration(n.DurationMicros) * time.Microsecond).String())
+	if len(n.Attrs) > 0 {
+		keys := make([]string, 0, len(n.Attrs))
+		for k := range n.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			line += fmt.Sprintf("  %s=%s", k, n.Attrs[k])
+		}
+	}
+	fmt.Fprintln(w, line)
+	for i, c := range n.Children {
+		renderSpan(w, c, childPrefix, i == len(n.Children)-1)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"graphitti/internal/agraph"
 	"graphitti/internal/dublincore"
+	"graphitti/internal/trace"
 	"graphitti/internal/xmldoc"
 )
 
@@ -37,6 +38,7 @@ type Builder struct {
 	refs  []*Referent
 	terms []TermRef
 	errs  []error
+	span  *trace.Span
 }
 
 type tagPair struct {
@@ -52,6 +54,23 @@ func (s *Store) NewAnnotation() *Builder {
 // it. A sharded router uses this to assemble the annotation first and
 // pick the owning shard from the referents afterwards.
 func NewBuilder() *Builder { return &Builder{} }
+
+// WithSpan attaches a trace span to the builder: commit-path layers
+// (router, writer, WAL) hang their child spans off it as the builder
+// crosses them. The builder is the one value that travels the whole
+// commit pipeline, so it carries the trace instead of every layer
+// growing a context parameter. Nil clears it.
+func (b *Builder) WithSpan(sp *trace.Span) *Builder {
+	b.span = sp
+	return b
+}
+
+// Span returns the span attached with WithSpan, or nil.
+func (b *Builder) Span() *trace.Span { return b.span }
+
+// SetSpan is WithSpan without the chaining return, for layers that
+// re-point the builder at a child span and restore it after.
+func (b *Builder) SetSpan(sp *trace.Span) { b.span = sp }
 
 // Referents returns the referents attached so far, in builder order. The
 // slice is shared with the builder; callers must not mutate it.
@@ -173,6 +192,11 @@ func (s *Store) commit(b *Builder, pinnedAnn uint64, pinnedRefs []uint64) (*Anno
 
 	s.w.Lock()
 	defer s.w.Unlock()
+	// The "commit" span covers exactly the writer critical section; time
+	// spent queueing for s.w.Lock() shows up as the gap between this
+	// span's start and its parent's.
+	csp := b.span.StartChild("commit")
+	defer csp.Finish()
 	v := s.v.Load()
 
 	// Validate ontology references before mutating anything.
@@ -360,13 +384,28 @@ func (s *Store) commit(b *Builder, pinnedAnn uint64, pinnedRefs []uint64) (*Anno
 	// annotation and its derived consequences publish as one view.
 	if p := s.getPropagator(); p != nil {
 		deltaStart := time.Now()
-		s.applyDerivedDelta(nv, p.Delta(v, nv, ann, false))
+		s.applyDerivedDelta(nv, propagatorDelta(p, v, nv, ann, false, csp))
 		s.m.propDelta.Observe(time.Since(deltaStart).Seconds())
 	}
+	csp.SetAttrInt("ann", int64(annID))
+	csp.SetAttrInt("referents", int64(len(refIDs)))
 	s.publish(nv)
 	s.m.commits.Inc()
 	s.m.commitSeconds.Observe(time.Since(start).Seconds())
 	return ann, nil
+}
+
+// propagatorDelta runs the propagation delta under a "prop.delta" child
+// of parent, routing through the propagator's per-rule attribution hook
+// when it implements TracedPropagator.
+func propagatorDelta(p Propagator, pre, post *View, ann *Annotation,
+	deleted bool, parent *trace.Span) map[uint64][]DerivedFact {
+	dsp := parent.StartChild("prop.delta")
+	defer dsp.Finish()
+	if tp, ok := p.(TracedPropagator); ok {
+		return tp.DeltaTraced(pre, post, ann, deleted, dsp)
+	}
+	return p.Delta(pre, post, ann, deleted)
 }
 
 func buildContentDoc(annID uint64, dc *dublincore.Record, body string,

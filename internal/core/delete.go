@@ -86,7 +86,7 @@ func (s *Store) DeleteAnnotation(id uint64) error {
 	// finds the affected neighbors.
 	if p := s.getPropagator(); p != nil {
 		deltaStart := time.Now()
-		s.applyDerivedDelta(nv, p.Delta(v, nv, ann, true))
+		s.applyDerivedDelta(nv, propagatorDelta(p, v, nv, ann, true, nil))
 		s.m.propDelta.Observe(time.Since(deltaStart).Seconds())
 	}
 	s.publish(nv)

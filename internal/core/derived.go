@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"graphitti/internal/agraph"
+	"graphitti/internal/trace"
 )
 
 // Derived annotations are facts the propagation engine (internal/prop)
@@ -54,6 +55,15 @@ type Propagator interface {
 	// change derived facts (e.g. a co-registration rule is installed) —
 	// when false, registrations skip the full recompute.
 	RecomputeOnRegister() bool
+}
+
+// TracedPropagator is an optional extension of Propagator: a propagator
+// that can attribute its delta per rule onto a trace span. The writer
+// prefers DeltaTraced when the commit carries a span; sp may be nil, in
+// which case the call must behave exactly like Delta.
+type TracedPropagator interface {
+	Propagator
+	DeltaTraced(pre, post *View, ann *Annotation, deleted bool, sp *trace.Span) map[uint64][]DerivedFact
 }
 
 // derivedEntry is one source annotation's fact set, tagged with the

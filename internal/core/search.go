@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"graphitti/internal/agraph"
+	"graphitti/internal/trace"
 	"graphitti/internal/xmldoc"
 	"graphitti/internal/xquery"
 )
@@ -41,6 +42,8 @@ func (v *View) SearchContentsCtx(ctx context.Context, expr string) ([]*Annotatio
 	if v.m != nil { // zero-value views have no bound metric set
 		defer func() { v.m.searchSeconds.Observe(time.Since(start).Seconds()) }()
 	}
+	sp := trace.FromContext(ctx).StartChild("search")
+	defer sp.Finish()
 	q, err := xquery.Compile(expr)
 	if err != nil {
 		return nil, err

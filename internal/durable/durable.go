@@ -81,6 +81,7 @@ import (
 	"graphitti/internal/prop"
 	"graphitti/internal/relstore"
 	"graphitti/internal/rtree"
+	"graphitti/internal/trace"
 	"graphitti/internal/wal"
 )
 
@@ -498,6 +499,13 @@ func (s *Store) Dir() string { return s.dir }
 // while still holding the ordering lock, then the caller waits for the
 // group-committed fdatasync outside it.
 func (s *Store) logApply(rec *record, applyFn func(cs *core.Store) error) error {
+	return s.logApplySpan(rec, nil, applyFn)
+}
+
+// logApplySpan is logApply with trace attribution: a non-nil sp rides
+// the WAL append, so the flusher attaches the shared "wal.flush" span
+// (batch ID included) to it before the ack fires.
+func (s *Store) logApplySpan(rec *record, sp *trace.Span, applyFn func(cs *core.Store) error) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -542,7 +550,7 @@ func (s *Store) logApply(rec *record, applyFn func(cs *core.Store) error) error 
 		return err
 	}
 	s.seq++
-	ack := s.w.AppendAsync(payload)
+	ack := s.w.AppendAsyncTraced(payload, sp)
 	size := s.w.Size()
 	s.mu.Unlock()
 
@@ -774,7 +782,7 @@ func (s *Store) MarkImageRegion(imageID string, local rtree.Rect) (*core.Referen
 func (s *Store) Commit(b *core.Builder) (*core.Annotation, error) {
 	var ann *core.Annotation
 	rec := record{Kind: core.OpCommitAnnotation}
-	err := s.logApply(&rec, func(c *core.Store) error {
+	err := s.logApplySpan(&rec, b.Span(), func(c *core.Store) error {
 		var err error
 		ann, err = c.Commit(b)
 		if err != nil {

@@ -47,6 +47,7 @@ import (
 	"graphitti/internal/query"
 	"graphitti/internal/rtree"
 	"graphitti/internal/shard"
+	"graphitti/internal/trace"
 )
 
 // Options tune the handler.
@@ -69,6 +70,16 @@ type Options struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ (the -pprof
 	// server flag). Off by default: profiles expose internals.
 	EnablePprof bool
+	// SlowRequest, when positive, logs a structured line — with the
+	// request's full span breakdown — for every request at least this
+	// slow (the -slow-request server flag). Needs Logger.
+	SlowRequest time.Duration
+	// TraceRingSize is the per-shard retention of GET /debug/traces
+	// (trace.DefaultRingSize when 0).
+	TraceRingSize int
+	// TraceSampleEvery retains every Nth request's trace in the rings
+	// (every request when 0 or 1). ?trace=1 requests are always retained.
+	TraceSampleEvery int
 }
 
 const (
@@ -135,6 +146,7 @@ var routeDefs = []struct {
 	{"GET /api/stats", func(s *server) http.HandlerFunc { return s.stats }},
 	{"GET /metrics", func(s *server) http.HandlerFunc { return s.metrics }},
 	{"GET /debug/vars", func(s *server) http.HandlerFunc { return s.debugVars }},
+	{"GET /debug/traces", func(s *server) http.HandlerFunc { return s.debugTraces }},
 	{"GET /api/annotations", func(s *server) http.HandlerFunc { return s.listAnnotations }},
 	{"POST /api/annotations", func(s *server) http.HandlerFunc { return s.createAnnotation }},
 	{"GET /api/annotations/{id}", func(s *server) http.HandlerFunc { return s.getAnnotation }},
@@ -154,6 +166,10 @@ var routeDefs = []struct {
 }
 
 func newMux(api *server) http.Handler {
+	api.tracer = trace.NewTracer(trace.Options{
+		RingSize:    api.opts.TraceRingSize,
+		SampleEvery: api.opts.TraceSampleEvery,
+	})
 	mux := http.NewServeMux()
 	for _, def := range routeDefs {
 		mux.HandleFunc(def.pattern, def.handler(api))
@@ -175,6 +191,7 @@ type server struct {
 	durable *durable.Store
 	sh      *shard.Store
 	opts    Options
+	tracer  *trace.Tracer
 }
 
 // backend is the read-and-mark surface the handlers share between one
@@ -485,10 +502,14 @@ type statsView struct {
 // the inter-shard channel counters, and (durable mode) each shard's
 // durability stats indexed by shard.
 type shardingView struct {
-	Shards            int             `json:"shards"`
-	CrossShardCommits uint64          `json:"crossShardCommits"`
-	DeltaSeq          uint64          `json:"deltaSeq"`
-	Durability        []durable.Stats `json:"durability,omitempty"`
+	Shards            int              `json:"shards"`
+	CrossShardCommits uint64           `json:"crossShardCommits"`
+	DeltaSeq          uint64           `json:"deltaSeq"`
+	Durability        []durable.Stats  `json:"durability,omitempty"`
+	// Load is each shard's load profile: mutation count, writer busy
+	// time, and the top routing keys by estimated mutation count — the
+	// signal for the "diagnose a slow shard" runbook in OPERATIONS.md.
+	Load []shard.ShardLoad `json:"load,omitempty"`
 }
 
 func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
@@ -504,6 +525,7 @@ func (s *server) stats(w http.ResponseWriter, _ *http.Request) {
 			CrossShardCommits: s.sh.CrossShardCommits(),
 			DeltaSeq:          s.sh.DeltaSeq(),
 			Durability:        s.sh.DurabilityStats(),
+			Load:              s.sh.LoadStats(),
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -625,7 +647,10 @@ func (s *server) createAnnotation(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	store, _ := s.view()
-	b := store.NewAnnotation().Creator(req.Creator).Date(req.Date).Body(req.Body)
+	// The middleware's root span rides the builder down the commit path
+	// (router → shard writer → commit → propagation → WAL flush).
+	b := store.NewAnnotation().WithSpan(trace.FromContext(r.Context())).
+		Creator(req.Creator).Date(req.Date).Body(req.Body)
 	if req.Title != "" {
 		b.Title(req.Title)
 	}

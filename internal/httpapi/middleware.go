@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"graphitti/internal/obs"
+	"graphitti/internal/trace"
 )
 
 // Process-wide HTTP metrics (see internal/obs for the scope model). All
@@ -91,10 +92,21 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 // Unwrap lets http.ResponseController reach the underlying writer.
 func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
+// traceParentHeader is the W3C trace-context header: honored on ingress
+// (the root span joins the caller's trace) and always set on the
+// response so clients learn the trace ID their request got.
+const traceParentHeader = "traceparent"
+
 // instrument wraps the whole mux: it assigns (or honors) the request ID,
+// opens the request's root span (honoring an incoming W3C traceparent),
 // tracks the in-flight gauge, and — after dispatch, when ServeMux has
 // populated r.Pattern — records the route-labelled counter and latency
-// sample. 5xx responses are logged with the request ID.
+// sample. 5xx responses are logged with the request ID; requests at or
+// above Options.SlowRequest are logged with the span breakdown.
+//
+// The request ID and traceparent are written to the response header
+// BEFORE dispatch, so every route — including /metrics and /debug/pprof,
+// which write their bodies directly — echoes them.
 func (s *server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -102,12 +114,24 @@ func (s *server) instrument(next http.Handler) http.Handler {
 		if !acceptRequestID(id) {
 			id = newRequestID()
 		}
+		sp := trace.NewRoot("http", r.Header.Get(traceParentHeader))
+		sp.SetAttr("method", r.Method)
 		w.Header().Set(requestIDHeader, id)
-		r = r.WithContext(context.WithValue(r.Context(), requestIDKey, id))
+		w.Header().Set(traceParentHeader, sp.TraceParent())
+		ctx := context.WithValue(r.Context(), requestIDKey, id)
+		r = r.WithContext(trace.NewContext(ctx, sp))
 
 		sw := &statusWriter{ResponseWriter: w}
+		var out http.ResponseWriter = sw
+		var tb *traceBuffer
+		if traceRequested(r) {
+			// Buffer the body so the finished span tree can be folded
+			// into the response envelope after the handler returns.
+			tb = &traceBuffer{dst: sw}
+			out = tb
+		}
 		mHTTPInFlight.Add(1)
-		next.ServeHTTP(sw, r)
+		next.ServeHTTP(out, r)
 		mHTTPInFlight.Add(-1)
 
 		// ServeMux fills r.Pattern on the request it dispatched; an empty
@@ -117,9 +141,20 @@ func (s *server) instrument(next http.Handler) http.Handler {
 			route = "unmatched"
 		}
 		status := sw.status
+		if tb != nil && tb.status != 0 {
+			status = tb.status
+		}
 		if status == 0 {
 			status = http.StatusOK
 		}
+		sp.SetAttr("route", route)
+		sp.SetAttrInt("status", int64(status))
+		sp.Finish()
+		s.tracer.Record(sp, tb != nil)
+		if tb != nil {
+			tb.flush(sp)
+		}
+
 		elapsed := time.Since(start)
 		mHTTPRequests.With(route, r.Method, strconv.Itoa(status)).Inc()
 		mHTTPDuration.With(route).Observe(elapsed.Seconds())
@@ -127,6 +162,12 @@ func (s *server) instrument(next http.Handler) http.Handler {
 			s.opts.Logger.Error("request failed",
 				"requestId", id, "route", route, "method", r.Method,
 				"status", status, "duration", elapsed)
+		}
+		if s.opts.SlowRequest > 0 && elapsed >= s.opts.SlowRequest && s.opts.Logger != nil {
+			s.opts.Logger.Warn("slow request",
+				"requestId", id, "traceId", sp.TraceID(), "route", route,
+				"method", r.Method, "status", status, "duration", elapsed,
+				"spans", sp.Breakdown())
 		}
 	})
 }

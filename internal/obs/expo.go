@@ -72,6 +72,7 @@ func labelString(names, values []string, extra ...string) string {
 // WritePrometheus renders every family in text exposition format 0.0.4,
 // families in name order, children in label order.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.collect()
 	bw := bufio.NewWriter(w)
 	for _, f := range r.sorted() {
 		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
@@ -128,6 +129,7 @@ func (f *family) eachChild(visit func(values []string, inst any)) {
 // scalar metrics map name to value; labeled families map name to an
 // object keyed by "k=v,..."; histograms render {count, sum, p50, p99}.
 func (r *Registry) WriteJSON(w io.Writer) error {
+	r.collect()
 	bw := bufio.NewWriter(w)
 	bw.WriteString("{")
 	firstFam := true
@@ -186,6 +188,7 @@ func writeJSONInst(w io.Writer, inst any) {
 // to _count, _sum, _p50 and _p99 rows. The flat shape diffs cleanly
 // across runs — the bench harness's -metrics-dump format.
 func (r *Registry) WriteCSV(w io.Writer) error {
+	r.collect()
 	bw := bufio.NewWriter(w)
 	bw.WriteString("name,labels,value\n")
 	row := func(name string, values, labels []string, v string) {

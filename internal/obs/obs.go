@@ -280,6 +280,17 @@ type GaugeVec struct{ f *family }
 // With returns the gauge for the given label values.
 func (v *GaugeVec) With(values ...string) *Gauge { return v.f.child(values).(*Gauge) }
 
+// Reset drops every child of the family. For collector-maintained vecs
+// whose label sets churn (top-K routing keys): Reset then re-fill at
+// scrape time keeps the exposed series exactly the current set, instead
+// of accumulating every label value ever seen.
+func (v *GaugeVec) Reset() {
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	clear(v.f.children)
+	v.f.keys = v.f.keys[:0]
+}
+
 // HistogramVec is a histogram family with labels.
 type HistogramVec struct{ f *family }
 
@@ -292,6 +303,9 @@ type Registry struct {
 	mu       sync.RWMutex
 	families map[string]*family
 	names    []string // sorted
+
+	cmu        sync.Mutex
+	collectors []func()
 }
 
 // Default is the process-global registry every instrumented package
@@ -354,6 +368,28 @@ func (r *Registry) register(f *family) {
 	r.names = append(r.names, "")
 	copy(r.names[i+1:], r.names[i:])
 	r.names[i] = f.name
+}
+
+// RegisterCollector adds a hook run at the start of every exposition
+// (WritePrometheus, WriteJSON, WriteCSV), for values that are cheaper to
+// compute at scrape time than to keep current — process gauges sampled
+// from the runtime, top-K sketches synced into a gauge vec. Collectors
+// run serially in registration order; they must not block.
+func (r *Registry) RegisterCollector(fn func()) {
+	r.cmu.Lock()
+	defer r.cmu.Unlock()
+	r.collectors = append(r.collectors, fn)
+}
+
+// collect runs the registered collectors. The lock is held across the
+// runs so concurrent scrapes don't interleave a Reset-and-refill
+// collector with another's reads.
+func (r *Registry) collect() {
+	r.cmu.Lock()
+	defer r.cmu.Unlock()
+	for _, fn := range r.collectors {
+		fn()
+	}
 }
 
 // Names returns the registered family names, sorted. This is the surface

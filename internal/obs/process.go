@@ -1,0 +1,33 @@
+// Process-level gauges: sampled from the Go runtime at scrape time via
+// a registry collector, so a bare scrape of a just-started server is
+// already useful (uptime, goroutines, parallelism, build identity)
+// before any store traffic produces the graphitti_* families.
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+var (
+	processStart = time.Now()
+
+	mUptime = NewGauge("process_uptime_seconds",
+		"Seconds since the process started.")
+	mGoroutines = NewGauge("go_goroutines",
+		"Number of live goroutines.")
+	mGomaxprocs = NewGauge("go_gomaxprocs",
+		"Value of GOMAXPROCS: the scheduler's parallelism limit.")
+	mBuildInfo = NewGaugeVec("graphitti_build_info",
+		"Build identity; always 1, labeled with the Go toolchain version.",
+		"go_version")
+)
+
+func init() {
+	mBuildInfo.With(runtime.Version()).Set(1)
+	Default.RegisterCollector(func() {
+		mUptime.Set(int64(time.Since(processStart).Seconds()))
+		mGoroutines.Set(int64(runtime.NumGoroutine()))
+		mGomaxprocs.Set(int64(runtime.GOMAXPROCS(0)))
+	})
+}

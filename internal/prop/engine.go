@@ -5,9 +5,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"graphitti/internal/agraph"
 	"graphitti/internal/core"
+	"graphitti/internal/trace"
 )
 
 // Engine holds the rule set and implements core.Propagator: the store's
@@ -143,6 +145,21 @@ func (e *Engine) rulesSnapshot() []Rule {
 // is the only way to find the surviving annotations whose facts targeted
 // them.
 func (e *Engine) Delta(pre, post *core.View, ann *core.Annotation, deleted bool) map[uint64][]core.DerivedFact {
+	return e.delta(pre, post, ann, deleted, nil)
+}
+
+// DeltaTraced implements core.TracedPropagator: Delta with per-rule
+// attribution onto sp — for every rule that evaluated, the span gains
+// rule.<id>.facts (facts produced across all affected sources) and
+// rule.<id>.micros (cumulative evaluation time), plus the size of the
+// affected-source set. A nil sp behaves exactly like Delta.
+func (e *Engine) DeltaTraced(pre, post *core.View, ann *core.Annotation,
+	deleted bool, sp *trace.Span) map[uint64][]core.DerivedFact {
+	return e.delta(pre, post, ann, deleted, sp)
+}
+
+func (e *Engine) delta(pre, post *core.View, ann *core.Annotation,
+	deleted bool, sp *trace.Span) map[uint64][]core.DerivedFact {
 	rules := e.rulesSnapshot()
 	if len(rules) == 0 {
 		return nil
@@ -188,6 +205,10 @@ func (e *Engine) Delta(pre, post *core.View, ann *core.Annotation, deleted bool)
 
 	mDeltas.Inc()
 	mAffectedSources.Observe(float64(len(affected)))
+	var stats map[string]*ruleStat
+	if sp != nil {
+		stats = make(map[string]*ruleStat, len(rules))
+	}
 	out := make(map[uint64][]core.DerivedFact, len(affected))
 	for src := range affected {
 		if deleted && src == ann.ID {
@@ -199,9 +220,23 @@ func (e *Engine) Delta(pre, post *core.View, ann *core.Annotation, deleted bool)
 			out[src] = nil
 			continue
 		}
-		out[src] = e.evalSource(post, srcAnn, rules)
+		out[src] = e.evalSourceStats(post, srcAnn, rules, stats)
+	}
+	if sp != nil {
+		sp.SetAttrInt("sources", int64(len(affected)))
+		for id, rs := range stats {
+			sp.SetAttrInt("rule."+id+".facts", int64(rs.facts))
+			sp.SetAttrInt("rule."+id+".micros", rs.nanos/1e3)
+		}
 	}
 	return out
+}
+
+// ruleStat accumulates one rule's contribution to a traced delta across
+// every affected source.
+type ruleStat struct {
+	facts int
+	nanos int64
 }
 
 // Recompute implements core.Propagator: the from-scratch path the delta
@@ -244,6 +279,14 @@ func spatialKind(k core.ReferentKind) bool {
 // evaluating the same source against the same view always produces the
 // same bytes regardless of the path (delta or recompute) that asked.
 func (e *Engine) evalSource(v *core.View, ann *core.Annotation, rules []Rule) []core.DerivedFact {
+	return e.evalSourceStats(v, ann, rules, nil)
+}
+
+// evalSourceStats is evalSource with optional per-rule accounting: when
+// stats is non-nil each rule's fact output and evaluation time are
+// accumulated into it (the traced-delta path; nil costs nothing).
+func (e *Engine) evalSourceStats(v *core.View, ann *core.Annotation, rules []Rule,
+	stats map[string]*ruleStat) []core.DerivedFact {
 	var facts []core.DerivedFact
 	var keywords []string // lazily fetched once per source
 	ownRefs := make(map[uint64]bool, len(ann.ReferentIDs))
@@ -262,6 +305,11 @@ func (e *Engine) evalSource(v *core.View, ann *core.Annotation, rules []Rule) []
 		if rule.Term != "" && !referencesTerm(ann, rule.Ontology, rule.Term) {
 			continue
 		}
+		var t0 time.Time
+		before := len(facts)
+		if stats != nil {
+			t0 = time.Now()
+		}
 		switch rule.Edge {
 		case EdgeOverlap:
 			facts = e.evalOverlap(v, ann, rule, ownRefs, facts)
@@ -271,6 +319,15 @@ func (e *Engine) evalSource(v *core.View, ann *core.Annotation, rules []Rule) []
 			facts = e.evalClosure(v, ann, rule, facts)
 		case EdgeSharedReferent:
 			facts = e.evalShared(v, ann, rule, facts)
+		}
+		if stats != nil {
+			rs := stats[rule.ID]
+			if rs == nil {
+				rs = &ruleStat{}
+				stats[rule.ID] = rs
+			}
+			rs.facts += len(facts) - before
+			rs.nanos += time.Since(t0).Nanoseconds()
 		}
 	}
 	return canonicalize(facts)

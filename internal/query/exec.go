@@ -12,6 +12,7 @@ import (
 	"graphitti/internal/core"
 	"graphitti/internal/dublincore"
 	"graphitti/internal/subx"
+	"graphitti/internal/trace"
 	"graphitti/internal/xquery"
 )
 
@@ -89,10 +90,19 @@ func (p *Processor) ExecuteParsed(q *Query, opts Options) (*Result, error) {
 }
 
 // ExecuteParsedCtx runs a parsed query against one pinned view of the
-// store, honoring ctx cancellation.
+// store, honoring ctx cancellation. When the context carries a trace
+// span (trace.FromContext), the run is wrapped in a "query" child span
+// tagged with variable and match counts.
 func (p *Processor) ExecuteParsedCtx(ctx context.Context, q *Query, opts Options) (*Result, error) {
+	sp := trace.FromContext(ctx).StartChild("query")
+	defer sp.Finish()
 	run := &execution{view: p.store.View(), ctx: ctx}
-	return run.execute(q, opts)
+	res, err := run.execute(q, opts)
+	if err == nil && sp != nil {
+		sp.SetAttrInt("vars", int64(len(q.Vars)))
+		sp.SetAttrInt("matches", int64(len(res.Matches)))
+	}
+	return res, err
 }
 
 // execution carries one query run's pinned view and context.

@@ -1,0 +1,117 @@
+package shard
+
+import (
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"graphitti/internal/obs"
+	"graphitti/internal/trace"
+)
+
+// Per-shard load profiling: every routed mutation records which shard it
+// ran on, how long the shard's writer was busy with it, and which
+// routing key placed it there. Busy time and mutation counts are plain
+// atomics; routing keys feed a space-saving top-K sketch (trace.TopK),
+// so the answer to "which keys dominate this shard" costs topKeys
+// counters of memory, not one per distinct key. This is the placement
+// signal the ROADMAP's shard-rebalancing item consumes: a hot shard
+// (busy time far above its peers) plus its dominating keys tells the
+// operator — and eventually the rebalancer — exactly which domains to
+// move.
+//
+// The metrics side is collector-synced: graphitti_shard_busy_micros is
+// set and graphitti_shard_top_key_ops is Reset-and-refilled at scrape
+// time from the newest store's profile, keeping the exposed key series
+// exactly the sketch's current contents.
+
+// topKeys is the sketch width per shard: enough to name a shard's
+// dominating routing domains without unbounded label cardinality.
+const topKeys = 8
+
+var (
+	mShardBusy = obs.NewGaugeVec("graphitti_shard_busy_micros",
+		"Cumulative microseconds each shard's writer spent applying routed mutations.",
+		"shard")
+	mShardTopKeys = obs.NewGaugeVec("graphitti_shard_top_key_ops",
+		"Estimated mutation count of each shard's top routing keys (space-saving sketch; reset to the current sketch contents at every scrape).",
+		"shard", "key")
+)
+
+// currentLoad is the profile the metrics collector renders: the most
+// recently created Store's (one store per process in deployment; tests
+// that build many just see the newest, like every other gauge here).
+var currentLoad atomic.Pointer[loadProfile]
+
+func init() {
+	obs.Default.RegisterCollector(func() {
+		lp := currentLoad.Load()
+		mShardTopKeys.Reset()
+		if lp == nil {
+			return
+		}
+		for k := range lp.shards {
+			sh := &lp.shards[k]
+			label := strconv.Itoa(k)
+			mShardBusy.With(label).Set(sh.busyNanos.Load() / 1e3)
+			for _, kc := range sh.keys.Top() {
+				mShardTopKeys.With(label, kc.Key).Set(int64(kc.Count))
+			}
+		}
+	})
+}
+
+type shardLoad struct {
+	busyNanos atomic.Int64
+	mutations atomic.Uint64
+	keys      *trace.TopK
+}
+
+type loadProfile struct {
+	shards []shardLoad
+}
+
+func newLoadProfile(n int) *loadProfile {
+	lp := &loadProfile{shards: make([]shardLoad, n)}
+	for k := range lp.shards {
+		lp.shards[k].keys = trace.NewTopK(topKeys)
+	}
+	currentLoad.Store(lp)
+	return lp
+}
+
+// record charges one routed mutation to shard k: d of writer busy time
+// and (when non-empty) its routing key.
+func (lp *loadProfile) record(k int, key string, d time.Duration) {
+	if lp == nil || k < 0 || k >= len(lp.shards) {
+		return
+	}
+	sh := &lp.shards[k]
+	sh.busyNanos.Add(d.Nanoseconds())
+	sh.mutations.Add(1)
+	sh.keys.Record(key)
+}
+
+// ShardLoad is one shard's load profile as /api/stats reports it.
+type ShardLoad struct {
+	Shard      int              `json:"shard"`
+	Mutations  uint64           `json:"mutations"`
+	BusyMicros int64            `json:"busy_micros"`
+	TopKeys    []trace.KeyCount `json:"top_keys,omitempty"`
+}
+
+// LoadStats returns the per-shard load profile: mutation counts, writer
+// busy time, and the top routing keys by estimated mutation count.
+func (s *Store) LoadStats() []ShardLoad {
+	out := make([]ShardLoad, s.NumShards())
+	for k := range out {
+		sh := &s.load.shards[k]
+		out[k] = ShardLoad{
+			Shard:      k,
+			Mutations:  sh.mutations.Load(),
+			BusyMicros: sh.busyNanos.Load() / 1e3,
+			TopKeys:    sh.keys.Top(),
+		}
+	}
+	return out
+}

@@ -53,6 +53,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"graphitti/internal/biodata/imaging"
 	"graphitti/internal/biodata/interact"
@@ -125,6 +126,10 @@ type Store struct {
 	// replaced. Broadcasts don't need it — they serialize against Restore
 	// through gmu. Read acquisition is uncontended outside a restore.
 	smu []sync.RWMutex
+
+	// load profiles every routed mutation: per-shard busy time and a
+	// top-K sketch of routing keys (see load.go).
+	load *loadProfile
 }
 
 // New returns an in-memory sharded store with n writer pipelines
@@ -133,7 +138,8 @@ func New(n int) *Store {
 	if n < 1 {
 		n = 1
 	}
-	s := &Store{router: core.Router{Shards: n}, ids: &core.AtomicIDs{}, smu: make([]sync.RWMutex, n)}
+	s := &Store{router: core.Router{Shards: n}, ids: &core.AtomicIDs{},
+		smu: make([]sync.RWMutex, n), load: newLoadProfile(n)}
 	s.cores = make([]atomic.Pointer[core.Store], n)
 	for k := 0; k < n; k++ {
 		s.cores[k].Store(core.NewStoreWithOptions(core.StoreOptions{
@@ -177,7 +183,8 @@ func Open(dir string, n int, opts durable.Options) (*Store, error) {
 		return nil, fmt.Errorf("shard: directory %s has %d shards, asked to open %d", dir, recorded, n)
 	}
 
-	s := &Store{router: core.Router{Shards: n}, ids: &core.AtomicIDs{}, smu: make([]sync.RWMutex, n)}
+	s := &Store{router: core.Router{Shards: n}, ids: &core.AtomicIDs{},
+		smu: make([]sync.RWMutex, n), load: newLoadProfile(n)}
 	s.durs = make([]*durable.Store, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
@@ -354,11 +361,17 @@ func tag(k int, err error) error {
 }
 
 // mutate applies one routed mutation to shard k under the shard's
-// writer latch (see smu), tagging any error with the shard ID.
-func (s *Store) mutate(k int, fn func(m mutator) error) error {
+// writer latch (see smu), tagging any error with the shard ID. key is
+// the routing key that placed the mutation here; it feeds the shard's
+// load profile along with the mutation's busy time ("" records time
+// but no key).
+func (s *Store) mutate(k int, key string, fn func(m mutator) error) error {
 	s.smu[k].RLock()
 	defer s.smu[k].RUnlock()
-	return tag(k, fn(s.pipe(k)))
+	start := time.Now()
+	err := fn(s.pipe(k))
+	s.load.record(k, key, time.Since(start))
+	return tag(k, err)
 }
 
 // broadcast applies one mutation to every shard, shard 0 first, under
@@ -430,7 +443,7 @@ func (s *Store) Rules() []prop.Rule { return prop.RulesOf(s.shardCore(0)) }
 // and their region marks follow it to the same shard.
 func (s *Store) RegisterCoordinateSystem(cs *imaging.CoordinateSystem) error {
 	k := s.router.ShardOfKey(cs.Name)
-	return s.mutate(k, func(m mutator) error { return m.RegisterCoordinateSystem(cs) })
+	return s.mutate(k, cs.Name, func(m mutator) error { return m.RegisterCoordinateSystem(cs) })
 }
 
 // RegisterSequence routes by coordinate domain, so all sequences of one
@@ -441,25 +454,25 @@ func (s *Store) RegisterSequence(sq *seq.Sequence) error {
 		key = sq.ID // core adopts the ID as the domain
 	}
 	k := s.router.ShardOfKey(key)
-	return s.mutate(k, func(m mutator) error { return m.RegisterSequence(sq) })
+	return s.mutate(k, key, func(m mutator) error { return m.RegisterSequence(sq) })
 }
 
 // RegisterAlignment routes by alignment ID.
 func (s *Store) RegisterAlignment(a *msa.Alignment) error {
 	k := s.router.ShardOfKey(a.ID)
-	return s.mutate(k, func(m mutator) error { return m.RegisterAlignment(a) })
+	return s.mutate(k, a.ID, func(m mutator) error { return m.RegisterAlignment(a) })
 }
 
 // RegisterTree routes by tree ID.
 func (s *Store) RegisterTree(t *phylo.Tree) error {
 	k := s.router.ShardOfKey(t.ID)
-	return s.mutate(k, func(m mutator) error { return m.RegisterTree(t) })
+	return s.mutate(k, t.ID, func(m mutator) error { return m.RegisterTree(t) })
 }
 
 // RegisterInteractionGraph routes by graph ID.
 func (s *Store) RegisterInteractionGraph(g *interact.Graph) error {
 	k := s.router.ShardOfKey(g.ID)
-	return s.mutate(k, func(m mutator) error { return m.RegisterInteractionGraph(g) })
+	return s.mutate(k, g.ID, func(m mutator) error { return m.RegisterInteractionGraph(g) })
 }
 
 // RegisterImage routes by the image's coordinate system, co-locating it
@@ -467,14 +480,14 @@ func (s *Store) RegisterInteractionGraph(g *interact.Graph) error {
 // co-registration propagation intra-shard).
 func (s *Store) RegisterImage(im *imaging.Image) error {
 	k := s.router.ShardOfKey(im.System)
-	return s.mutate(k, func(m mutator) error { return m.RegisterImage(im) })
+	return s.mutate(k, im.System, func(m mutator) error { return m.RegisterImage(im) })
 }
 
 // CreateRecordTable routes by table name.
 func (s *Store) CreateRecordTable(schema *relstore.Schema) (*relstore.Table, error) {
 	k := s.router.ShardOfKey(schema.Name)
 	var tbl *relstore.Table
-	err := s.mutate(k, func(m mutator) error {
+	err := s.mutate(k, schema.Name, func(m mutator) error {
 		var err error
 		tbl, err = m.CreateRecordTable(schema)
 		return err
@@ -485,7 +498,7 @@ func (s *Store) CreateRecordTable(schema *relstore.Schema) (*relstore.Table, err
 // InsertRecord routes by table name.
 func (s *Store) InsertRecord(table string, row relstore.Row) error {
 	k := s.router.ShardOfKey(table)
-	return s.mutate(k, func(m mutator) error { return m.InsertRecord(table, row) })
+	return s.mutate(k, table, func(m mutator) error { return m.InsertRecord(table, row) })
 }
 
 // NewAnnotation starts a store-free builder; Commit picks the shard from
@@ -498,28 +511,45 @@ func (s *Store) NewAnnotation() *core.Builder { return core.NewBuilder() }
 // the inter-shard channel and still commits whole to the home shard; see
 // the package comment for the exact semantics.
 func (s *Store) Commit(b *core.Builder) (*core.Annotation, error) {
-	home, span, err := s.routeBuilder(b)
+	rsp := b.Span().StartChild("router")
+	home, span, homeKey, err := s.routeBuilder(b)
+	rsp.Finish()
 	if err != nil {
 		return nil, err
 	}
+	rsp.SetAttrInt("home", int64(home))
+	rsp.SetAttrInt("span", int64(span))
+	rsp.SetAttr("key", homeKey)
 	if span > 1 {
 		s.gmu.Lock()
 		defer s.gmu.Unlock()
 		s.gseq.Add(1)
 		s.cross.Add(1)
 	}
+	// The "shard.writer" span covers the per-shard pipeline end to end —
+	// latch, core commit, WAL ack. Downstream layers (core, durable, WAL)
+	// read the builder's span, so re-point it at this child for the
+	// duration and restore the root after.
+	root := b.Span()
+	wsp := root.StartChild("shard.writer")
+	wsp.SetShard(home)
+	b.SetSpan(wsp)
 	var ann *core.Annotation
-	err = s.mutate(home, func(m mutator) error {
+	err = s.mutate(home, homeKey, func(m mutator) error {
 		var err error
 		ann, err = m.Commit(b)
 		return err
 	})
+	b.SetSpan(root)
+	wsp.Finish()
 	return ann, err
 }
 
-// routeBuilder resolves the builder's home shard and how many distinct
-// shards its marks touch.
-func (s *Store) routeBuilder(b *core.Builder) (home, span int, err error) {
+// routeBuilder resolves the builder's home shard, how many distinct
+// shards its marks touch, and the routing key that picked the home
+// (the first mark's route key, or the first term's ontology) — the key
+// the load profile attributes the commit to.
+func (s *Store) routeBuilder(b *core.Builder) (home, span int, homeKey string, err error) {
 	home = -1
 	var seen [64]bool // shard counts are small; avoids a map per commit
 	var seenMap map[int]bool
@@ -551,10 +581,13 @@ func (s *Store) routeBuilder(b *core.Builder) (home, span int, err error) {
 		if r == nil {
 			continue // commit reports the builder error
 		}
+		if homeKey == "" {
+			homeKey = r.RouteKey()
+		}
 		if r.ID != 0 {
 			k, ok := s.ownerOfReferent(r.ID)
 			if !ok {
-				return 0, 0, fmt.Errorf("%w: %d", core.ErrNoSuchReferent, r.ID)
+				return 0, 0, "", fmt.Errorf("%w: %d", core.ErrNoSuchReferent, r.ID)
 			}
 			committed = append(committed, owned{r.ID, k})
 			mark(k)
@@ -566,7 +599,8 @@ func (s *Store) routeBuilder(b *core.Builder) (home, span int, err error) {
 		if ts := b.TermRefs(); len(ts) > 0 {
 			// Term-only annotations have no spatial affinity; every shard
 			// holds every ontology, so the hash only spreads load.
-			home = s.router.ShardOfKey(ts[0].Ontology)
+			homeKey = ts[0].Ontology
+			home = s.router.ShardOfKey(homeKey)
 		} else {
 			home = 0 // empty; Commit rejects with ErrEmptyAnnotation
 		}
@@ -579,10 +613,10 @@ func (s *Store) routeBuilder(b *core.Builder) (home, span int, err error) {
 	// exists.
 	for _, c := range committed {
 		if c.shard != home {
-			return 0, 0, fmt.Errorf("%w: referent %d is homed on shard %d, annotation on shard %d", ErrCrossShardReferent, c.id, c.shard, home)
+			return 0, 0, "", fmt.Errorf("%w: referent %d is homed on shard %d, annotation on shard %d", ErrCrossShardReferent, c.id, c.shard, home)
 		}
 	}
-	return home, span, nil
+	return home, span, homeKey, nil
 }
 
 // ownerOfReferent finds the shard holding a committed referent.
@@ -611,7 +645,7 @@ func (s *Store) DeleteAnnotation(id uint64) error {
 	if !ok {
 		return fmt.Errorf("%w: %d", core.ErrNoSuchAnnotation, id)
 	}
-	return s.mutate(k, func(m mutator) error { return m.DeleteAnnotation(id) })
+	return s.mutate(k, "", func(m mutator) error { return m.DeleteAnnotation(id) })
 }
 
 // Mark constructors. Marks are read-only (registered at commit); each is

@@ -34,10 +34,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"time"
 
 	"graphitti/internal/faultfs"
+	"graphitti/internal/trace"
 )
 
 // Magic starts every log file, followed by the format version byte.
@@ -88,11 +90,22 @@ type Writer struct {
 	closed  bool
 	err     error // sticky I/O error; fails all subsequent appends
 	buf     []byte
-	waiters []chan error
+	waiters []waiter
 	size    int64 // durable+pending file size
 	stats   Stats
 	done    chan struct{}
 	m       *walMetrics
+	shard   string // metrics/batch-ID label
+}
+
+// waiter is one enqueued record's rider: the ack channel plus the
+// caller's span (nil when the append is untraced). The flusher attaches
+// a finished "wal.flush" child to sp — carrying the batch ID every rider
+// of the same fsync shares — before sending on ch, so by the time the
+// caller unblocks its span tree already tells it which batch carried it.
+type waiter struct {
+	ch chan error
+	sp *trace.Span
 }
 
 // Options tune a Writer.
@@ -215,8 +228,12 @@ func OpenAt(path string, valid int64, opts Options) (*Writer, error) {
 }
 
 func newWriter(f *os.File, size int64, opts Options) *Writer {
+	shard := opts.Shard
+	if shard == "" {
+		shard = "0"
+	}
 	w := &Writer{f: f, nosync: opts.NoSync, inject: opts.Inject, size: size,
-		done: make(chan struct{}), m: metricsForShard(opts.Shard)}
+		done: make(chan struct{}), m: metricsForShard(opts.Shard), shard: shard}
 	w.cond = sync.NewCond(&w.mu)
 	go w.flushLoop()
 	return w
@@ -226,6 +243,17 @@ func newWriter(f *os.File, size int64, opts Options) *Writer {
 // (single) durability result. Records become durable in enqueue order;
 // the caller may enqueue several records and wait once on the last.
 func (w *Writer) AppendAsync(payload []byte) <-chan error {
+	return w.AppendAsyncTraced(payload, nil)
+}
+
+// AppendAsyncTraced is AppendAsync with span attribution: when sp is
+// non-nil, the flusher attaches a finished "wal.flush" child to it
+// covering the write+fdatasync that made this record durable, tagged
+// with the batch ID ("<shard>#<flush number>") and rider count shared
+// by every record in the same group commit. The child is attached
+// before the ack channel fires, so the caller's span tree is complete
+// as soon as the append returns.
+func (w *Writer) AppendAsyncTraced(payload []byte, sp *trace.Span) <-chan error {
 	ch := make(chan error, 1)
 	if len(payload) > MaxRecordSize {
 		ch <- fmt.Errorf("wal: record of %d bytes exceeds max %d", len(payload), MaxRecordSize)
@@ -246,7 +274,7 @@ func (w *Writer) AppendAsync(payload []byte) <-chan error {
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
 	w.buf = append(w.buf, hdr[:]...)
 	w.buf = append(w.buf, payload...)
-	w.waiters = append(w.waiters, ch)
+	w.waiters = append(w.waiters, waiter{ch: ch, sp: sp})
 	w.size += int64(frameHeaderSize + len(payload))
 	w.stats.Records++
 	w.stats.Bytes += uint64(frameHeaderSize + len(payload))
@@ -290,6 +318,7 @@ func (w *Writer) flushLoop() {
 		w.buf = nil
 		w.waiters = nil
 		w.stats.Flushes++
+		batchID := w.shard + "#" + strconv.FormatUint(w.stats.Flushes, 10)
 		if n := uint64(len(waiters)); n > w.stats.MaxBatch {
 			w.stats.MaxBatch = n
 		}
@@ -298,6 +327,7 @@ func (w *Writer) flushLoop() {
 		w.m.flushes.Inc()
 		w.m.batchRecords.Observe(float64(len(waiters)))
 
+		flushStart := time.Now()
 		if err == nil {
 			if werr := injectedWrite(w.inject, w.f, buf); werr != nil {
 				err = werr
@@ -313,8 +343,16 @@ func (w *Writer) flushLoop() {
 				w.m.flushErrors.Inc()
 			}
 		}
-		for _, ch := range waiters {
-			ch <- err
+		flushEnd := time.Now()
+		riders := strconv.Itoa(len(waiters))
+		for _, wt := range waiters {
+			// Attribute the shared flush to each rider's trace before the
+			// ack: the rider is still blocked on wt.ch, so its span tree
+			// cannot be read or finished concurrently.
+			wt.sp.FinishedChild("wal.flush", flushStart, flushEnd,
+				trace.Attr{Key: "batch", Value: batchID},
+				trace.Attr{Key: "riders", Value: riders})
+			wt.ch <- err
 		}
 	}
 }

@@ -15,8 +15,9 @@ import (
 )
 
 // docRow matches the first column of a metric table row in
-// docs/METRICS.md: `| `graphitti_…` | …`.
-var docRow = regexp.MustCompile("^\\| `(graphitti_[a-zA-Z0-9_:]+)` \\|")
+// docs/METRICS.md: `| `graphitti_…` | …` (plus the process_/go_ runtime
+// gauge families).
+var docRow = regexp.MustCompile("^\\| `((?:graphitti_|process_|go_)[a-zA-Z0-9_:]+)` \\|")
 
 // TestMetricsDocParity keeps docs/METRICS.md honest: every registered
 // metric family must have a table row, and every table row must name a

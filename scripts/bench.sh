@@ -83,10 +83,13 @@ echo "wrote $TXT and $JSON" >&2
 # matches on the pre-/ root of the name) never treats the scaling curve
 # as a regression floor.
 SHARD_PATTERN='BenchmarkW2ShardedCommits|BenchmarkW1ShardedDurableCommit'
-SHARD_TXT="${TXT%.txt}.shards.txt"
+SHARD_TMP="$(mktemp)"
 echo "running sharded scaling matrix (benchtime=${BENCHTIME}, count=${COUNT})…" >&2
 go test -run '^$' -bench "$SHARD_PATTERN" -benchmem \
-    -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$SHARD_TXT"
+    -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$SHARD_TMP"
+# One artifact set per date: the raw lines ride along in the main TXT
+# (benchstat handles the mixed file fine) instead of a .shards.txt fork.
+grep '^Benchmark' "$SHARD_TMP" >>"$TXT" || true
 awk -v date="$DATE" '
 /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
@@ -96,7 +99,7 @@ awk -v date="$DATE" '
     printf ",\n  {\"date\": \"%s\", \"name\": \"shards:%s\", \"iterations\": %s, \"ns_per_op\": %s}", date, name, $2, nsop
     printf ",\n  {\"date\": \"%s\", \"name\": \"shards:commits_per_sec:%s\", \"value\": %.1f}", date, name, 1e9 / nsop
 }
-' "$SHARD_TXT" >"$JSON.shards"
+' "$SHARD_TMP" >"$JSON.shards"
 if [ -s "$JSON.shards" ]; then
     head -n -1 "$JSON" >"$JSON.tmp"
     cat "$JSON.shards" >>"$JSON.tmp"
@@ -104,7 +107,70 @@ if [ -s "$JSON.shards" ]; then
     mv "$JSON.tmp" "$JSON"
     echo "recorded $(grep -c '"name": "shards:' "$JSON") sharded scaling rows into $JSON" >&2
 fi
-rm -f "$JSON.shards"
+rm -f "$JSON.shards" "$SHARD_TMP"
+
+# Tracing overhead probe: the traced W2 variant (every commit carries a
+# span tree into a live ring, every read runs under a traced context)
+# against the untraced W2 medians from THIS run — same binary, machine
+# and benchtime, so the ratio isolates the tracing cost. Rows are
+# recorded with a trace: prefix, which keeps them outside the cross-PR
+# --check guard set; the overhead itself is gated here, in-run, at the
+# same REGRESSION_FACTOR.
+TRACE_PATTERN='BenchmarkW2TracedMixedReadWrite'
+TRACE_TMP="$(mktemp)"
+echo "running traced W2 overhead probe (benchtime=${BENCHTIME}, count=${COUNT})…" >&2
+go test -run '^$' -bench "$TRACE_PATTERN" -benchmem \
+    -benchtime "$BENCHTIME" -count "$COUNT" . | tee "$TRACE_TMP"
+grep '^Benchmark' "$TRACE_TMP" >>"$TXT" || true
+awk -v date="$DATE" '
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    nsop = ""
+    for (i = 2; i < NF; i++) if ($(i + 1) == "ns/op") nsop = $i
+    if (nsop == "") next
+    printf ",\n  {\"date\": \"%s\", \"name\": \"trace:%s\", \"iterations\": %s, \"ns_per_op\": %s}", date, name, $2, nsop
+}
+' "$TRACE_TMP" >"$JSON.trace"
+if [ -s "$JSON.trace" ]; then
+    head -n -1 "$JSON" >"$JSON.tmp"
+    cat "$JSON.trace" >>"$JSON.tmp"
+    printf '\n]\n' >>"$JSON.tmp"
+    mv "$JSON.tmp" "$JSON"
+    echo "recorded $(grep -c '"name": "trace:' "$JSON") tracing rows into $JSON" >&2
+fi
+rm -f "$JSON.trace" "$TRACE_TMP"
+
+echo "checking traced-vs-untraced W2 overhead (limit ${REGRESSION_FACTOR}x)…" >&2
+awk -v factor="$REGRESSION_FACTOR" '
+function medianof(arr, n,    i, t, j) {
+    for (i = 2; i <= n; i++) {
+        t = arr[i]
+        for (j = i - 1; j >= 1 && arr[j] > t; j--) arr[j + 1] = arr[j]
+        arr[j + 1] = t
+    }
+    if (n % 2) return arr[(n + 1) / 2]
+    return (arr[n / 2] + arr[n / 2 + 1]) / 2
+}
+/^BenchmarkW2MixedReadWrite\/SearchContents/ {
+    for (i = 2; i < NF; i++) if ($(i + 1) == "ns/op") plain[++np] = $i + 0
+}
+/^BenchmarkW2TracedMixedReadWrite\/SearchContents/ {
+    for (i = 2; i < NF; i++) if ($(i + 1) == "ns/op") traced[++nt] = $i + 0
+}
+END {
+    if (np == 0 || nt == 0) {
+        print "missing W2 traced/untraced samples to compare" > "/dev/stderr"
+        exit 2
+    }
+    pm = medianof(plain, np); tm = medianof(traced, nt)
+    ratio = tm / pm
+    printf "W2 SearchContents median: untraced %.0f ns/op, traced %.0f ns/op (%.2fx)\n", pm, tm, ratio
+    if (ratio > factor) {
+        printf "tracing overhead %.2fx exceeds the %sx gate\n", ratio, factor > "/dev/stderr"
+        exit 1
+    }
+}
+' "$TXT"
 
 # Append selected /metrics readings (the durable mixed workload's commit
 # latency quantiles and WAL flush batching) as {"name": "metrics:…",

@@ -26,9 +26,11 @@ trap cleanup EXIT
 
 go build -o "$WORK/graphitti-server" ./cmd/graphitti-server
 
-# Durable mode so the WAL and durable-store metrics are live too.
+# Durable mode so the WAL and durable-store metrics are live too;
+# -slow-request 1ns forces the slow-request span-breakdown log line on
+# every request so the tracing pipeline is checked end to end.
 "$WORK/graphitti-server" -addr 127.0.0.1:0 -data-dir "$WORK/data" \
-    -study influenza -anns 50 2>"$SERVER_LOG" &
+    -study influenza -anns 50 -slow-request 1ns 2>"$SERVER_LOG" &
 PID=$!
 
 # The listen address is logged structured on stderr: … msg=listening addr=…
@@ -58,6 +60,52 @@ curl -fsS -X POST "$BASE/api/annotations" \
 curl -sS "$BASE/api/annotations/999999" >/dev/null   # 404 with requestId envelope
 curl -sS "$BASE/no/such/route" >/dev/null            # "unmatched" route label
 
+# --- span tracing checks ---------------------------------------------
+
+# Every response must carry a W3C traceparent; an incoming one must be
+# honored (same trace ID echoed back).
+UPSTREAM="00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+TP="$(curl -fsSD - -o /dev/null -H "traceparent: $UPSTREAM" "$BASE/api/stats" \
+      | tr -d '\r' | sed -n 's/^[Tt]raceparent: //p')"
+case "$TP" in
+    00-4bf92f3577b34da6a3ce929d0e0e4736-*) : ;;
+    *) echo "traceparent not honored/echoed: got '$TP'" >&2; exit 1 ;;
+esac
+
+# ?trace=1 on a durable commit returns the span tree inline; render it
+# with the CLI and require every pipeline layer's span kind.
+TRACED="$WORK/traced.json"
+curl -fsS -X POST "$BASE/api/annotations?trace=1" \
+    -d '{"creator":"ci","date":"2008-04-07","body":"traced probe","marks":[{"type":"interval","domain":"segment1","lo":50,"hi":80}]}' \
+    >"$TRACED"
+TREE="$(go run ./cmd/graphitti traces -f "$TRACED")"
+for kind in http commit wal.flush; do
+    echo "$TREE" | grep -q "$kind" || {
+        echo "?trace=1 span tree missing kind '$kind':" >&2
+        echo "$TREE" >&2; exit 1
+    }
+done
+
+# /debug/traces serves the rings; the traced request must be retrievable
+# and the min-duration filter must parse.
+DUMP="$WORK/traces.json"
+curl -fsS "$BASE/debug/traces?route=POST%20/api/annotations" >"$DUMP"
+RINGS="$(go run ./cmd/graphitti traces -f "$DUMP")"
+echo "$RINGS" | grep -q "http" || {
+    echo "/debug/traces returned no http root spans" >&2; exit 1
+}
+curl -fsS "$BASE/debug/traces?min=10h" | grep -q '"count":0' || {
+    echo "/debug/traces?min=10h should return zero traces" >&2; exit 1
+}
+
+# The forced slow-request log line must carry the span breakdown.
+grep -q 'slow request' "$SERVER_LOG" && grep -q 'spans=' "$SERVER_LOG" || {
+    echo "no slow-request span-breakdown log line despite -slow-request 1ns" >&2
+    cat "$SERVER_LOG" >&2; exit 1
+}
+
+# ---------------------------------------------------------------------
+
 curl -fsS "$BASE/metrics" >"$SCRAPE"
 
 # Strict format validation + family floor via the CLI's validator.
@@ -68,7 +116,10 @@ for family in graphitti_http_requests_total \
               graphitti_wal_fsync_duration_seconds \
               graphitti_durable_health_state \
               graphitti_store_commit_duration_seconds \
-              graphitti_query_duration_seconds; do
+              graphitti_query_duration_seconds \
+              graphitti_trace_span_duration_seconds \
+              graphitti_shard_busy_micros \
+              process_uptime_seconds; do
     grep -q "^# TYPE $family " "$SCRAPE" || {
         echo "family $family missing from /metrics scrape" >&2; exit 1
     }
