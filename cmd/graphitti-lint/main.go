@@ -1,0 +1,90 @@
+// Command graphitti-lint runs the repo-invariant analyzer suite over the
+// module. It is the mechanical half of the contracts docs/LINTING.md
+// describes: every finding is printed as
+//
+//	file:line:col: [rule] message
+//
+// and any finding makes the exit status 1 (2 for load/usage errors), so CI
+// can gate merges on `go run ./cmd/graphitti-lint ./...`.
+//
+// Rules are selected with -enable (exclusive allowlist) and -disable
+// (subtractive); -list prints the registry; -json emits findings as a JSON
+// array for tooling. A false positive is suppressed in source with
+//
+//	//lint:ignore rule reason
+//
+// on, or on the line above, the offending line — the reason is mandatory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"graphitti/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("graphitti-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		enable  = fs.String("enable", "", "comma-separated rules to run (exclusive allowlist; default: all default-on rules)")
+		disable = fs.String("disable", "", "comma-separated rules to skip")
+		jsonOut = fs.Bool("json", false, "emit findings as a JSON array")
+		list    = fs.Bool("list", false, "list registered rules and exit")
+		dir     = fs.String("C", "", "change to this directory before resolving patterns")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: graphitti-lint [flags] [packages]\n\nRuns graphitti's repo-invariant analyzers (see docs/LINTING.md).\nDefault package pattern: ./...\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			def := "on"
+			if !a.Default {
+				def = "off"
+			}
+			fmt.Fprintf(stdout, "%-12s %-3s %s\n", a.Name, def, a.Doc)
+		}
+		return 0
+	}
+	sel, err := lint.Selection(*enable, *disable)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	pkgs, err := lint.Load(*dir, fs.Args()...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	findings := lint.RunAll(pkgs, sel)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "graphitti-lint: %d finding(s) across %d package(s)\n", len(findings), len(pkgs))
+		return 1
+	}
+	return 0
+}

@@ -143,6 +143,9 @@ func run(ctx context.Context, cfg serverConfig, logger *slog.Logger) error {
 	case <-ctx.Done():
 		logger.Info("shutdown signal received, draining")
 		start := time.Now()
+		// The parent ctx is already canceled on this branch; deriving the
+		// drain deadline from it would make Shutdown return immediately.
+		//lint:ignore ctxflow drain timeout must outlive the canceled parent ctx
 		dctx, cancel := context.WithTimeout(context.Background(), cfg.shutdownTimeout)
 		defer cancel()
 		if derr := srv.Shutdown(dctx); derr != nil {

@@ -412,9 +412,17 @@ func (s *Store) removeStaleSnapshots(current string) {
 	}
 	matches, _ := filepath.Glob(filepath.Join(s.dir, snapPattern))
 	for _, m := range matches {
-		if filepath.Base(m) != current {
-			_ = os.Remove(m)
+		if filepath.Base(m) == current {
+			continue
 		}
+		// rawfileop contract: even best-effort deletes consult the
+		// injector, so the harness sees (and can fail) every file op the
+		// durability path performs. An injected failure leaves the stale
+		// file behind, exactly like a real unlink error would.
+		if faultfs.Check(s.opts.Inject, faultfs.OpRemove, m) != nil {
+			continue
+		}
+		_ = os.Remove(m)
 	}
 }
 

@@ -3,6 +3,7 @@ package durable
 import (
 	"errors"
 	"math/rand"
+	"path/filepath"
 	"reflect"
 	"syscall"
 	"testing"
@@ -398,6 +399,68 @@ func TestCompactionFaultKeepsPriorCheckpoint(t *testing.T) {
 			}
 			assertStoreParity(t, "after failed compaction", reopened.Core(), want)
 		})
+	}
+}
+
+// TestStaleSnapshotRemoveFaultIsBestEffort pins the faultfs.OpRemove
+// contract (the rawfileop lint rule made stale-snapshot cleanup
+// injector-mediated): an injected unlink failure leaves the stale
+// checkpoint on disk but must not fail the compaction or degrade the
+// store — the file costs disk, not correctness — and a later healthy
+// compaction sweeps it.
+func TestStaleSnapshotRemoveFaultIsBestEffort(t *testing.T) {
+	ops := workload.RecoveryScenario(workload.DefaultRecovery)
+	dir := t.TempDir()
+	sc := faultfs.NewScript()
+	s, err := Open(dir, Options{CompactThreshold: -1, Inject: sc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	snaps := func() []string {
+		m, err := filepath.Glob(filepath.Join(dir, snapPattern))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	for _, op := range ops[:30] {
+		if err := op.Apply(s); err != nil {
+			t.Fatalf("op %d: %v", op.Seq, err)
+		}
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatalf("baseline compaction: %v", err)
+	}
+	for _, op := range ops[30:60] {
+		if err := op.Apply(s); err != nil {
+			t.Fatalf("op %d: %v", op.Seq, err)
+		}
+	}
+
+	sc.FailPath(faultfs.OpRemove, ".snap", 1, faultfs.Fault{Err: faultfs.Errno(faultfs.OpRemove, syscall.EIO)})
+	if err := s.Compact(); err != nil {
+		t.Fatalf("compaction with failing stale-snapshot remove: %v", err)
+	}
+	if h := s.Health(); h.State != StateHealthy {
+		t.Fatalf("best-effort remove fault degraded the store: %+v", h)
+	}
+	if got := len(snaps()); got != 2 {
+		t.Fatalf("stale snapshot swept despite injected remove failure: %d snapshot files, want 2 (stale + current)", got)
+	}
+
+	// Repaired disk: the next compaction sweeps the stale checkpoint.
+	sc.Clear()
+	for _, op := range ops[60:90] {
+		if err := op.Apply(s); err != nil {
+			t.Fatalf("op %d: %v", op.Seq, err)
+		}
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatalf("compaction after repair: %v", err)
+	}
+	if got := snaps(); len(got) != 1 {
+		t.Fatalf("stale snapshots not swept after repair: %v", got)
 	}
 }
 

@@ -2,7 +2,7 @@
 //
 // The WAL writer and the durable store's checkpoint path consult an
 // optional Injector before every file operation they perform — write,
-// fdatasync, file create, rename, truncate, directory sync. A nil
+// fdatasync, file create, rename, truncate, directory sync, remove. A nil
 // injector costs one pointer comparison; a non-nil one can fail any
 // chosen operation with EIO, ENOSPC, a torn (short) write, or any other
 // error, deterministically (Script: the Nth occurrence of an op) or
@@ -44,6 +44,10 @@ const (
 	OpTruncate
 	// OpDirSync is fsyncing a directory to persist creates/renames.
 	OpDirSync
+	// OpRemove is deleting a file (stale-snapshot cleanup after a
+	// compaction commits). The callers are best-effort — an injected
+	// failure must leave the file in place, never degrade the store.
+	OpRemove
 )
 
 func (o Op) String() string {
@@ -60,6 +64,8 @@ func (o Op) String() string {
 		return "truncate"
 	case OpDirSync:
 		return "dirsync"
+	case OpRemove:
+		return "remove"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }

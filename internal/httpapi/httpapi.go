@@ -502,10 +502,10 @@ type statsView struct {
 // the inter-shard channel counters, and (durable mode) each shard's
 // durability stats indexed by shard.
 type shardingView struct {
-	Shards            int              `json:"shards"`
-	CrossShardCommits uint64           `json:"crossShardCommits"`
-	DeltaSeq          uint64           `json:"deltaSeq"`
-	Durability        []durable.Stats  `json:"durability,omitempty"`
+	Shards            int             `json:"shards"`
+	CrossShardCommits uint64          `json:"crossShardCommits"`
+	DeltaSeq          uint64          `json:"deltaSeq"`
+	Durability        []durable.Stats `json:"durability,omitempty"`
 	// Load is each shard's load profile: mutation count, writer busy
 	// time, and the top routing keys by estimated mutation count — the
 	// signal for the "diagnose a slow shard" runbook in OPERATIONS.md.

@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ctxflow: once a function has accepted a context.Context it must keep it
+// flowing. Two ways the chain silently breaks, both flagged:
+//
+//  1. calling context.Background() or context.TODO() inside a function
+//     that already has a ctx parameter — the fresh root context detaches
+//     everything downstream from the caller's deadline and cancellation
+//     (the -query-timeout 408/499 path stops working for that branch);
+//  2. calling x.Foo(...) when an x.FooCtx(ctx, ...) sibling exists (same
+//     receiver type or same package) — the non-ctx variant is the
+//     compatibility wrapper that roots a fresh context internally, so
+//     calling it from ctx-aware code is an accidental detach.
+//
+// Functions without a ctx parameter are exempt: they are the boundary
+// wrappers that legitimately mint the root context.
+var analyzerCtxFlow = &Analyzer{
+	Name:    "ctxflow",
+	Doc:     "ctx-receiving functions must not detach: no context.Background()/TODO(), no non-ctx variant when a ...Ctx sibling exists",
+	Default: true,
+	Run:     runCtxFlow,
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+func hasCtxParam(sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// ctxSibling reports whether fn has a name+"Ctx" sibling whose first
+// parameter is a context.Context — on the receiver's type for methods, in
+// the defining package's scope for plain functions.
+func ctxSibling(fn *types.Func) bool {
+	sig := fn.Type().(*types.Signature)
+	name := fn.Name() + "Ctx"
+	var obj types.Object
+	if recv := sig.Recv(); recv != nil {
+		obj, _, _ = types.LookupFieldOrMethod(recv.Type(), true, fn.Pkg(), name)
+	} else if fn.Pkg() != nil {
+		obj = fn.Pkg().Scope().Lookup(name)
+	}
+	sib, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sibSig := sib.Type().(*types.Signature)
+	return sibSig.Params().Len() > 0 && isContextType(sibSig.Params().At(0).Type())
+}
+
+func runCtxFlow(p *Package) []Finding {
+	var out []Finding
+	p.eachFuncDecl(func(fd *ast.FuncDecl) {
+		if fd.Body == nil {
+			return
+		}
+		def, ok := p.Info.Defs[fd.Name].(*types.Func)
+		if !ok || !hasCtxParam(def.Type().(*types.Signature)) {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if p.calleeFromPkg(call, "context", "Background") || p.calleeFromPkg(call, "context", "TODO") {
+				fn := p.calleeFunc(call)
+				out = append(out, p.finding(call.Pos(), "ctxflow",
+					"context.%s() inside a ctx-receiving function detaches from the caller's deadline and cancellation; pass ctx through", fn.Name()))
+				return true
+			}
+			fn := p.calleeFunc(call)
+			if fn == nil || strings.HasSuffix(fn.Name(), "Ctx") || hasCtxParam(fn.Type().(*types.Signature)) {
+				return true
+			}
+			if ctxSibling(fn) {
+				out = append(out, p.finding(call.Pos(), "ctxflow",
+					"%s has a %sCtx sibling; ctx-receiving code must call the Ctx variant", fn.Name(), fn.Name()))
+			}
+			return true
+		})
+	})
+	return out
+}

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// errwrap: a sentinel error formatted into fmt.Errorf with %v/%s/%q is
+// flattened to text — errors.Is can no longer match it, which is exactly
+// how degraded-store refusals (ErrDegraded), injected faults (ErrInjected)
+// and per-shard errors (shard.Error) are detected by callers and tests.
+// Formatting a sentinel requires %w.
+//
+// "Sentinel" means: a package-level error variable whose name starts with
+// Err, or any value of a named type that implements error (for example
+// shard.Error). Plain local `err` variables of interface type error are
+// not flagged — wrapping policy for those is a judgement call; losing a
+// named sentinel never is.
+var analyzerErrWrap = &Analyzer{
+	Name:    "errwrap",
+	Doc:     "fmt.Errorf must wrap sentinel errors with %w, not flatten them with %v/%s",
+	Default: true,
+	Run:     runErrWrap,
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// formatVerbs returns the ordered verb letters of a format string, one per
+// consumed argument ('*' width/precision stars count as arguments too, as
+// verb 0). Formats using explicit argument indexes (%[1]v) return ok=false
+// and are skipped rather than mis-mapped.
+func formatVerbs(format string) (verbs []byte, ok bool) {
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		for i < len(format) && strings.ContainsRune("+-# 0.", rune(format[i])) {
+			i++
+		}
+		for i < len(format) && (format[i] == '*' || format[i] >= '0' && format[i] <= '9' || format[i] == '.') {
+			if format[i] == '*' {
+				verbs = append(verbs, 0)
+			}
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		switch format[i] {
+		case '%':
+		case '[':
+			return nil, false
+		default:
+			verbs = append(verbs, format[i])
+		}
+	}
+	return verbs, true
+}
+
+// sentinelDesc reports whether expr denotes a sentinel error and returns a
+// human-readable description of it.
+func (p *Package) sentinelDesc(expr ast.Expr) (string, bool) {
+	expr = ast.Unparen(expr)
+	var id *ast.Ident
+	switch e := expr.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	}
+	if id != nil {
+		if v, ok := p.Info.Uses[id].(*types.Var); ok &&
+			v.Pkg() != nil && v.Parent() == v.Pkg().Scope() &&
+			strings.HasPrefix(v.Name(), "Err") &&
+			types.Implements(v.Type(), errorIface) {
+			return v.Name(), true
+		}
+	}
+	tv, ok := p.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return "", false
+	}
+	t := tv.Type
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	if types.Implements(tv.Type, errorIface) || types.Implements(types.NewPointer(named), errorIface) {
+		return named.Obj().Pkg().Name() + "." + named.Obj().Name(), true
+	}
+	return "", false
+}
+
+func runErrWrap(p *Package) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !p.calleeFromPkg(call, "fmt", "Errorf") || len(call.Args) < 2 {
+				return true
+			}
+			tv, ok := p.Info.Types[call.Args[0]]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				return true
+			}
+			verbs, ok := formatVerbs(constant.StringVal(tv.Value))
+			if !ok {
+				return true
+			}
+			for i, verb := range verbs {
+				if 1+i >= len(call.Args) {
+					break
+				}
+				if verb != 'v' && verb != 's' && verb != 'q' {
+					continue
+				}
+				if desc, ok := p.sentinelDesc(call.Args[1+i]); ok {
+					out = append(out, p.finding(call.Args[1+i].Pos(), "errwrap",
+						"sentinel %s formatted with %%%c is no longer errors.Is-matchable; wrap it with %%w", desc, verb))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}

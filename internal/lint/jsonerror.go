@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+)
+
+// jsonerror: inside package httpapi, every HTTP error must flow through
+// jsonError so the JSON envelope (and with it the request ID) can never be
+// dropped again. PR 7 found 27 handler sites writing errors without the
+// request ID; this rule makes that class of regression impossible.
+//
+// Flagged, anywhere but inside jsonError itself:
+//   - any call to net/http.Error (plain-text body, no envelope);
+//   - any WriteHeader call whose argument is a constant >= 400.
+//
+// WriteHeader with a dynamic status stays legal: the response-writer
+// wrappers (statusWriter, traceBuffer) forward an already-decided code,
+// and jsonError's own WriteHeader takes a variable.
+var analyzerJSONError = &Analyzer{
+	Name:    "jsonerror",
+	Doc:     "HTTP errors in package httpapi must go through jsonError so the envelope carries the request ID",
+	Default: true,
+	Run:     runJSONError,
+}
+
+func runJSONError(p *Package) []Finding {
+	if !p.pkgNamed("httpapi") {
+		return nil
+	}
+	var out []Finding
+	p.eachFuncDecl(func(fd *ast.FuncDecl) {
+		if fd.Name.Name == "jsonError" || fd.Body == nil {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if p.calleeFromPkg(call, "http", "Error") {
+				out = append(out, p.finding(call.Pos(), "jsonerror",
+					"http.Error writes a plain-text body without the request ID; use jsonError"))
+				return true
+			}
+			if fn := p.calleeFunc(call); fn != nil && fn.Name() == "WriteHeader" && len(call.Args) == 1 {
+				if tv, ok := p.Info.Types[call.Args[0]]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+					if code, ok := constant.Int64Val(tv.Value); ok && code >= 400 {
+						out = append(out, p.finding(call.Pos(), "jsonerror",
+							"WriteHeader(%d) bypasses the JSON error envelope; use jsonError", code))
+					}
+				}
+			}
+			return true
+		})
+	})
+	return out
+}

@@ -1,0 +1,253 @@
+package lint_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"graphitti/internal/lint"
+)
+
+// loadFixtures type-checks the fixture module under testdata/mod. The
+// fixtures are real packages behind their own go.mod (invisible to the
+// outer module's build), so the driver runs exactly the code path
+// cmd/graphitti-lint runs in CI.
+func loadFixtures(t *testing.T) []*lint.Package {
+	t.Helper()
+	pkgs, err := lint.Load(filepath.Join("testdata", "mod"), "./...")
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("fixture module loaded zero packages")
+	}
+	return pkgs
+}
+
+func allAnalyzers(t *testing.T) []*lint.Analyzer {
+	t.Helper()
+	sel, err := lint.Selection("", "")
+	if err != nil {
+		t.Fatalf("default selection: %v", err)
+	}
+	return sel
+}
+
+var wantRe = regexp.MustCompile(`// want "([^"]*)"`)
+
+// wants extracts the golden `// want "regexp"` comments of a package,
+// keyed by file:line.
+func wants(t *testing.T, p *lint.Package) map[string][]*regexp.Regexp {
+	t.Helper()
+	out := make(map[string][]*regexp.Regexp)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("bad want regexp %q: %v", m[1], err)
+					}
+					pos := p.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					out[key] = append(out[key], re)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestFixturesGolden runs every default analyzer over every fixture
+// package: findings in bad/ packages must match the want comments exactly
+// (none unexpected, none missing), and clean/ packages plus the stub
+// packages must produce nothing at all.
+func TestFixturesGolden(t *testing.T) {
+	sel := allAnalyzers(t)
+	for _, p := range loadFixtures(t) {
+		rel := strings.TrimPrefix(p.Path, "fixtures")
+		if strings.HasPrefix(rel, "/ignore/") {
+			continue // exercised by TestIgnoreDirectives
+		}
+		findings := lint.RunAll([]*lint.Package{p}, sel)
+		if !strings.HasPrefix(rel, "/bad/") {
+			for _, f := range findings {
+				t.Errorf("clean fixture %s produced a finding: %s", p.Path, f)
+			}
+			continue
+		}
+		expected := wants(t, p)
+		if len(expected) == 0 {
+			t.Errorf("bad fixture %s has no want comments", p.Path)
+		}
+		matched := make(map[*regexp.Regexp]bool)
+		for _, f := range findings {
+			key := fmt.Sprintf("%s:%d", f.File, f.Line)
+			hit := false
+			for _, re := range expected[key] {
+				if re.MatchString(f.String()) {
+					matched[re] = true
+					hit = true
+				}
+			}
+			if !hit {
+				t.Errorf("%s: unexpected finding: %s", p.Path, f)
+			}
+		}
+		for key, res := range expected {
+			for _, re := range res {
+				if !matched[re] {
+					t.Errorf("%s: no finding at %s matching %q", p.Path, key, re)
+				}
+			}
+		}
+	}
+}
+
+// TestEveryAnalyzerHasFixtures is the registry meta-test: each analyzer
+// must ship a failing and a clean fixture package named after it, and the
+// failing one must actually trip that rule — so a future analyzer cannot
+// land untested, and a regression that silences a rule entirely fails
+// here rather than passing vacuously.
+func TestEveryAnalyzerHasFixtures(t *testing.T) {
+	pkgs := loadFixtures(t)
+	sel := allAnalyzers(t)
+	byPath := make(map[string]*lint.Package)
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	for _, a := range lint.Analyzers() {
+		for _, kind := range []string{"bad", "clean"} {
+			dir := filepath.Join("testdata", "mod", kind, a.Name)
+			if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+				t.Errorf("analyzer %s: missing %s fixture directory %s", a.Name, kind, dir)
+			}
+		}
+		bad, ok := byPath["fixtures/bad/"+a.Name]
+		if !ok {
+			t.Errorf("analyzer %s: fixture package fixtures/bad/%s did not load", a.Name, a.Name)
+			continue
+		}
+		tripped := false
+		for _, f := range lint.RunAll([]*lint.Package{bad}, sel) {
+			if f.Rule == a.Name {
+				tripped = true
+				break
+			}
+		}
+		if !tripped {
+			t.Errorf("analyzer %s: its bad fixture produces no %s finding", a.Name, a.Name)
+		}
+	}
+}
+
+// TestDisableSuppressesExactlyOneRule checks the -disable contract for
+// every rule: the disabled rule's findings disappear and every other
+// rule's findings are byte-identical.
+func TestDisableSuppressesExactlyOneRule(t *testing.T) {
+	var badPkgs []*lint.Package
+	for _, p := range loadFixtures(t) {
+		if strings.HasPrefix(p.Path, "fixtures/bad/") {
+			badPkgs = append(badPkgs, p)
+		}
+	}
+	full := lint.RunAll(badPkgs, allAnalyzers(t))
+	for _, a := range lint.Analyzers() {
+		sel, err := lint.Selection("", a.Name)
+		if err != nil {
+			t.Fatalf("disable %s: %v", a.Name, err)
+		}
+		got := lint.RunAll(badPkgs, sel)
+		var want []string
+		for _, f := range full {
+			if f.Rule != a.Name {
+				want = append(want, f.String())
+			}
+		}
+		if len(want) == len(full) {
+			t.Errorf("disable %s: rule had no findings to suppress", a.Name)
+		}
+		if len(got) != len(want) {
+			t.Errorf("disable %s: got %d findings, want %d", a.Name, len(got), len(want))
+			continue
+		}
+		for i := range got {
+			if got[i].String() != want[i] {
+				t.Errorf("disable %s: finding %d = %s, want %s", a.Name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSelection pins the -enable/-disable resolution rules: unknown names
+// are hard errors, -enable is an exclusive allowlist.
+func TestSelection(t *testing.T) {
+	if _, err := lint.Selection("", "nosuchrule"); err == nil {
+		t.Error("disabling an unknown rule must error, not silently no-op")
+	}
+	if _, err := lint.Selection("nosuchrule", ""); err == nil {
+		t.Error("enabling an unknown rule must error")
+	}
+	sel, err := lint.Selection("jsonerror,errwrap", "")
+	if err != nil {
+		t.Fatalf("enable list: %v", err)
+	}
+	if len(sel) != 2 || sel[0].Name != "jsonerror" || sel[1].Name != "errwrap" {
+		names := make([]string, len(sel))
+		for i, a := range sel {
+			names[i] = a.Name
+		}
+		t.Errorf("enable list selected %v, want [jsonerror errwrap]", names)
+	}
+	all, err := lint.Selection("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(lint.Analyzers()) {
+		t.Errorf("default selection has %d rules, registry has %d (a rule defaulted off?)", len(all), len(lint.Analyzers()))
+	}
+}
+
+// TestIgnoreDirectives pins the suppression contract: a well-formed
+// //lint:ignore (trailing or on the line above) silences exactly its rule
+// on that line, while a directive with no reason or an unknown rule name
+// is itself reported and suppresses nothing it does not name.
+func TestIgnoreDirectives(t *testing.T) {
+	sel := allAnalyzers(t)
+	var suppressed, malformed *lint.Package
+	for _, p := range loadFixtures(t) {
+		switch p.Path {
+		case "fixtures/ignore/suppressed":
+			suppressed = p
+		case "fixtures/ignore/malformed":
+			malformed = p
+		}
+	}
+	if suppressed == nil || malformed == nil {
+		t.Fatal("ignore fixtures did not load")
+	}
+	for _, f := range lint.RunAll([]*lint.Package{suppressed}, sel) {
+		t.Errorf("suppressed fixture still reports: %s", f)
+	}
+	got := lint.RunAll([]*lint.Package{malformed}, sel)
+	var directive, ctxflow int
+	for _, f := range got {
+		switch f.Rule {
+		case "directive":
+			directive++
+		case "ctxflow":
+			ctxflow++
+		default:
+			t.Errorf("malformed fixture: unexpected rule %s: %s", f.Rule, f)
+		}
+	}
+	if directive != 2 {
+		t.Errorf("malformed fixture: %d directive findings, want 2 (missing reason + unknown rule)", directive)
+	}
+	if ctxflow != 1 {
+		t.Errorf("malformed fixture: %d ctxflow findings, want 1 (unknown rule must not suppress)", ctxflow)
+	}
+}

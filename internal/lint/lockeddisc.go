@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// lockeddisc: the *Locked suffix is the repo's lock-discipline contract — a
+// fooLocked method documents "caller holds the receiver's mutex". Two ways
+// to break it, both flagged:
+//
+//  1. a *Locked method acquiring the receiver's own mutex (self-deadlock
+//     with sync.Mutex, silent double-latch with RWMutex);
+//  2. calling x.fooLocked from a function that neither has the Locked
+//     suffix itself nor acquires any mutex rooted at x in the same body
+//     (flow-insensitive: a same-function x.mu.Lock()/RLock() anywhere
+//     satisfies the check — ordering is the reviewer's job, presence is
+//     the machine's).
+var analyzerLockedDisc = &Analyzer{
+	Name:    "lockeddisc",
+	Doc:     "*Locked methods must be called under the receiver's mutex and must not acquire it themselves",
+	Default: true,
+	Run:     runLockedDisc,
+}
+
+// rootIdent unwinds a selector chain (s.a.b.c) to its base identifier, or
+// nil when the chain is rooted in a call or index expression.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// lockRoot returns the base identifier of a sync.Mutex/RWMutex
+// Lock/RLock acquisition call, or nil if call is not one.
+func (p *Package) lockRoot(call *ast.CallExpr) *ast.Ident {
+	fn := p.calleeFunc(call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil
+	}
+	if fn.Name() != "Lock" && fn.Name() != "RLock" {
+		return nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return rootIdent(sel.X)
+}
+
+func runLockedDisc(p *Package) []Finding {
+	var out []Finding
+	p.eachFuncDecl(func(fd *ast.FuncDecl) {
+		if fd.Body == nil {
+			return
+		}
+		selfLocked := strings.HasSuffix(fd.Name.Name, "Locked")
+		recvName := ""
+		if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+			recvName = fd.Recv.List[0].Names[0].Name
+		}
+
+		lockRoots := make(map[string]bool)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if root := p.lockRoot(call); root != nil {
+					lockRoots[root.Name] = true
+					if selfLocked && recvName != "" && root.Name == recvName {
+						out = append(out, p.finding(call.Pos(), "lockeddisc",
+							"%s must run with %s's mutex already held, not acquire it", fd.Name.Name, recvName))
+					}
+				}
+			}
+			return true
+		})
+
+		if selfLocked {
+			return // a Locked helper may freely call its Locked siblings
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !strings.HasSuffix(sel.Sel.Name, "Locked") {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Type().(*types.Signature).Recv() == nil {
+				return true
+			}
+			root := rootIdent(sel.X)
+			if root == nil || lockRoots[root.Name] {
+				return true
+			}
+			out = append(out, p.finding(call.Pos(), "lockeddisc",
+				"%s.%s called without a same-function %s.<mutex>.Lock()/RLock(); hold the lock or rename the callee",
+				root.Name, sel.Sel.Name, root.Name))
+			return true
+		})
+	})
+	return out
+}

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// metricreg: obs.New* constructors register a family in the process-global
+// registry and panic on a name collision. That is safe exactly once, at
+// package init — the per-package metrics.go `var (...)` blocks. A
+// constructor reached from a function body re-registers on every call and
+// panics the process the second time, so any obs.New* call outside a
+// package-level var declaration is flagged.
+//
+// The obs package itself is exempt: it constructs families internally
+// (tests, expositions) without going through the public registry path.
+var analyzerMetricReg = &Analyzer{
+	Name:    "metricreg",
+	Doc:     "obs.New* metric constructors may appear only in package-level var declarations (runtime re-registration panics)",
+	Default: true,
+	Run:     runMetricReg,
+}
+
+func isObsConstructor(p *Package, call *ast.CallExpr) bool {
+	fn := p.calleeFunc(call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != "obs" {
+		return false
+	}
+	return strings.HasPrefix(fn.Name(), "New")
+}
+
+func runMetricReg(p *Package) []Finding {
+	if p.pkgNamed("obs") {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			// Package-level var blocks are the sanctioned registration
+			// site; everything else (function bodies, init functions,
+			// const/type decls) is scanned for stray constructors.
+			if gd, ok := d.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+				continue
+			}
+			ast.Inspect(d, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isObsConstructor(p, call) {
+					fn := p.calleeFunc(call)
+					out = append(out, p.finding(call.Pos(), "metricreg",
+						"obs.%s outside a package-level var declaration re-registers at runtime and panics on name collision", fn.Name()))
+				}
+				return true
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,31 @@
+// Failing fixture for the ctxflow rule: ctx-receiving code detaching from
+// its caller's deadline.
+package ctxflow
+
+import "context"
+
+// Runner mirrors query.Processor: Execute is the boundary wrapper,
+// ExecuteCtx the real entry point.
+type Runner struct{}
+
+// Execute has no ctx parameter, so minting the root context here is the
+// legal boundary pattern.
+func (r *Runner) Execute(q string) int {
+	return r.ExecuteCtx(context.Background(), q)
+}
+
+// ExecuteCtx is the cancellation-aware sibling.
+func (r *Runner) ExecuteCtx(ctx context.Context, q string) int {
+	return len(q)
+}
+
+func handle(ctx context.Context, r *Runner, q string) int {
+	fresh := context.Background() // want "context.Background.. inside a ctx-receiving function"
+	_ = fresh
+	todo, cancel := context.WithTimeout(context.TODO(), 0) // want "context.TODO.. inside a ctx-receiving function"
+	defer cancel()
+	_ = todo
+	return r.Execute(q) // want "Execute has a ExecuteCtx sibling"
+}
+
+var _ = handle

@@ -1,0 +1,39 @@
+// Failing fixture for the errwrap rule: sentinels flattened with %v/%s
+// are no longer errors.Is-matchable.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDegraded mirrors the durable store's refusal sentinel.
+var ErrDegraded = errors.New("store degraded")
+
+// ShardError mirrors shard.Error: a named type implementing error.
+type ShardError struct{ Shard int }
+
+func (e *ShardError) Error() string { return fmt.Sprintf("shard %d", e.Shard) }
+
+func refuse() error {
+	return fmt.Errorf("write refused: %v", ErrDegraded) // want "sentinel ErrDegraded formatted with %v"
+}
+
+func quote() error {
+	return fmt.Errorf("write refused: %q", ErrDegraded) // want "sentinel ErrDegraded formatted with %q"
+}
+
+func tag(e *ShardError) error {
+	return fmt.Errorf("routing failed: %s", e) // want "sentinel errwrap.ShardError formatted with %s"
+}
+
+func plainLocalErrStaysLegal(err error, n int) error {
+	return fmt.Errorf("after %d ops: %v", n, err) // plain error variables are a judgement call, not flagged
+}
+
+var (
+	_ = refuse
+	_ = quote
+	_ = tag
+	_ = plainLocalErrStaysLegal
+)

@@ -1,0 +1,23 @@
+// Failing fixture for the jsonerror rule: HTTP errors written outside
+// jsonError, in a package named httpapi.
+package httpapi
+
+import "net/http"
+
+func jsonError(w http.ResponseWriter, r *http.Request, status int, msg string) {
+	w.WriteHeader(status) // dynamic status inside jsonError itself: legal
+	_, _ = w.Write([]byte(msg))
+}
+
+func badHandler(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "boom", http.StatusBadRequest)  // want "http.Error writes a plain-text body"
+	w.WriteHeader(http.StatusInternalServerError) // want "WriteHeader.500. bypasses the JSON error envelope"
+	w.WriteHeader(404)                            // want "WriteHeader.404. bypasses the JSON error envelope"
+}
+
+func okHandler(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusNoContent) // 2xx constants stay legal
+}
+
+var _ = badHandler
+var _ = okHandler

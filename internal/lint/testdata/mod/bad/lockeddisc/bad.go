@@ -1,0 +1,28 @@
+// Failing fixture for the lockeddisc rule: both halves of the *Locked
+// contract broken.
+package lockeddisc
+
+import "sync"
+
+// Box is a mutex-guarded counter in the repo's writer idiom.
+type Box struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (b *Box) bumpLocked() {
+	b.mu.Lock() // want "bumpLocked must run with b's mutex already held"
+	b.n++
+	b.mu.Unlock()
+}
+
+// Bump calls a Locked sibling without acquiring the mutex anywhere in its
+// body.
+func (b *Box) Bump() {
+	b.incrLocked() // want "b.incrLocked called without a same-function"
+}
+
+func (b *Box) incrLocked() { b.n++ }
+
+var _ = (*Box).Bump
+var _ = (*Box).bumpLocked

@@ -1,0 +1,24 @@
+// Failing fixture for the metricreg rule: obs.New* constructors reached
+// from function bodies re-register the family at runtime and panic on the
+// name collision.
+package metricreg
+
+import "fixtures/obs"
+
+var mGood = obs.NewCounter("fixture_good_total", "package-level var: legal")
+
+func register() *obs.Counter {
+	return obs.NewCounter("fixture_bad_total", "per-call registration") // want "obs.NewCounter outside a package-level var declaration"
+}
+
+func init() {
+	g := obs.NewGauge("fixture_bad_gauge", "init is a function body too") // want "obs.NewGauge outside a package-level var declaration"
+	g.Set(1)
+}
+
+func use() {
+	mGood.Inc()
+	register().Inc()
+}
+
+var _ = use

@@ -1,0 +1,22 @@
+// Failing fixture for the rawfileop rule: a package named wal touching
+// the filesystem without consulting the fault injector.
+package wal
+
+import "os"
+
+func createHeader(path string) error {
+	f, err := os.Create(path) // want "raw os.Create outside a faultfs shim"
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("GRAPHWAL")); err != nil { // want "raw ..os.File..Write outside a faultfs shim"
+		return err
+	}
+	if err := f.Sync(); err != nil { // want "raw ..os.File..Sync outside a faultfs shim"
+		return err
+	}
+	return os.Rename(path, path+".hdr") // want "raw os.Rename outside a faultfs shim"
+}
+
+var _ = createHeader

@@ -1,0 +1,38 @@
+// Clean fixture for the ctxflow rule: the context flows end to end; only
+// functions without a ctx parameter mint root contexts.
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+// Runner mirrors query.Processor: Execute is the boundary wrapper,
+// ExecuteCtx the real entry point.
+type Runner struct{}
+
+// Execute has no ctx parameter, so minting the root context here is the
+// legal boundary pattern.
+func (r *Runner) Execute(q string) int {
+	return r.ExecuteCtx(context.Background(), q)
+}
+
+// ExecuteCtx is the cancellation-aware sibling.
+func (r *Runner) ExecuteCtx(ctx context.Context, q string) int {
+	return len(q)
+}
+
+func handle(ctx context.Context, r *Runner, q string) int {
+	return r.ExecuteCtx(ctx, q)
+}
+
+func boundary(r *Runner, q string) int {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	return r.ExecuteCtx(ctx, q)
+}
+
+var (
+	_ = handle
+	_ = boundary
+)

@@ -1,0 +1,29 @@
+// Clean fixture for the errwrap rule: sentinels wrapped with %w keep
+// their errors.Is identity; non-error values format freely.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDegraded mirrors the durable store's refusal sentinel.
+var ErrDegraded = errors.New("store degraded")
+
+// ShardError mirrors shard.Error: a named type implementing error.
+type ShardError struct{ Shard int }
+
+func (e *ShardError) Error() string { return fmt.Sprintf("shard %d", e.Shard) }
+
+func refuse(seq uint64) error {
+	return fmt.Errorf("op %d: %w", seq, ErrDegraded)
+}
+
+func tag(e *ShardError) error {
+	return fmt.Errorf("routing failed: %w", e)
+}
+
+var (
+	_ = refuse
+	_ = tag
+)

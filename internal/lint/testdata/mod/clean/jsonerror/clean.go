@@ -1,0 +1,30 @@
+// Clean fixture for the jsonerror rule: every error path flows through
+// jsonError, status wrappers forward dynamic codes.
+package httpapi
+
+import "net/http"
+
+func jsonError(w http.ResponseWriter, r *http.Request, status int, msg string) {
+	w.WriteHeader(status)
+	_, _ = w.Write([]byte(`{"error":"` + msg + `"}`))
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code) // dynamic forwarding: legal
+}
+
+func goodHandler(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		jsonError(w, r, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+var _ = goodHandler

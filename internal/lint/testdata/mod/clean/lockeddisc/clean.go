@@ -1,0 +1,38 @@
+// Clean fixture for the lockeddisc rule: locks acquired by the exported
+// entry points, *Locked helpers composing freely under them.
+package lockeddisc
+
+import "sync"
+
+// Box is a mutex-guarded counter in the repo's writer idiom.
+type Box struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// Bump holds the lock and delegates to the Locked helper.
+func (b *Box) Bump() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.incrLocked()
+}
+
+// Peek holds the read side; RLock satisfies the discipline too.
+func (b *Box) Peek() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.readLocked()
+}
+
+func (b *Box) incrLocked() { b.n++ }
+
+// doubleLocked shows a Locked helper calling a Locked sibling: the caller
+// already holds the lock for both.
+func (b *Box) doubleLocked() {
+	b.incrLocked()
+	b.incrLocked()
+}
+
+func (b *Box) readLocked() int { return b.n }
+
+var _ = (*Box).doubleLocked

@@ -1,0 +1,17 @@
+// Clean fixture for the metricreg rule: the lazy-registration pattern —
+// one package-level var block, call sites only touch the families.
+package metricreg
+
+import "fixtures/obs"
+
+var (
+	mOps  = obs.NewCounter("fixture_ops_total", "operations")
+	mSize = obs.NewGauge("fixture_size_bytes", "current size")
+)
+
+func observe(n int) {
+	mOps.Inc()
+	mSize.Set(float64(n))
+}
+
+var _ = observe

@@ -1,0 +1,46 @@
+// Clean fixture for the rawfileop rule: a package named durable whose
+// file operations all live in faultfs shims, plus unrestricted read-only
+// access.
+package durable
+
+import (
+	"os"
+
+	"fixtures/faultfs"
+)
+
+// writeFileSync is a hook shim: it consults the injector, so its raw
+// operations are exactly the ones fault injection covers.
+func writeFileSync(inj faultfs.Injector, path string, data []byte) error {
+	if err := faultfs.Check(inj, faultfs.OpCreate, path); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := faultfs.Check(inj, faultfs.OpSync, path); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// loadSnapshot only reads; read-only operations are not
+// durability-relevant and stay unrestricted.
+func loadSnapshot(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+var (
+	_ = writeFileSync
+	_ = loadSnapshot
+)

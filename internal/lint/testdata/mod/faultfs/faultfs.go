@@ -1,0 +1,35 @@
+// Package faultfs is a stub standing in for graphitti's internal/faultfs:
+// the rawfileop rule recognizes shim functions by their calls to
+// faultfs.Check / Injector.Decide, matched by package name.
+package faultfs
+
+// Op identifies one fault-injectable file operation.
+type Op uint8
+
+// The operation kinds the stub's callers use.
+const (
+	OpWrite Op = iota
+	OpSync
+	OpCreate
+	OpRemove
+)
+
+// Fault is what an injector returns to fail one operation.
+type Fault struct{ Err error }
+
+// Injector decides, immediately before each file operation, whether to
+// fail it.
+type Injector interface {
+	Decide(op Op, path string) *Fault
+}
+
+// Check consults an optional injector and returns the injected error.
+func Check(inj Injector, op Op, path string) error {
+	if inj == nil {
+		return nil
+	}
+	if f := inj.Decide(op, path); f != nil {
+		return f.Err
+	}
+	return nil
+}

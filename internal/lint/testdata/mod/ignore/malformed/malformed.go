@@ -1,0 +1,21 @@
+// Fixture for malformed //lint:ignore directives: a missing reason and an
+// unknown rule name are themselves findings (rule "directive"), and an
+// unknown rule suppresses nothing.
+package malformed
+
+import "context"
+
+func detach(ctx context.Context) context.Context {
+	//lint:ignore ctxflow
+	return context.Background()
+}
+
+func todo(ctx context.Context) context.Context {
+	//lint:ignore nosuchrule the rule name is a typo, so the finding below survives
+	return context.TODO()
+}
+
+var (
+	_ = detach
+	_ = todo
+)

@@ -1,0 +1,30 @@
+// Fixture for the //lint:ignore directive: each violation below is
+// suppressed — trailing the line and standing on the line above — so the
+// driver must report nothing for this package.
+package httpapi
+
+import (
+	"context"
+	"net/http"
+)
+
+func jsonError(w http.ResponseWriter, r *http.Request, status int, msg string) {
+	w.WriteHeader(status)
+	_, _ = w.Write([]byte(msg))
+}
+
+func legacy(w http.ResponseWriter, r *http.Request) {
+	//lint:ignore jsonerror fixture: suppression on the line above
+	http.Error(w, "legacy path", http.StatusTeapot)
+	w.WriteHeader(http.StatusBadGateway) //lint:ignore jsonerror fixture: trailing suppression
+}
+
+func detach(ctx context.Context) context.Context {
+	//lint:ignore ctxflow fixture: deliberate detach
+	return context.Background()
+}
+
+var (
+	_ = legacy
+	_ = detach
+)

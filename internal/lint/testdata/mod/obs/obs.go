@@ -1,0 +1,24 @@
+// Package obs is a stub standing in for graphitti's internal/obs: the
+// metricreg rule matches constructor calls by package name ("obs") and
+// function prefix ("New"), so this minimal shape exercises exactly the
+// same code path as the real registry.
+package obs
+
+// Counter is a stub metric family.
+type Counter struct{}
+
+// Inc is the using-a-metric call sites keep after registration.
+func (c *Counter) Inc() {}
+
+// Gauge is a stub metric family.
+type Gauge struct{}
+
+// Set is the using-a-metric call sites keep after registration.
+func (g *Gauge) Set(v float64) {}
+
+// NewCounter registers a counter family (panics on name collision in the
+// real package — which is why calls must be package-level vars).
+func NewCounter(name, help string) *Counter { return &Counter{} }
+
+// NewGauge registers a gauge family.
+func NewGauge(name, help string) *Gauge { return &Gauge{} }

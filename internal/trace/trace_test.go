@@ -30,7 +30,7 @@ func TestTraceParentRejectsGarbage(t *testing.T) {
 	for _, bad := range []string{
 		"",
 		"00-short-id-01",
-		"01-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",  // unknown version
+		"01-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // unknown version
 		"00-00000000000000000000000000000000-b7ad6b7169203331-01", // zero trace ID
 		"00-0af7651916cd43dd8448eb211c80319X-b7ad6b7169203331-01", // non-hex
 		"00-0af7651916cd43dd8448eb211c80319c+b7ad6b7169203331-01", // bad separator
